@@ -1,0 +1,110 @@
+package obdrel_test
+
+import (
+	"testing"
+
+	"obdrel"
+	"obdrel/internal/obd"
+)
+
+// Extension benchmarks: the quad-tree correlation structure, the
+// wafer-pattern systematic component, the bimodal (extrinsic)
+// population, burn-in screening, breakdown tolerance, and mission
+// profiles. These complement the per-table/figure benchmarks in
+// bench_test.go.
+
+func BenchmarkExt_QuadTreeAnalyzer(b *testing.B) {
+	cfg := obdrel.DefaultConfig()
+	cfg.GridNx, cfg.GridNy = 16, 16
+	cfg.QuadTree = true
+	for i := 0; i < b.N; i++ {
+		an, err := obdrel.NewAnalyzer(obdrel.C2(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := an.LifetimePPM(10, obdrel.MethodStFast); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExt_BimodalStFast(b *testing.B) {
+	cfg := obdrel.DefaultConfig()
+	cfg.GridNx, cfg.GridNy = 16, 16
+	e := obd.DefaultExtrinsic()
+	e.DefectFraction = 1e-6
+	cfg.Extrinsic = e
+	an, err := obdrel.NewAnalyzer(obdrel.C2(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := an.LifetimePPM(10, obdrel.MethodStFast); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := an.LifetimePPM(10, obdrel.MethodStFast); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExt_BurnInScreen(b *testing.B) {
+	cfg := obdrel.DefaultConfig()
+	cfg.GridNx, cfg.GridNy = 16, 16
+	e := obd.DefaultExtrinsic()
+	e.DefectFraction = 1e-6
+	cfg.Extrinsic = e
+	an, err := obdrel.NewAnalyzer(obdrel.C2(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := an.BurnIn(1.6, 125, 24)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := res.LifetimePPM(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExt_BreakdownTolerance(b *testing.B) {
+	cfg := obdrel.DefaultConfig()
+	cfg.GridNx, cfg.GridNy = 16, 16
+	cfg.MCSamples = 300
+	an, err := obdrel.NewAnalyzer(obdrel.C2(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := an.LifetimePPMTolerant(10, 2); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := an.LifetimePPMTolerant(10, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExt_MissionProfile(b *testing.B) {
+	cfg := obdrel.DefaultConfig()
+	cfg.GridNx, cfg.GridNy = 16, 16
+	modes := []obdrel.Mode{
+		{Name: "idle", VDD: 1.0, ActivityScale: 0.3, Fraction: 0.5},
+		{Name: "nominal", VDD: 1.2, ActivityScale: 1, Fraction: 0.4},
+		{Name: "turbo", VDD: 1.3, ActivityScale: 1, Fraction: 0.1},
+	}
+	for i := 0; i < b.N; i++ {
+		an, err := obdrel.NewMissionAnalyzer(obdrel.C2(), cfg, modes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := an.LifetimePPM(10, obdrel.MethodStFast); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

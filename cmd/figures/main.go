@@ -1,0 +1,323 @@
+// Command figures regenerates the data behind the paper's results
+// figures as CSV on stdout (with a short human-readable summary on
+// stderr).
+//
+//	figures -fig 1    # block-structured temperature profiles (Fig. 1a/1b)
+//	figures -fig 3    # gate-leakage trace with SBD→HBD (Fig. 3)
+//	figures -fig 4    # BLOD histograms + Gaussian fit R² (Fig. 4)
+//	figures -fig 6    # joint PDF of (u_j, v_j) vs marginal product (Fig. 6)
+//	figures -fig 7    # normalized product error + mutual information (Fig. 7)
+//	figures -fig 8    # quadratic-form CDF vs χ² approximation (Fig. 8)
+//	figures -fig 10   # failure-rate curves of the four methods (Fig. 10)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+
+	"obdrel"
+	"obdrel/internal/blod"
+	"obdrel/internal/floorplan"
+	"obdrel/internal/grid"
+	"obdrel/internal/obd"
+	"obdrel/internal/stats"
+	"obdrel/internal/textplot"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	var (
+		fig  = flag.Int("fig", 4, "figure to regenerate: 1, 3, 4, 6, 7, 8 or 10")
+		seed = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	switch *fig {
+	case 1:
+		fig1(*seed)
+	case 3:
+		fig3(*seed)
+	case 4:
+		fig4(*seed)
+	case 6, 7:
+		fig67(*fig, *seed)
+	case 8:
+		fig8(*seed)
+	case 10:
+		fig10(*seed)
+	default:
+		log.Fatalf("unknown figure %d (want 1, 3, 4, 6, 7, 8 or 10)", *fig)
+	}
+}
+
+// note prints commentary to stderr so stdout stays machine-readable.
+func note(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
+
+// fig1 emits the solved temperature fields of the alpha-like C6 and a
+// 4×4 many-core design.
+func fig1(seed int64) {
+	designs := []*obdrel.Design{obdrel.C6()}
+	if mc, err := obdrel.ManyCore(4, 50_000); err == nil {
+		designs = append(designs, mc)
+	}
+	fmt.Println("design,ix,iy,temp_c")
+	for _, d := range designs {
+		cfg := obdrel.DefaultConfig()
+		cfg.GridNx, cfg.GridNy = 10, 10 // the analysis grid is irrelevant here
+		cfg.Seed = seed
+		an, err := obdrel.NewAnalyzer(d, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nx, ny, temps := an.TemperatureField()
+		for iy := 0; iy < ny; iy++ {
+			for ix := 0; ix < nx; ix++ {
+				fmt.Printf("%s,%d,%d,%.3f\n", d.Name, ix, iy, temps[iy*nx+ix])
+			}
+		}
+		min, mean, max := an.TempSpread()
+		note("%s: %.1f–%.1f °C (mean %.1f, spread %.1f K)", d.Name, min, max, mean, max-min)
+		if art, err := textplot.HeatMap(temps, nx, ny, 2); err == nil {
+			note("%s", art)
+		}
+	}
+}
+
+// fig3 emits one stressed device's gate-leakage trace at the paper's
+// 3.1 V / 100 °C condition.
+func fig3(seed int64) {
+	tech := obd.DefaultTech()
+	tr, err := tech.SimulateLeakageTrace(obd.DefaultLeakageConfig(), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("time_s,current_a")
+	for _, p := range tr.Points {
+		fmt.Printf("%.6g,%.6g\n", p.TimeS, p.CurrentA)
+	}
+	note("SBD at %.3g s (leakage ×%.1f), HBD at %.3g s; fresh leakage %.3g A",
+		tr.TSBDs, tr.ISBD/tr.I0, tr.THBDs, tr.I0)
+}
+
+// fig4Setup builds the variation model and a two-block design with 5K
+// and 20K devices used by Figs. 4 and 6–8.
+func fig4Setup() (*floorplan.Design, *grid.Model, *grid.PCA, *blod.Characterization, error) {
+	tech := obd.DefaultTech()
+	sigmaTot := tech.U0 * 0.04 / 3
+	sg, ss, se, err := grid.VarianceBudget(sigmaTot, 0.5, 0.25, 0.25)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	m, err := grid.NewModel(tech.U0, 1, 1, 10, 10, sg, ss, se, 0.5)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	pca, err := m.ComputePCA(1)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	d := &floorplan.Design{
+		Name: "fig4", W: 1, H: 1,
+		Blocks: []floorplan.Block{
+			{Name: "b5k", X: 0, Y: 0, W: 0.5, H: 0.6, Devices: 5000, Activity: 0.5},
+			{Name: "b20k", X: 0.5, Y: 0, W: 0.5, H: 1, Devices: 20000, Activity: 0.5},
+		},
+	}
+	char, err := blod.Characterize(d, m)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return d, m, pca, char, nil
+}
+
+// fig4 emits per-chip BLOD histograms for a 5K- and a 20K-device
+// block with their Gaussian fits and R² — the property validation of
+// Section IV-A.
+func fig4(seed int64) {
+	_, m, pca, char, err := fig4Setup()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	shifts := pca.GridShifts(pca.SampleComponents(rng))
+	fmt.Println("block,thickness_nm,density,gauss_fit")
+	for i := range char.Blocks {
+		bc := &char.Blocks[i]
+		grids, counts := bc.DeviceAllocation()
+		h, err := stats.NewHistogram(m.U0-5*m.SigmaE, m.U0+5*m.SigmaE, 60)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for gi, g := range grids {
+			base := m.U0 + shifts[g]
+			for k := 0; k < counts[gi]; k++ {
+				h.Add(base + m.SigmaE*rng.NormFloat64())
+			}
+		}
+		fit, err := stats.NewNormal(h.Mean(), math.Sqrt(h.Variance()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for b := 0; b < h.Bins(); b++ {
+			fmt.Printf("%s,%.6f,%.4f,%.4f\n", bc.Name, h.Mid(b), h.Density(b), fit.PDF(h.Mid(b)))
+		}
+		note("%s: %d devices, Gaussian fit R² = %.2f%% (paper: 99.8%% / 99.5%%)",
+			bc.Name, int(bc.MJ), h.RSquareAgainst(fit.PDF)*100)
+	}
+}
+
+// fig67 emits the joint PDF of (u_j, v_j) against the product of its
+// marginals (Fig. 6), or the normalized error between them with the
+// mutual information (Fig. 7).
+func fig67(fig int, seed int64) {
+	_, _, pca, char, err := fig4Setup()
+	if err != nil {
+		log.Fatal(err)
+	}
+	bc := &char.Blocks[1] // the 20K block spans several grids
+	rng := rand.New(rand.NewSource(seed))
+	ud, err := bc.UDist()
+	if err != nil {
+		log.Fatal(err)
+	}
+	vd, err := bc.VDist()
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := stats.NewHistogram2D(
+		ud.Quantile(5e-4), ud.Quantile(1-5e-4), 30,
+		vd.Quantile(5e-4), vd.Quantile(1-5e-4), 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const n = 300000
+	for i := 0; i < n; i++ {
+		u, v := bc.UVFromShifts(pca.GridShifts(pca.SampleComponents(rng)))
+		h.Add(u, v)
+	}
+	px := h.MarginalX()
+	py := h.MarginalY()
+	if fig == 6 {
+		fmt.Println("u_nm,v_nm2,joint_prob,marginal_product")
+		for i := 0; i < h.XBins; i++ {
+			for j := 0; j < h.YBins; j++ {
+				fmt.Printf("%.6f,%.3e,%.3e,%.3e\n", h.XMid(i), h.YMid(j), h.Prob(i, j), px[i]*py[j])
+			}
+		}
+		note("joint PDF vs marginal product over %d samples", n)
+		return
+	}
+	peak := 0.0
+	for i := 0; i < h.XBins; i++ {
+		for j := 0; j < h.YBins; j++ {
+			if p := h.Prob(i, j); p > peak {
+				peak = p
+			}
+		}
+	}
+	fmt.Println("u_nm,v_nm2,normalized_error")
+	for i := 0; i < h.XBins; i++ {
+		for j := 0; j < h.YBins; j++ {
+			e := math.Abs(h.Prob(i, j)-px[i]*py[j]) / peak
+			fmt.Printf("%.6f,%.3e,%.4f\n", h.XMid(i), h.YMid(j), e)
+		}
+	}
+	note("max normalized error %.2f%% (paper: ~7%%), mutual information %.4f nats (paper: 0.003)",
+		h.MaxNormalizedProductError()*100, h.MutualInformation())
+}
+
+// fig8 emits the empirical CDF of the BLOD-variance quadratic form
+// against its χ² moment-match approximation.
+func fig8(seed int64) {
+	_, _, pca, char, err := fig4Setup()
+	if err != nil {
+		log.Fatal(err)
+	}
+	bc := &char.Blocks[1]
+	rng := rand.New(rand.NewSource(seed))
+	const n = 60000
+	vs := make([]float64, n)
+	for i := range vs {
+		_, vs[i] = bc.UVFromShifts(pca.GridShifts(pca.SampleComponents(rng)))
+	}
+	ecdf, err := stats.NewECDF(vs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vd, err := bc.VDist()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("v_nm2,cdf_mc,cdf_chi2")
+	lo, hi := ecdf.Min(), ecdf.Max()
+	for k := 0; k <= 120; k++ {
+		v := lo + (hi-lo)*float64(k)/120
+		fmt.Printf("%.4e,%.5f,%.5f\n", v, ecdf.At(v), vd.CDF(v))
+	}
+	note("KS distance between quadratic form and χ² approximation: %.4f",
+		ecdf.KSDistance(vd.CDF))
+}
+
+// fig10 emits the failure-probability curves of MC, the
+// temperature-aware statistical analysis, the temperature-unaware
+// variant, and the guard-band bound on design C3, plus each method's
+// 10-per-million lifetime error vs MC and the sampled chip failure
+// times behind the empirical curve.
+func fig10(seed int64) {
+	cfg := obdrel.DefaultConfig()
+	cfg.Seed = seed
+	an, err := obdrel.NewAnalyzer(obdrel.C3(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := an.LifetimePPM(10, obdrel.MethodMC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	methods := []obdrel.Method{obdrel.MethodMC, obdrel.MethodStFast, obdrel.MethodTempUnaware, obdrel.MethodGuard}
+	markers := map[obdrel.Method]byte{
+		obdrel.MethodMC: 'M', obdrel.MethodStFast: '*',
+		obdrel.MethodTempUnaware: 'u', obdrel.MethodGuard: 'g',
+	}
+	var chart []textplot.Series
+	fmt.Println("method,time_h,p_fail")
+	for _, m := range methods {
+		times, pf, err := an.ReliabilityCurve(ref/30, ref*1000, 60, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := range times {
+			fmt.Printf("%s,%.5g,%.5g\n", m, times[i], pf[i])
+		}
+		chart = append(chart, textplot.Series{Name: m.String(), X: times, Y: pf, Marker: markers[m]})
+		life, err := an.LifetimePPM(10, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		note("%-13s 10ppm lifetime %11.4g h   error vs MC %+6.1f%%", m, life, (life-ref)/ref*100)
+	}
+	if art, err := textplot.LinePlot(chart, 72, 20, true, true); err == nil {
+		note("failure probability vs time (log-log):\n%s", art)
+	}
+	// The paper's blue curve: empirical lifetimes of 10 000 sampled
+	// chips.
+	ftimes, err := an.SampleFailureTimes(10_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ecdf, err := stats.NewECDF(ftimes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for k := 0; k <= 60; k++ {
+		t := ref / 30 * math.Pow(30*1000, float64(k)/60)
+		fmt.Printf("sampled_lifetimes,%.5g,%.5g\n", t, ecdf.At(t))
+	}
+	note("sampled 10000 chip failure times (empirical curve 'sampled_lifetimes')")
+}

@@ -1,0 +1,192 @@
+// Command obdrel analyzes one design's full-chip oxide-breakdown
+// reliability with a chosen method.
+//
+// Usage:
+//
+//	obdrel -design C6 -method st_fast -ppm 10
+//	obdrel -design C3 -method MC -mc-samples 500 -blocks
+//	obdrel -design C1 -t 1e5                    # failure probability at a time
+//	obdrel -design C2 -quadtree                 # quad-tree correlation structure
+//	obdrel -design C2 -bowl 0.04 -die-x 0.8     # wafer-pattern systematic offset
+//	obdrel -design C3 -defects 1e-6 -burnin 24  # bimodal population + screen
+//	obdrel -design C1 -tolerate 3               # survive 2 breakdowns
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"obdrel"
+	"obdrel/internal/grid"
+	"obdrel/internal/obd"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("obdrel: ")
+	var (
+		designName = flag.String("design", "C6", "benchmark design: C1..C6, or manycore")
+		methodName = flag.String("method", "st_fast", "analysis method: st_fast, st_MC, hybrid, guard, MC, temp_unaware")
+		ppm        = flag.Float64("ppm", 10, "faults-per-million lifetime criterion")
+		tQuery     = flag.Float64("t", 0, "if > 0, also report the failure probability at this time (hours)")
+		gridN      = flag.Int("grid", 25, "spatial-correlation grid resolution (n×n)")
+		rho        = flag.Float64("rho", 0.5, "correlation distance (fraction of chip dimension)")
+		vdd        = flag.Float64("vdd", 1.2, "supply voltage (V)")
+		mcSamples  = flag.Int("mc-samples", 1000, "Monte-Carlo sample chips (MC method)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		showBlocks = flag.Bool("blocks", false, "print the per-block operating-point table")
+		compare    = flag.Bool("compare", false, "compare every method against MC (Table III row)")
+
+		quadtree = flag.Bool("quadtree", false, "use the quad-tree correlation structure instead of exponential decay")
+		qtLevels = flag.Int("qt-levels", 3, "quad-tree levels")
+
+		bowl    = flag.Float64("bowl", 0, "wafer-pattern bowl coefficient (nm at wafer edge; 0 disables)")
+		slantX  = flag.Float64("slant-x", 0, "wafer-pattern x gradient (nm per wafer radius)")
+		dieX    = flag.Float64("die-x", 0, "die x position on the wafer (wafer radii)")
+		dieY    = flag.Float64("die-y", 0, "die y position on the wafer (wafer radii)")
+		dieSpan = flag.Float64("die-span", 0.1, "die width in wafer radii")
+
+		defects     = flag.Float64("defects", 0, "extrinsic defect fraction (0 disables the bimodal population)")
+		burninHours = flag.Float64("burnin", 0, "burn-in screen duration in hours (0 disables)")
+		burninV     = flag.Float64("burnin-v", 1.6, "burn-in stress voltage (V)")
+		burninT     = flag.Float64("burnin-t", 125, "burn-in oven temperature (°C)")
+
+		tolerate = flag.Int("tolerate", 1, "breakdowns the chip cannot survive (k≥2 models redundancy)")
+	)
+	flag.Parse()
+
+	design, err := lookupDesign(*designName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	method, err := lookupMethod(*methodName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := obdrel.DefaultConfig()
+	cfg.GridNx, cfg.GridNy = *gridN, *gridN
+	cfg.RhoDist = *rho
+	cfg.VDD = *vdd
+	cfg.MCSamples = *mcSamples
+	cfg.Seed = *seed
+	cfg.QuadTree = *quadtree
+	cfg.QuadTreeLevels = *qtLevels
+	if *bowl != 0 || *slantX != 0 {
+		cfg.WaferPattern = &grid.WaferPattern{
+			DieX: *dieX, DieY: *dieY, DieSpan: *dieSpan,
+			Bowl: *bowl, SlantX: *slantX,
+		}
+	}
+	if *defects > 0 {
+		e := obd.DefaultExtrinsic()
+		e.DefectFraction = *defects
+		cfg.Extrinsic = e
+	}
+
+	start := time.Now()
+	an, err := obdrel.NewAnalyzer(design, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("design %s: %d devices, %d blocks (characterized in %v)\n",
+		design.Name, design.TotalDevices(), len(design.Blocks), time.Since(start).Round(time.Millisecond))
+	min, mean, max := an.TempSpread()
+	fmt.Printf("temperature: %.1f–%.1f °C (mean %.1f)\n", min, max, mean)
+
+	if *showBlocks {
+		fmt.Printf("\n%-12s %9s %9s %8s %12s %8s %9s\n",
+			"block", "Tmean(°C)", "Tmax(°C)", "P(W)", "alpha(h)", "b(1/nm)", "devices")
+		for _, b := range an.Blocks() {
+			fmt.Printf("%-12s %9.1f %9.1f %8.2f %12.3g %8.3f %9d\n",
+				b.Name, b.MeanTempC, b.MaxTempC, b.PowerW, b.Alpha, b.B, b.Devices)
+		}
+	}
+
+	if *compare {
+		fmt.Printf("\n%-13s %14s %12s\n", "method", "lifetime (h)", "err vs MC")
+		rows, err := an.CompareMethods(*ppm, obdrel.Methods())
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range rows {
+			fmt.Printf("%-13s %14.5g %+11.2f%%\n", r.Method, r.LifetimeH, r.ErrVsMCPct)
+		}
+		return
+	}
+
+	start = time.Now()
+	life, err := an.LifetimePPM(*ppm, method)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s %g-per-million lifetime: %.5g h (%.2f years)  [%v]\n",
+		method, *ppm, life, life/8760, time.Since(start).Round(time.Microsecond))
+
+	if *tolerate > 1 {
+		lifeK, err := an.LifetimePPMTolerant(*ppm, *tolerate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("surviving %d breakdowns (k=%d): %.5g h (%.1f× gain)\n",
+			*tolerate-1, *tolerate, lifeK, lifeK/life)
+	}
+
+	if *burninHours > 0 {
+		res, err := an.BurnIn(*burninV, *burninT, *burninHours)
+		if err != nil {
+			log.Fatal(err)
+		}
+		screened, err := res.LifetimePPM(*ppm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("after %g h burn-in at %.2f V / %.0f °C: fallout %.3g, %g-ppm lifetime %.5g h (%.1f×)\n",
+			*burninHours, *burninV, *burninT, res.Fallout, *ppm, screened, screened/life)
+	}
+
+	if *tQuery > 0 {
+		p, err := an.FailureProb(*tQuery, method)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("P_fail(%g h) = %.6g\n", *tQuery, p)
+	}
+}
+
+func lookupDesign(name string) (*obdrel.Design, error) {
+	switch strings.ToUpper(name) {
+	case "C1":
+		return obdrel.C1(), nil
+	case "C2":
+		return obdrel.C2(), nil
+	case "C3":
+		return obdrel.C3(), nil
+	case "C4":
+		return obdrel.C4(), nil
+	case "C5":
+		return obdrel.C5(), nil
+	case "C6":
+		return obdrel.C6(), nil
+	}
+	if strings.EqualFold(name, "manycore") {
+		return obdrel.ManyCore(4, 50_000)
+	}
+	return nil, fmt.Errorf("unknown design %q (want C1..C6 or manycore)", name)
+}
+
+func lookupMethod(name string) (obdrel.Method, error) {
+	for _, m := range obdrel.Methods() {
+		if strings.EqualFold(m.String(), name) {
+			return m, nil
+		}
+	}
+	fmt.Fprintln(os.Stderr, "available methods:")
+	for _, m := range obdrel.Methods() {
+		fmt.Fprintf(os.Stderr, "  %s\n", m)
+	}
+	return 0, fmt.Errorf("unknown method %q", name)
+}

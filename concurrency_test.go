@@ -1,0 +1,51 @@
+package obdrel_test
+
+import (
+	"sync"
+	"testing"
+
+	"obdrel"
+)
+
+// TestConcurrentQueries exercises one Analyzer from many goroutines
+// simultaneously — lazy engine construction must be race-free and all
+// goroutines must see identical answers. Run with -race to verify the
+// synchronization.
+func TestConcurrentQueries(t *testing.T) {
+	an, err := obdrel.NewAnalyzer(obdrel.C1(), fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	methods := []obdrel.Method{
+		obdrel.MethodStFast, obdrel.MethodHybrid, obdrel.MethodGuard, obdrel.MethodStMC,
+	}
+	const workers = 16
+	results := make([][]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, m := range methods {
+				life, err := an.LifetimePPM(10, m)
+				if err != nil {
+					t.Errorf("worker %d method %v: %v", w, m, err)
+					return
+				}
+				results[w] = append(results[w], life)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if len(results[w]) != len(results[0]) {
+			t.Fatalf("worker %d returned %d results", w, len(results[w]))
+		}
+		for i := range results[w] {
+			if results[w][i] != results[0][i] {
+				t.Fatalf("worker %d result %d differs: %v vs %v",
+					w, i, results[w][i], results[0][i])
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package obdrel_test
+
+import (
+	"math"
+	"testing"
+
+	"obdrel"
+)
+
+func TestFailureContributions(t *testing.T) {
+	an, err := obdrel.NewAnalyzer(obdrel.C1(), fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t10, err := an.LifetimePPM(10, obdrel.MethodStFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	contribs, err := an.FailureContributions(t10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contribs) != len(an.Blocks()) {
+		t.Fatalf("got %d contributions for %d blocks", len(contribs), len(an.Blocks()))
+	}
+	shareSum, probSum := 0.0, 0.0
+	for _, c := range contribs {
+		if c.FailureProb < 0 || c.Share < 0 {
+			t.Fatalf("negative contribution: %+v", c)
+		}
+		shareSum += c.Share
+		probSum += c.FailureProb
+	}
+	if !approx(shareSum, 1, 1e-9) {
+		t.Errorf("shares sum to %v", shareSum)
+	}
+	// The union-form block probabilities sum to the chip failure
+	// probability the engine reports.
+	pChip, err := an.FailureProb(t10, obdrel.MethodStFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(probSum, pChip, 1e-9) {
+		t.Errorf("block probabilities sum to %v, chip reports %v", probSum, pChip)
+	}
+	// And at the 10-ppm time that total is 1e-5.
+	if !approx(pChip, 1e-5, 1e-3) {
+		t.Errorf("chip failure probability at t10 = %v", pChip)
+	}
+	// The hottest block contributes more per device than the coolest.
+	blocks := an.Blocks()
+	hot, cold := 0, 0
+	for i := range blocks {
+		if blocks[i].MaxTempC > blocks[hot].MaxTempC {
+			hot = i
+		}
+		if blocks[i].MaxTempC < blocks[cold].MaxTempC {
+			cold = i
+		}
+	}
+	perDevHot := contribs[hot].FailureProb / float64(blocks[hot].Devices)
+	perDevCold := contribs[cold].FailureProb / float64(blocks[cold].Devices)
+	if !(perDevHot > perDevCold) {
+		t.Errorf("hot block per-device risk %v not above cold %v", perDevHot, perDevCold)
+	}
+	if _, err := an.FailureContributions(0); err != nil {
+		t.Errorf("t=0 contributions should not error: %v", err)
+	}
+}
+
+func TestFailureContributionsZeroTime(t *testing.T) {
+	an, err := obdrel.NewAnalyzer(obdrel.C1(), fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	contribs, err := an.FailureContributions(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range contribs {
+		if c.FailureProb != 0 || math.IsNaN(c.Share) {
+			t.Fatalf("t=0 contribution %+v", c)
+		}
+	}
+}

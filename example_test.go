@@ -1,0 +1,80 @@
+package obdrel_test
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"obdrel"
+)
+
+// The quickstart flow: characterize the EV6-like benchmark and ask
+// whether the statistical analysis beats the guard band (it always
+// does — by >50% of lifetime).
+func ExampleNewAnalyzer() {
+	cfg := obdrel.DefaultConfig()
+	cfg.GridNx, cfg.GridNy = 8, 8 // coarse grid keeps the example fast
+	an, err := obdrel.NewAnalyzer(obdrel.C6(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	statistical, err := an.LifetimePPM(10, obdrel.MethodStFast)
+	if err != nil {
+		log.Fatal(err)
+	}
+	guard, err := an.LifetimePPM(10, obdrel.MethodGuard)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("statistical beats guard band: %v\n", statistical > 2*guard)
+	fmt.Printf("pessimism exceeds 50%%: %v\n", (statistical-guard)/statistical > 0.5)
+	// Output:
+	// statistical beats guard band: true
+	// pessimism exceeds 50%: true
+}
+
+// Finding the chip's reliability limiter: the failure-probability
+// decomposition names the block that dominates early failures.
+func ExampleAnalyzer_FailureContributions() {
+	cfg := obdrel.DefaultConfig()
+	cfg.GridNx, cfg.GridNy = 8, 8
+	an, err := obdrel.NewAnalyzer(obdrel.C6(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t10, err := an.LifetimePPM(10, obdrel.MethodStFast)
+	if err != nil {
+		log.Fatal(err)
+	}
+	contribs, err := an.FailureContributions(t10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(contribs, func(i, j int) bool { return contribs[i].Share > contribs[j].Share })
+	// The hotspot (integer execution unit) owns the largest share of
+	// the early-failure probability.
+	fmt.Printf("limiter: %s\n", contribs[0].Name)
+	fmt.Printf("dominant: %v\n", contribs[0].Share > 0.15)
+	// Output:
+	// limiter: intexec
+	// dominant: true
+}
+
+// Methods are interchangeable: the same query runs against the
+// device-level Monte-Carlo reference for validation.
+func ExampleAnalyzer_CompareMethods() {
+	cfg := obdrel.DefaultConfig()
+	cfg.GridNx, cfg.GridNy = 8, 8
+	cfg.MCSamples = 500
+	an, err := obdrel.NewAnalyzer(obdrel.C1(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := an.CompareMethods(10, []obdrel.Method{obdrel.MethodStFast})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("st_fast within 5%% of MC: %v\n", rows[0].ErrVsMCPct < 5 && rows[0].ErrVsMCPct > -5)
+	// Output:
+	// st_fast within 5% of MC: true
+}

@@ -1,0 +1,145 @@
+// Dynamic reliability management (DRM) — the application behind the
+// DATE 2010 title. A DRM controller uses a fast reliability model to
+// steer the operating point over the product's life: when the chip
+// has consumed less wear than budgeted, it can run faster (higher
+// VDD); when it has over-consumed, it must back off.
+//
+// This example simulates five years of quarterly DRM decisions. Each
+// quarter the workload intensity changes; the controller
+//
+//  1. accounts the wear consumed so far as equivalent nominal-VDD
+//     hours (linear damage, like the mission-profile analyzer), and
+//  2. picks the highest VDD for the next quarter such that — if held
+//     for the rest of life — the 10-per-million budget still closes.
+//
+// The voltage decisions come from MaxVDD over the st_fast engine;
+// because st_fast is device-count independent, each decision costs
+// only a handful of milliseconds-scale analyses — exactly the
+// "embedded into a dynamic system" use the paper's Section IV-E
+// sketches.
+//
+// Run with:
+//
+//	go run ./examples/drm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"obdrel"
+)
+
+const (
+	lifeHours  = 5 * 8760.0 // product life target
+	ppmBudget  = 10.0       // failure budget at end of life
+	quarterH   = lifeHours / 20
+	vMin, vMax = 1.00, 1.40
+)
+
+func main() {
+	design := obdrel.C3()
+	cfg := obdrel.DefaultConfig()
+	cfg.GridNx, cfg.GridNy = 12, 12 // fast decisions
+
+	// Reference: the worst-case (guard-band) static choice, fixed for
+	// life at time zero.
+	vGuard, err := obdrel.MaxVDD(design, cfg, obdrel.MethodGuard, ppmBudget, lifeHours, vMin, vMax, 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The static statistical choice.
+	vStatic, err := obdrel.MaxVDD(design, cfg, obdrel.MethodStFast, ppmBudget, lifeHours, vMin, vMax, 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("static choices for %g ppm over %.0f h:\n", ppmBudget, lifeHours)
+	fmt.Printf("  guard band:  %.2f V (fixed for life)\n", vGuard)
+	fmt.Printf("  statistical: %.2f V (fixed for life)\n\n", vStatic)
+
+	// DRM loop: quarterly workload phases alternate between light and
+	// heavy; light phases age the chip less, freeing budget the
+	// controller converts into voltage (performance) later.
+	phases := []struct {
+		name  string
+		scale float64 // workload activity scaling
+	}{
+		{"light", 0.4}, {"light", 0.4}, {"heavy", 1.0}, {"light", 0.4},
+		{"heavy", 1.0}, {"light", 0.4}, {"light", 0.4}, {"heavy", 1.0},
+		{"light", 0.4}, {"light", 0.4}, {"light", 0.4}, {"heavy", 1.0},
+		{"light", 0.4}, {"heavy", 1.0}, {"light", 0.4}, {"light", 0.4},
+		{"heavy", 1.0}, {"light", 0.4}, {"light", 0.4}, {"light", 0.4},
+	}
+	fmt.Printf("%8s %6s %8s %14s\n", "quarter", "phase", "VDD", "damage used")
+	// Miner's-rule bookkeeping: a quarter at an operating point with
+	// 10-ppm lifetime L consumes quarterH/L of the unit damage
+	// budget; the budget must not exceed 1 at end of life.
+	damage := 0.0
+	var vSum float64
+	for q, ph := range phases {
+		remainingH := lifeHours - float64(q)*quarterH
+		headroom := 1 - damage
+		if headroom < 1e-6 {
+			headroom = 1e-6
+		}
+		// If the rest of life ran at this quarter's operating point,
+		// the budget closes when L(v) ≥ remainingH/headroom.
+		need := remainingH / headroom
+		probe := *cfg
+		an, v := pickVDD(design, &probe, ph.scale, need)
+		lifeAtV, err := an.LifetimePPM(ppmBudget, obdrel.MethodStFast)
+		if err != nil {
+			log.Fatal(err)
+		}
+		damage += quarterH / lifeAtV
+		vSum += v
+		if q%4 == 0 || q == len(phases)-1 {
+			fmt.Printf("%8d %6s %7.2fV %13.1f%%\n", q, ph.name, v, damage*100)
+		}
+	}
+	fmt.Printf("\nDRM average VDD: %.3f V vs static statistical %.2f V and guard %.2f V\n",
+		vSum/float64(len(phases)), vStatic, vGuard)
+	fmt.Printf("end-of-life damage: %.0f%% of the 10-ppm budget (must stay ≤ 100%%)\n",
+		damage*100)
+	fmt.Println("\nThe controller banks wear during light phases and spends it as")
+	fmt.Println("voltage during heavy ones — performance the guard band forfeits.")
+}
+
+// pickVDD finds the highest VDD meeting `need` hours of 10-ppm life
+// under the given workload scaling, probing with mission analyzers of
+// one mode.
+func pickVDD(design *obdrel.Design, cfg *obdrel.Config, scale, need float64) (*obdrel.Analyzer, float64) {
+	lo, hi := vMin, vMax
+	var best *obdrel.Analyzer
+	bestV := vMin
+	for hi-lo > 0.01 {
+		mid := (lo + hi) / 2
+		an, err := obdrel.NewMissionAnalyzer(design, cfg, []obdrel.Mode{
+			{Name: "q", VDD: mid, ActivityScale: scale, Fraction: 1},
+		})
+		if err != nil {
+			hi = mid
+			continue
+		}
+		life, err := an.LifetimePPM(ppmBudget, obdrel.MethodStFast)
+		if err != nil {
+			hi = mid
+			continue
+		}
+		if life >= need {
+			lo, best, bestV = mid, an, mid
+		} else {
+			hi = mid
+		}
+	}
+	if best == nil {
+		an, err := obdrel.NewMissionAnalyzer(design, cfg, []obdrel.Mode{
+			{Name: "q", VDD: vMin, ActivityScale: scale, Fraction: 1},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		best, bestV = an, vMin
+	}
+	return best, bestV
+}

@@ -1,0 +1,99 @@
+// Runtime reliability monitoring with the hybrid engine — the
+// application Section IV-E proposes: the per-block lookup tables are
+// built once at design time, then a dynamic system queries chip
+// reliability under changing operating conditions with microsecond
+// latency, because a query is just N bilinear interpolations at
+// (ln(t/α), b).
+//
+// This example emulates a day of operation in which the workload
+// (and hence the supply-voltage profile) changes every hour, tracking
+// accumulated wear-out risk with the fast tables and cross-checking
+// one query against the full statistical analysis.
+//
+// Run with:
+//
+//	go run ./examples/monitoring
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"obdrel"
+)
+
+func main() {
+	design := obdrel.C6()
+	// One analyzer per operating mode. The hybrid tables inside each
+	// are built once; afterwards every reliability query is a lookup.
+	modes := []struct {
+		name string
+		vdd  float64
+	}{
+		{"idle ", 1.00},
+		{"nom  ", 1.20},
+		{"turbo", 1.32},
+	}
+	type ctx struct {
+		name string
+		an   *obdrel.Analyzer
+	}
+	var ctxs []ctx
+	for _, m := range modes {
+		cfg := obdrel.DefaultConfig()
+		cfg.GridNx, cfg.GridNy = 16, 16
+		cfg.VDD = m.vdd
+		an, err := obdrel.NewAnalyzer(design, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Force table construction now (design time), so the monitor
+		// loop below measures pure query latency.
+		if _, err := an.FailureProb(1e5, obdrel.MethodHybrid); err != nil {
+			log.Fatal(err)
+		}
+		ctxs = append(ctxs, ctx{m.name, an})
+	}
+
+	// Simulate 24 hours: the scheduler alternates modes; the monitor
+	// asks "if the chip spent its whole life like this hour, what is
+	// the failure probability at the 5-year horizon?" and accumulates
+	// a duty-cycle-weighted wear estimate.
+	const horizon = 5 * 8760.0
+	schedule := []int{0, 0, 0, 1, 1, 2, 1, 1, 2, 2, 1, 1, 0, 1, 1, 2, 2, 2, 1, 1, 1, 0, 0, 0}
+	var accum float64
+	var queries int
+	start := time.Now()
+	fmt.Printf("%5s %6s %22s\n", "hour", "mode", "P_fail@5y if sustained")
+	for hour, mi := range schedule {
+		p, err := ctxs[mi].an.FailureProb(horizon, obdrel.MethodHybrid)
+		if err != nil {
+			log.Fatal(err)
+		}
+		queries++
+		accum += p / float64(len(schedule))
+		if hour%4 == 0 {
+			fmt.Printf("%5d %6s %22.3g\n", hour, ctxs[mi].name, p)
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("\nduty-cycle-weighted 5-year failure estimate: %.3g\n", accum)
+	fmt.Printf("%d hybrid queries in %v (%.1f µs/query)\n",
+		queries, elapsed, float64(elapsed.Microseconds())/float64(queries))
+
+	// Cross-check: at nominal mode the table lookup must agree with
+	// the full statistical integration.
+	pHybrid, err := ctxs[1].an.FailureProb(horizon, obdrel.MethodHybrid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pFast, err := ctxs[1].an.FailureProb(horizon, obdrel.MethodStFast)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel := math.Abs(pHybrid-pFast) / pFast * 100
+	fmt.Printf("\ncross-check at nominal: hybrid %.4g vs st_fast %.4g (%.2f%% apart)\n",
+		pHybrid, pFast, rel)
+}

@@ -1,0 +1,3 @@
+module obdrel
+
+go 1.22

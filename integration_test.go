@@ -1,0 +1,99 @@
+package obdrel_test
+
+import (
+	"math"
+	"testing"
+
+	"obdrel"
+	"obdrel/internal/grid"
+	"obdrel/internal/obd"
+)
+
+// TestEverythingAtOnce runs the full feature surface in one
+// configuration: quad-tree correlation, an off-center die under a
+// wafer bowl, a bimodal defect population, a three-mode mission
+// profile, breakdown tolerance, burn-in screening, and Weibull
+// extraction — and checks the physical orderings that must hold
+// between them. This is the repo's kitchen-sink integration test.
+func TestEverythingAtOnce(t *testing.T) {
+	cfg := obdrel.DefaultConfig()
+	cfg.GridNx, cfg.GridNy = 8, 8
+	cfg.MCSamples = 800
+	cfg.QuadTree = true
+	cfg.QuadTreeLevels = 2
+	cfg.WaferPattern = &grid.WaferPattern{DieX: 0.5, DieY: 0.2, DieSpan: 0.2, Bowl: 0.02}
+	ext := obd.DefaultExtrinsic()
+	ext.DefectFraction = 2e-6
+	cfg.Extrinsic = ext
+
+	modes := []obdrel.Mode{
+		{Name: "idle", VDD: 1.05, ActivityScale: 0.4, Fraction: 0.6},
+		{Name: "nominal", VDD: 1.2, ActivityScale: 1, Fraction: 0.3},
+		{Name: "turbo", VDD: 1.3, ActivityScale: 1, Fraction: 0.1},
+	}
+	an, err := obdrel.NewMissionAnalyzer(obdrel.C1(), cfg, modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. Engine agreement holds with every feature active.
+	rows, err := an.CompareMethods(10, []obdrel.Method{obdrel.MethodStFast, obdrel.MethodHybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if e := math.Abs(r.ErrVsMCPct); e > 8 {
+			t.Errorf("%v error vs MC %.2f%% with all features active", r.Method, e)
+		}
+	}
+	base, err := an.LifetimePPM(10, obdrel.MethodStFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Breakdown tolerance extends it.
+	k2, err := an.LifetimePPMTolerant(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(k2 > base) {
+		t.Errorf("tolerance did not extend lifetime: %v vs %v", k2, base)
+	}
+
+	// 3. Burn-in screens the defect population.
+	res, err := an.BurnIn(1.6, 125, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	screened, err := res.LifetimePPM(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(screened > base) {
+		t.Errorf("burn-in did not help the defect-laden population: %v vs %v", screened, base)
+	}
+
+	// 4. The sampled failure population fits a Weibull poorly enough
+	// to reveal bimodality, or at least fits with a shallow slope —
+	// either way the shape must be < the intrinsic device slope.
+	times, err := an.SampleFailureTimes(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, shape, _, err := obdrel.FitWeibull(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(shape < 1.32) {
+		t.Errorf("population slope %v not below the intrinsic device slope", shape)
+	}
+
+	// 5. The guard band is still the most pessimistic method.
+	tGuard, err := an.LifetimePPM(10, obdrel.MethodGuard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(tGuard < base) {
+		t.Errorf("guard %v not pessimistic vs %v", tGuard, base)
+	}
+}

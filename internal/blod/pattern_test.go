@@ -1,0 +1,180 @@
+package blod
+
+import (
+	"math/rand"
+	"testing"
+
+	"obdrel/internal/floorplan"
+	"obdrel/internal/grid"
+	"obdrel/internal/stats"
+)
+
+// patternSetup builds a model with a pronounced wafer bowl pattern on
+// an off-center die, so the systematic within-die gradient is
+// comparable to the random components.
+func patternSetup(t *testing.T) (*floorplan.Design, *grid.Model, *grid.PCA) {
+	t.Helper()
+	d, m, _ := testSetup(t)
+	m.Pattern = &grid.WaferPattern{DieX: 0.7, DieY: 0.2, DieSpan: 0.3, Bowl: 0.05, SlantX: 0.01}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.ComputePCA(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, m, p
+}
+
+func TestPatternShiftsBlockNominal(t *testing.T) {
+	d, m, _ := patternSetup(t)
+	c, err := Characterize(d, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Blocks {
+		bc := &c.Blocks[i]
+		// An off-center die under a bowl is thicker than u0.
+		if !(bc.U0 > m.U0) {
+			t.Errorf("block %s: U0 = %v not shifted above %v", bc.Name, bc.U0, m.U0)
+		}
+		// The systematic spread adds to V0.
+		if len(bc.Grids) > 1 && !(bc.V0 > m.SigmaE*m.SigmaE) {
+			t.Errorf("block %s: V0 = %v not widened by the pattern", bc.Name, bc.V0)
+		}
+	}
+}
+
+// TestPatternMomentsAgainstDeviceLevelMC repeats the central moment
+// check under an active wafer pattern: explicit per-device simulation
+// with per-grid nominals must agree with the analytic block moments.
+func TestPatternMomentsAgainstDeviceLevelMC(t *testing.T) {
+	d, m, p := patternSetup(t)
+	c, err := Characterize(d, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := &c.Blocks[0]
+	grids, counts := wide.DeviceAllocation()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	rng := rand.New(rand.NewSource(77))
+	nChips := 3000
+	us := make([]float64, nChips)
+	vs := make([]float64, nChips)
+	for chip := 0; chip < nChips; chip++ {
+		shifts := p.GridShifts(p.SampleComponents(rng))
+		var sum, sum2 float64
+		for gi, g := range grids {
+			base := m.NominalAt(g) + shifts[g]
+			for i := 0; i < counts[gi]; i++ {
+				x := base + m.SigmaE*rng.NormFloat64()
+				sum += x
+				sum2 += x * x
+			}
+		}
+		n := float64(total)
+		mean := sum / n
+		us[chip] = mean
+		vs[chip] = (sum2 - n*mean*mean) / (n - 1)
+	}
+	mu, varU, err := stats.MeanVariance(us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, _, err := stats.MeanVariance(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(mu, wide.U0, 1e-3) {
+		t.Errorf("E[u] = %v, analytic %v", mu, wide.U0)
+	}
+	if !approx(varU, wide.USigma*wide.USigma, 0.08) {
+		t.Errorf("Var[u] = %v, analytic %v", varU, wide.USigma*wide.USigma)
+	}
+	if !approx(mv, wide.VMean(), 0.02) {
+		t.Errorf("E[v] = %v, analytic %v", mv, wide.VMean())
+	}
+}
+
+// TestPatternUVExactSampling: UVFromShifts must match a brute-force
+// per-grid evaluation including the nominal offsets.
+func TestPatternUVExactSampling(t *testing.T) {
+	d, m, p := patternSetup(t)
+	c, err := Characterize(d, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := &c.Blocks[0]
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		shifts := p.GridShifts(p.SampleComponents(rng))
+		u, v := wide.UVFromShifts(shifts)
+		// Brute force over the grid populations (infinite-device
+		// limit of the within-grid independent component).
+		var ub float64
+		for i, g := range wide.Grids {
+			ub += wide.Weights[i] / wide.MJ * (m.NominalAt(g) + shifts[g])
+		}
+		if !approx(u, ub, 1e-12) {
+			t.Fatalf("u = %v, brute force %v", u, ub)
+		}
+		denom := wide.MJ - 1
+		vb := m.SigmaE * m.SigmaE
+		for i, g := range wide.Grids {
+			dd := m.NominalAt(g) + shifts[g] - ub
+			vb += wide.Weights[i] / denom * dd * dd
+		}
+		if !approx(v, vb, 1e-10) {
+			t.Fatalf("v = %v, brute force %v", v, vb)
+		}
+	}
+}
+
+// TestQuadTreeCharacterization runs the BLOD machinery under the
+// quad-tree correlation structure and re-checks the moment identities
+// against device-level sampling.
+func TestQuadTreeCharacterization(t *testing.T) {
+	d, m, _ := testSetup(t)
+	m.Structure = grid.StructQuadTree
+	m.QTLevels = 2
+	m.QTDecay = 0.5
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.ComputePCA(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Characterize(d, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := &c.Blocks[0]
+	rng := rand.New(rand.NewSource(3))
+	n := 40000
+	us := make([]float64, n)
+	vs := make([]float64, n)
+	for i := range us {
+		us[i], vs[i] = wide.UVFromShifts(p.GridShifts(p.SampleComponents(rng)))
+	}
+	_, varU, err := stats.MeanVariance(us)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv, varV, err := stats.MeanVariance(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(varU, wide.USigma*wide.USigma, 0.05) {
+		t.Errorf("quad-tree Var[u] = %v, analytic %v", varU, wide.USigma*wide.USigma)
+	}
+	if !approx(mv, wide.VMean(), 0.02) {
+		t.Errorf("quad-tree E[v] = %v, analytic %v", mv, wide.VMean())
+	}
+	if !approx(varV, wide.VVariance(), 0.12) {
+		t.Errorf("quad-tree Var[v] = %v, analytic %v", varV, wide.VVariance())
+	}
+}

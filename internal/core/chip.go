@@ -1,0 +1,170 @@
+// Package core implements the five full-chip OBD reliability engines
+// the paper evaluates (Section IV and V):
+//
+//   - StFast: the proposed statistical analysis using the marginal
+//     PDF product and N double integrals (Eq. 28, Fig. 9 algorithm).
+//   - StMC: the variant that constructs each block's joint
+//     (u_j, v_j) PDF numerically from Monte-Carlo samples of the
+//     principal components.
+//   - Hybrid: the analytical/table-lookup engine of Section IV-E, a
+//     per-block 2-D table over (ln(t/α), b) with bilinear
+//     interpolation.
+//   - GuardBand: the traditional worst-case method (minimum oxide
+//     thickness, worst temperature; Eq. 33–34).
+//   - MonteCarlo: the device-level reference simulation used for
+//     accuracy and runtime comparisons.
+//
+// All engines work in failure-probability space, P_fail(t) = 1 - R(t),
+// computed with expm1 so that parts-per-million quantiles keep full
+// precision.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"obdrel/internal/blod"
+	"obdrel/internal/floorplan"
+	"obdrel/internal/grid"
+	"obdrel/internal/obd"
+)
+
+// Chip couples a design's BLOD characterization with per-block
+// device-level reliability parameters — everything an engine needs.
+type Chip struct {
+	Design *floorplan.Design
+	Model  *grid.Model
+	Char   *blod.Characterization
+	// Params holds the block-level (α_j, b_j), one entry per design
+	// block, characterized at the block's worst-case temperature and
+	// supply voltage.
+	Params []obd.Params
+	// Extrinsic optionally holds the per-block defect-population
+	// parameters (nil: intrinsic-only analysis). When present, every
+	// engine adds the additive extrinsic hazard
+	// A_j·p_d·(t/α_e,j)^β_e to the block exponent.
+	Extrinsic []obd.ExtrinsicParams
+}
+
+// SetExtrinsic attaches per-block extrinsic (defect-population)
+// parameters; pass nil to return to intrinsic-only analysis. Engines
+// hold a reference to the chip and evaluate the extrinsic hazard at
+// query time, so the change is visible to already-constructed
+// engines too.
+func (c *Chip) SetExtrinsic(params []obd.ExtrinsicParams) error {
+	if params == nil {
+		c.Extrinsic = nil
+		return nil
+	}
+	if len(params) != len(c.Params) {
+		return fmt.Errorf("core: %d extrinsic parameter sets for %d blocks", len(params), len(c.Params))
+	}
+	for i, p := range params {
+		if !(p.AlphaE > 0) || !(p.BetaE > 0) || p.DefectFraction < 0 {
+			return fmt.Errorf("core: invalid extrinsic parameters for block %d: %+v", i, p)
+		}
+	}
+	c.Extrinsic = params
+	return nil
+}
+
+// extrinsicHazard returns block j's extrinsic cumulative hazard at
+// time t (0 when no defect population is configured).
+func (c *Chip) extrinsicHazard(j int, t float64) float64 {
+	if c.Extrinsic == nil {
+		return 0
+	}
+	return c.Extrinsic[j].Hazard(t, c.Char.Blocks[j].AJ)
+}
+
+// combineFailure merges a block's intrinsic ensemble failure
+// probability d with its extrinsic hazard h:
+// D_total = 1 - (1-d)·exp(-h) = d + (1-d)·(1-exp(-h)), kept in
+// expm1 precision.
+func combineFailure(d, h float64) float64 {
+	if h == 0 {
+		return d
+	}
+	return d + (1-d)*-math.Expm1(-h)
+}
+
+// NewChip validates and assembles a Chip.
+func NewChip(d *floorplan.Design, m *grid.Model, char *blod.Characterization, params []obd.Params) (*Chip, error) {
+	if d == nil || m == nil || char == nil {
+		return nil, errors.New("core: nil chip component")
+	}
+	if len(char.Blocks) != len(d.Blocks) {
+		return nil, fmt.Errorf("core: characterization has %d blocks, design has %d", len(char.Blocks), len(d.Blocks))
+	}
+	if len(params) != len(d.Blocks) {
+		return nil, fmt.Errorf("core: %d parameter sets for %d blocks", len(params), len(d.Blocks))
+	}
+	for i, p := range params {
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("core: block %q: %w", d.Blocks[i].Name, err)
+		}
+	}
+	return &Chip{Design: d, Model: m, Char: char, Params: params}, nil
+}
+
+// NumBlocks returns N.
+func (c *Chip) NumBlocks() int { return len(c.Char.Blocks) }
+
+// TotalArea returns the chip's total normalized oxide area
+// A = Σ_j A_j.
+func (c *Chip) TotalArea() float64 {
+	a := 0.0
+	for i := range c.Char.Blocks {
+		a += c.Char.Blocks[i].AJ
+	}
+	return a
+}
+
+// WorstParams returns the reliability parameters of the
+// fastest-aging block (smallest α): the "worst operating temperature"
+// corner the traditional analyses assume chip-wide.
+func (c *Chip) WorstParams() obd.Params {
+	w := c.Params[0]
+	for _, p := range c.Params[1:] {
+		if p.Alpha < w.Alpha {
+			w = p
+		}
+	}
+	return w
+}
+
+// WithUniformParams returns a copy of the chip where every block uses
+// the given parameters — the temperature-unaware variant compared in
+// Fig. 10.
+func (c *Chip) WithUniformParams(p obd.Params) (*Chip, error) {
+	params := make([]obd.Params, len(c.Params))
+	for i := range params {
+		params[i] = p
+	}
+	chip, err := NewChip(c.Design, c.Model, c.Char, params)
+	if err != nil {
+		return nil, err
+	}
+	if c.Extrinsic != nil {
+		if err := chip.SetExtrinsic(append([]obd.ExtrinsicParams(nil), c.Extrinsic...)); err != nil {
+			return nil, err
+		}
+	}
+	return chip, nil
+}
+
+// AlphaRange returns the smallest and largest block α — the natural
+// bracket for lifetime searches.
+func (c *Chip) AlphaRange() (min, max float64) {
+	min, max = c.Params[0].Alpha, c.Params[0].Alpha
+	for _, p := range c.Params[1:] {
+		if p.Alpha < min {
+			min = p.Alpha
+		}
+		if p.Alpha > max {
+			max = p.Alpha
+		}
+	}
+	return min, max
+}

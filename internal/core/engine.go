@@ -1,0 +1,84 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"obdrel/internal/mathx"
+)
+
+// Engine is a full-chip OBD reliability analysis.
+type Engine interface {
+	// Name identifies the method (st_fast, st_MC, hybrid, guard, MC).
+	Name() string
+	// FailureProb returns P_fail(t) = 1 - R(t), the probability that a
+	// chip from the ensemble has suffered at least one oxide breakdown
+	// by time t (hours). Computed in failure space for ppm precision.
+	FailureProb(t float64) (float64, error)
+}
+
+// Reliability returns R(t) = 1 - P_fail(t) for any engine.
+func Reliability(e Engine, t float64) (float64, error) {
+	p, err := e.FailureProb(t)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - p, nil
+}
+
+// PPMTarget converts an n-faults-per-million-parts criterion into the
+// failure-probability target n·10⁻⁶ (Section V).
+func PPMTarget(n float64) float64 { return n * 1e-6 }
+
+// LifetimeAt solves P_fail(t) = pTarget for t by bisection on log t,
+// bracketing from the chip's α range: breakdown physics guarantees
+// P_fail is monotone in t. tLo and tHi seed the bracket and are grown
+// if needed.
+func LifetimeAt(e Engine, pTarget, tLo, tHi float64) (float64, error) {
+	if !(pTarget > 0) || pTarget >= 1 {
+		return 0, fmt.Errorf("core: failure target must be in (0,1), got %v", pTarget)
+	}
+	if !(tLo > 0) || !(tHi > tLo) {
+		return 0, fmt.Errorf("core: invalid lifetime bracket [%v, %v]", tLo, tHi)
+	}
+	f := func(logT float64) float64 {
+		p, err := e.FailureProb(math.Exp(logT))
+		if err != nil {
+			return math.NaN()
+		}
+		return p - pTarget
+	}
+	lo, hi := math.Log(tLo), math.Log(tHi)
+	flo, fhi := f(lo), f(hi)
+	// Grow the bracket geometrically if the target is outside it.
+	for grow := 0; flo > 0 && grow < 60; grow++ {
+		hi, fhi = lo, flo
+		lo -= math.Ln10
+		flo = f(lo)
+	}
+	for grow := 0; fhi < 0 && grow < 60; grow++ {
+		lo, flo = hi, fhi
+		hi += math.Ln10
+		fhi = f(hi)
+	}
+	if math.IsNaN(flo) || math.IsNaN(fhi) {
+		return 0, errors.New("core: engine returned NaN during lifetime search")
+	}
+	if flo > 0 || fhi < 0 {
+		return 0, fmt.Errorf("core: could not bracket the %v failure target", pTarget)
+	}
+	logT, err := mathx.Bisect(f, lo, hi, 1e-10, 200)
+	if err != nil {
+		return 0, err
+	}
+	return math.Exp(logT), nil
+}
+
+// LifetimePPM is the convenience wrapper for the paper's
+// n-faults-per-million criterion: it brackets using the chip's α
+// range.
+func LifetimePPM(e Engine, c *Chip, n float64) (float64, error) {
+	aMin, aMax := c.AlphaRange()
+	return LifetimeAt(e, PPMTarget(n), aMin*1e-15, aMax)
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"obdrel/internal/obd"
+)
+
+// withExtrinsic attaches a pronounced defect population to a fixture
+// chip (per-block extrinsic α mildly temperature-skewed like the
+// intrinsic params).
+func withExtrinsic(t *testing.T, fx *fixture) {
+	t.Helper()
+	tech := obd.DefaultTech()
+	e := obd.DefaultExtrinsic()
+	// The test chip has only 20K devices; raise the defect fraction
+	// so the extrinsic population matters at test scale.
+	e.DefectFraction = 5e-6
+	params := make([]obd.ExtrinsicParams, fx.chip.NumBlocks())
+	for i, tc := range []float64{92, 68, 80, 72} {
+		p, err := tech.CharacterizeExtrinsic(e, tc, 1.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params[i] = p
+	}
+	if err := fx.chip.SetExtrinsic(params); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetExtrinsicValidation(t *testing.T) {
+	fx := newFixture(t)
+	if err := fx.chip.SetExtrinsic(make([]obd.ExtrinsicParams, 2)); err == nil {
+		t.Error("wrong count should error")
+	}
+	bad := make([]obd.ExtrinsicParams, 4)
+	if err := fx.chip.SetExtrinsic(bad); err == nil {
+		t.Error("zero parameters should error")
+	}
+	withExtrinsic(t, fx)
+	if fx.chip.Extrinsic == nil {
+		t.Fatal("extrinsic not attached")
+	}
+	if err := fx.chip.SetExtrinsic(nil); err != nil || fx.chip.Extrinsic != nil {
+		t.Error("nil should clear the population")
+	}
+}
+
+func TestExtrinsicDominatesEarlyLife(t *testing.T) {
+	// With a β<1 defect population, early (ppm) failures must be far
+	// more likely than intrinsically, while late-life behaviour stays
+	// intrinsic-dominated.
+	// Engines observe the chip's extrinsic population at query time,
+	// so the intrinsic-only reference uses its own fixture.
+	fxInt := newFixture(t)
+	fastInt, err := NewStFast(fxInt.chip, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tIntrinsic, err := LifetimePPM(fastInt, fxInt.chip, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := newFixture(t)
+	withExtrinsic(t, fx)
+	fastExt, err := NewStFast(fx.chip, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tBimodal, err := LifetimePPM(fastExt, fx.chip, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(tBimodal < tIntrinsic/10) {
+		t.Errorf("extrinsic population did not own the early failures: %v vs %v", tBimodal, tIntrinsic)
+	}
+	// At long times the intrinsic exponent (β≈1.3 > 1) dominates and
+	// the extra hazard becomes relatively negligible: the bimodal
+	// failure probability exceeds the intrinsic one by only a sliver.
+	late := tIntrinsic * 1e4
+	pInt, _ := fastInt.FailureProb(late)
+	pExt, _ := fastExt.FailureProb(late)
+	if !(pExt >= pInt) {
+		t.Errorf("bimodal P %v below intrinsic %v", pExt, pInt)
+	}
+	if pInt > 0 && (pExt-pInt)/pInt > 0.2 {
+		t.Errorf("extrinsic still dominates late life: %v vs %v", pExt, pInt)
+	}
+	_, aMax := fx.chip.AlphaRange()
+	engineAxioms(t, fastExt, aMax)
+}
+
+func TestExtrinsicConsistentAcrossEngines(t *testing.T) {
+	fx := newFixture(t)
+	withExtrinsic(t, fx)
+	fast, err := NewStFast(fx.chip, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := NewMonteCarlo(fx.chip, fx.pca, MCOptions{Samples: 3000, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb, err := NewHybrid(fx.chip, HybridOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smc, err := NewStMC(fx.chip, fx.pca, StMCOptions{Samples: 10000, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := LifetimePPM(fast, fx.chip, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []Engine{mc, hyb, smc} {
+		life, err := LifetimePPM(e, fx.chip, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if errPct := math.Abs(life-ref) / ref * 100; errPct > 6 {
+			t.Errorf("%s bimodal lifetime %v vs st_fast %v — %.2f%%", e.Name(), life, ref, errPct)
+		}
+	}
+	// Guard band with extrinsic must be even more pessimistic and
+	// lose its closed form.
+	guard, err := NewGuardBand(fx.chip, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tGuard, err := LifetimePPM(guard, fx.chip, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(tGuard < ref) {
+		t.Errorf("guard %v not pessimistic vs %v", tGuard, ref)
+	}
+	if _, err := guard.LifetimeClosedForm(0.99); err == nil {
+		t.Error("closed form should be refused with extrinsic population")
+	}
+}
+
+func TestBurnInScreensInfantMortality(t *testing.T) {
+	fx := newFixture(t)
+	withExtrinsic(t, fx)
+	fast, err := NewStFast(fx.chip, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unscreened, err := LifetimePPM(fast, fx.chip, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shifts corresponding to a strong screen: intrinsic aging worth
+	// 1000 field hours, extrinsic aging worth 1e6 field hours (the
+	// extrinsic acceleration is what burn-in exploits).
+	n := fx.chip.NumBlocks()
+	intShift := make([]float64, n)
+	extShift := make([]float64, n)
+	for j := range intShift {
+		intShift[j] = 1e3
+		extShift[j] = 1e6
+	}
+	bi, err := NewBurnIn(fast, intShift, extShift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(bi.Fallout > 0 && bi.Fallout < 0.05) {
+		t.Errorf("fallout = %v, expected small positive", bi.Fallout)
+	}
+	screened, err := LifetimePPM(bi, fx.chip, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(screened > 3*unscreened) {
+		t.Errorf("screening gained only %v → %v", unscreened, screened)
+	}
+	_, aMax := fx.chip.AlphaRange()
+	engineAxioms(t, bi, aMax)
+}
+
+func TestBurnInHurtsIntrinsicOnlyChip(t *testing.T) {
+	// The classic result: burning in a wear-out-dominated (β > 1)
+	// mechanism just consumes life.
+	fx := newFixture(t)
+	fast, err := NewStFast(fx.chip, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := LifetimePPM(fast, fx.chip, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := fx.chip.NumBlocks()
+	intShift := make([]float64, n)
+	for j := range intShift {
+		intShift[j] = base / 10 // consume 10% of the ppm life
+	}
+	bi, err := NewBurnIn(fast, intShift, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	screened, err := LifetimePPM(bi, fx.chip, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(screened < base) {
+		t.Errorf("intrinsic-only burn-in should cost lifetime: %v vs %v", screened, base)
+	}
+}
+
+func TestBurnInValidation(t *testing.T) {
+	fx := newFixture(t)
+	fast, err := NewStFast(fx.chip, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBurnIn(nil, nil, nil); err == nil {
+		t.Error("nil base should error")
+	}
+	if _, err := NewBurnIn(fast, make([]float64, 2), nil); err == nil {
+		t.Error("wrong shift count should error")
+	}
+	bad := make([]float64, fx.chip.NumBlocks())
+	bad[0] = -1
+	if _, err := NewBurnIn(fast, bad, nil); err == nil {
+		t.Error("negative shift should error")
+	}
+	zero := make([]float64, fx.chip.NumBlocks())
+	bi, err := NewBurnIn(fast, zero, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero shifts reproduce the base engine exactly.
+	_, aMax := fx.chip.AlphaRange()
+	probe := aMax * 1e-8
+	pb, _ := fast.FailureProb(probe)
+	pz, _ := bi.FailureProb(probe)
+	if !approx(pb, pz, 1e-12) {
+		t.Errorf("zero-shift burn-in differs from base: %v vs %v", pz, pb)
+	}
+	if bi.Name() != "st_fast_burnin" {
+		t.Errorf("Name = %q", bi.Name())
+	}
+}
+
+func TestExtrinsicHazardFunction(t *testing.T) {
+	p := obd.ExtrinsicParams{AlphaE: 1e10, BetaE: 0.4, DefectFraction: 1e-6}
+	if p.Hazard(0, 1e5) != 0 {
+		t.Error("zero-time hazard should be 0")
+	}
+	if p.Hazard(-1, 1e5) != 0 {
+		t.Error("negative-time hazard should be 0")
+	}
+	// Hand check: H = A·p_d·(t/α)^β.
+	want := 1e5 * 1e-6 * math.Pow(1e4/1e10, 0.4)
+	if got := p.Hazard(1e4, 1e5); !approx(got, want, 1e-12) {
+		t.Errorf("Hazard = %v, want %v", got, want)
+	}
+	// β < 1: hazard is concave — doubling time less than doubles H.
+	if !(p.Hazard(2e4, 1e5) < 2*p.Hazard(1e4, 1e5)) {
+		t.Error("extrinsic hazard not concave")
+	}
+	none := obd.ExtrinsicParams{AlphaE: 1e10, BetaE: 0.4, DefectFraction: 0}
+	if none.Hazard(1e4, 1e5) != 0 {
+		t.Error("zero defect fraction should produce zero hazard")
+	}
+}

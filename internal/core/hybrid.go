@@ -1,0 +1,135 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"obdrel/internal/integrate"
+)
+
+// Hybrid is the fast analytical/table-lookup engine of Section IV-E.
+// For each block a 2-D table of the double integral is precomputed
+// over the (ln(t/α), b) plane — the only two quantities through which
+// the operating condition enters Eq. 31 once the chip is designed.
+// Reliability queries then reduce to N bilinear interpolations,
+// giving the paper's additional 2 orders of magnitude speedup over
+// st_fast, and letting one table serve many setup/application
+// profiles (different temperatures and voltages only move the query
+// point, not the table).
+type Hybrid struct {
+	chip   *Chip
+	tables []*integrate.Table2D
+	// NL×NB is the table resolution (paper: 100×100); LMin..LMax and
+	// BMin..BMax the covered ranges of ln(t/α) and b.
+	NL, NB                 int
+	LMin, LMax, BMin, BMax float64
+}
+
+// HybridOptions configures table construction. Zero values select the
+// defaults: 100×100 entries, ln(t/α) ∈ [-40, 0], b spanning the
+// chip's block parameters with 30% margin, and the st_fast default
+// integration resolution for the table fill.
+type HybridOptions struct {
+	NL, NB     int
+	LMin, LMax float64
+	BMin, BMax float64
+	L0         int
+}
+
+// NewHybrid precomputes the per-block lookup tables.
+func NewHybrid(c *Chip, opts HybridOptions) (*Hybrid, error) {
+	if c == nil {
+		return nil, errors.New("core: nil chip")
+	}
+	e := &Hybrid{chip: c, NL: opts.NL, NB: opts.NB,
+		LMin: opts.LMin, LMax: opts.LMax, BMin: opts.BMin, BMax: opts.BMax}
+	if e.NL <= 1 {
+		e.NL = 100
+	}
+	if e.NB <= 1 {
+		e.NB = 100
+	}
+	if e.LMin == 0 && e.LMax == 0 {
+		e.LMin, e.LMax = -40, 0
+	}
+	if !(e.LMax > e.LMin) {
+		return nil, fmt.Errorf("core: invalid hybrid L range [%v, %v]", e.LMin, e.LMax)
+	}
+	if e.BMin == 0 && e.BMax == 0 {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, p := range c.Params {
+			if p.B < lo {
+				lo = p.B
+			}
+			if p.B > hi {
+				hi = p.B
+			}
+		}
+		e.BMin, e.BMax = lo*0.7, hi*1.3
+	}
+	if !(e.BMax > e.BMin) || e.BMin <= 0 {
+		return nil, fmt.Errorf("core: invalid hybrid b range [%v, %v]", e.BMin, e.BMax)
+	}
+	l0 := opts.L0
+	if l0 <= 0 {
+		l0 = DefaultL0
+	}
+	ls := integrate.Linspace(e.LMin, e.LMax, e.NL)
+	bs := integrate.Linspace(e.BMin, e.BMax, e.NB)
+	for j := range c.Char.Blocks {
+		bw, err := newBlockWeights(&c.Char.Blocks[j], l0)
+		if err != nil {
+			return nil, fmt.Errorf("core: block %q: %w", c.Char.Blocks[j].Name, err)
+		}
+		area := c.Char.Blocks[j].AJ
+		tab, err := integrate.NewTable2D(ls, bs, func(l, b float64) float64 {
+			return bw.failureProb(l, b, area)
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.tables = append(e.tables, tab)
+	}
+	return e, nil
+}
+
+// Name implements Engine.
+func (e *Hybrid) Name() string { return "hybrid" }
+
+// FailureProb implements Engine: N bilinear table lookups at
+// (ln(t/α_j), b_j), summed per Eq. 28.
+func (e *Hybrid) FailureProb(t float64) (float64, error) {
+	if t <= 0 {
+		return 0, nil
+	}
+	sum := 0.0
+	for j, tab := range e.tables {
+		p := e.chip.Params[j]
+		l := math.Log(t / p.Alpha)
+		d := 0.0
+		if l >= e.LMin {
+			// Far below the tabulated range the intrinsic failure
+			// probability is indistinguishable from zero.
+			d = tab.At(l, p.B)
+			if d < 0 {
+				d = 0
+			}
+		}
+		sum += combineFailure(d, e.chip.extrinsicHazard(j, t))
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum, nil
+}
+
+// TableEntries returns the per-block table size, for memory
+// reporting.
+func (e *Hybrid) TableEntries() int {
+	if len(e.tables) == 0 {
+		return 0
+	}
+	nx, ny := e.tables[0].Size()
+	return nx * ny
+}

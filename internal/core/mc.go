@@ -1,0 +1,249 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"obdrel/internal/grid"
+	"obdrel/internal/mathx"
+)
+
+// MonteCarlo is the device-level reference simulation (Section V's
+// "MC"): every sample chip draws the principal components, then every
+// single device draws its independent thickness component, and the
+// chip's conditional reliability follows from the exact product over
+// devices (Eq. 10):
+//
+//	R(t | x) = exp(-Σ_i (t/α_j)^(b_j·x_i)) = exp(-Σ_i e^(w_i·L_j))
+//
+// with w_i = b_j·x_i and L_j = ln(t/α_j). The ensemble reliability is
+// the average over sample chips.
+//
+// To evaluate many time points per sample without re-walking millions
+// of devices, each sample bins its w_i values into a fine per-block
+// histogram (WBins bins over ±8σ of thickness); the per-time sum then
+// costs O(N·WBins) using the geometric progression
+// e^(w_{i+1}·L) = e^(w_i·L)·e^(Δw·L). With the default 512 bins the
+// binning error is below 10⁻⁶ relative — far under the Monte-Carlo
+// noise floor.
+//
+// Sample generation is embarrassingly parallel and fans out over
+// GOMAXPROCS workers with per-sample deterministic seeds, so results
+// are reproducible regardless of parallelism.
+type MonteCarlo struct {
+	chip *Chip
+	// Samples is the number of sample chips (paper: 1000).
+	Samples int
+	// WBins is the per-block w-histogram resolution.
+	WBins int
+
+	// hists[s] holds sample s's concatenated per-block histograms
+	// (N·WBins counts).
+	hists [][]float32
+	// wLo and dW are per-block histogram geometry.
+	wLo, dW []float64
+	seed    int64
+}
+
+// MCOptions configures NewMonteCarlo. Zero values select 1000 samples
+// and 512 bins.
+type MCOptions struct {
+	Samples int
+	WBins   int
+	Seed    int64
+}
+
+// NewMonteCarlo runs the sampling phase (the expensive part, linear in
+// devices × samples) and retains only the per-block w histograms.
+func NewMonteCarlo(c *Chip, pca *grid.PCA, opts MCOptions) (*MonteCarlo, error) {
+	if c == nil || pca == nil {
+		return nil, errors.New("core: nil chip or PCA")
+	}
+	if pca.Loadings.Rows != c.Model.NumGrids() {
+		return nil, fmt.Errorf("core: PCA covers %d grids, model has %d", pca.Loadings.Rows, c.Model.NumGrids())
+	}
+	e := &MonteCarlo{chip: c, Samples: opts.Samples, WBins: opts.WBins, seed: opts.Seed}
+	if e.Samples <= 0 {
+		e.Samples = 1000
+	}
+	if e.WBins <= 0 {
+		e.WBins = 512
+	}
+	n := c.NumBlocks()
+	m := c.Model
+	sigmaTot := math.Sqrt(m.SigmaG*m.SigmaG + m.SigmaS*m.SigmaS + m.SigmaE*m.SigmaE)
+	// Histogram range: ±8σ around the extreme per-grid nominals (the
+	// nominals differ across grids when a wafer pattern is active).
+	nomLo, nomHi := m.U0, m.U0
+	for g := 0; g < m.NumGrids(); g++ {
+		nom := m.NominalAt(g)
+		if nom < nomLo {
+			nomLo = nom
+		}
+		if nom > nomHi {
+			nomHi = nom
+		}
+	}
+	e.wLo = make([]float64, n)
+	e.dW = make([]float64, n)
+	for j := 0; j < n; j++ {
+		b := c.Params[j].B
+		lo := b * (nomLo - 8*sigmaTot)
+		hi := b * (nomHi + 8*sigmaTot)
+		e.wLo[j] = lo
+		e.dW[j] = (hi - lo) / float64(e.WBins)
+	}
+	// Per-block integer device placement, shared by all samples.
+	allocGrids := make([][]int, n)
+	allocCounts := make([][]int, n)
+	for j := 0; j < n; j++ {
+		allocGrids[j], allocCounts[j] = c.Char.Blocks[j].DeviceAllocation()
+	}
+
+	e.hists = make([][]float32, e.Samples)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > e.Samples {
+		workers = e.Samples
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range jobs {
+				e.hists[s] = e.sampleChip(pca, allocGrids, allocCounts, e.seed+int64(s)*7919+1)
+			}
+		}()
+	}
+	for s := 0; s < e.Samples; s++ {
+		jobs <- s
+	}
+	close(jobs)
+	wg.Wait()
+	return e, nil
+}
+
+// sampleChip draws one chip and returns its concatenated per-block w
+// histograms.
+func (e *MonteCarlo) sampleChip(pca *grid.PCA, allocGrids [][]int, allocCounts [][]int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	c := e.chip
+	n := c.NumBlocks()
+	hist := make([]float32, n*e.WBins)
+	shifts := pca.GridShifts(pca.SampleComponents(rng))
+	for j := 0; j < n; j++ {
+		b := c.Params[j].B
+		sigmaW := b * c.Model.SigmaE
+		base := hist[j*e.WBins : (j+1)*e.WBins]
+		wLo, dw := e.wLo[j], e.dW[j]
+		for gi, g := range allocGrids[j] {
+			mean := b * (c.Model.NominalAt(g) + shifts[g])
+			for i := 0; i < allocCounts[j][gi]; i++ {
+				w := mean + sigmaW*rng.NormFloat64()
+				bin := int((w - wLo) / dw)
+				if bin < 0 {
+					bin = 0
+				}
+				if bin >= e.WBins {
+					bin = e.WBins - 1
+				}
+				base[bin]++
+			}
+		}
+	}
+	return hist
+}
+
+// exponent evaluates S(t) = Σ_j Σ_i e^(w_i·L_j) + extra for one
+// sample's histograms, where extra carries the (deterministic)
+// extrinsic hazard sum.
+func (e *MonteCarlo) exponent(hist []float32, ls []float64, extra float64) float64 {
+	s := extra
+	for j := range ls {
+		l := ls[j]
+		base := hist[j*e.WBins : (j+1)*e.WBins]
+		cur := math.Exp((e.wLo[j] + e.dW[j]/2) * l)
+		r := math.Exp(e.dW[j] * l)
+		for _, cnt := range base {
+			if cnt != 0 {
+				s += float64(cnt) * cur
+			}
+			cur *= r
+		}
+	}
+	return s
+}
+
+// Name implements Engine.
+func (e *MonteCarlo) Name() string { return "MC" }
+
+// FailureProb implements Engine: the sample average of
+// 1 - exp(-S_k(t)).
+func (e *MonteCarlo) FailureProb(t float64) (float64, error) {
+	if t <= 0 {
+		return 0, nil
+	}
+	n := e.chip.NumBlocks()
+	ls := make([]float64, n)
+	ext := 0.0
+	for j := 0; j < n; j++ {
+		ls[j] = math.Log(t / e.chip.Params[j].Alpha)
+		ext += e.chip.extrinsicHazard(j, t)
+	}
+	acc := 0.0
+	for _, h := range e.hists {
+		acc += -math.Expm1(-e.exponent(h, ls, ext))
+	}
+	return acc / float64(len(e.hists)), nil
+}
+
+// SampleFailureTimes draws count chip failure times (the Fig. 10
+// lifetime histogram): for each draw a sample chip's conditional
+// survival exp(-S(t)) is inverted at a uniform variate by bisection on
+// log t. Draws cycle through the sampled chips, so count may exceed
+// the process-sample count; each draw still uses fresh breakdown
+// randomness.
+func (e *MonteCarlo) SampleFailureTimes(count int, seed int64) ([]float64, error) {
+	if count <= 0 {
+		return nil, errors.New("core: SampleFailureTimes requires count > 0")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := e.chip.NumBlocks()
+	aMin, aMax := e.chip.AlphaRange()
+	out := make([]float64, count)
+	ls := make([]float64, n)
+	for k := 0; k < count; k++ {
+		h := e.hists[k%len(e.hists)]
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		target := -math.Log(u) // solve S(t) = target
+		f := func(logT float64) float64 {
+			tt := math.Exp(logT)
+			ext := 0.0
+			for j := 0; j < n; j++ {
+				ls[j] = logT - math.Log(e.chip.Params[j].Alpha)
+				ext += e.chip.extrinsicHazard(j, tt)
+			}
+			return e.exponent(h, ls, ext) - target
+		}
+		lo := math.Log(aMin) - 40*math.Ln10
+		hi := math.Log(aMax) + 4*math.Ln10
+		// S is monotone increasing in t; expand upward if needed.
+		for f(hi) < 0 {
+			hi += 2 * math.Ln10
+		}
+		logT, err := mathx.Bisect(f, lo, hi, 1e-9, 200)
+		if err != nil {
+			return nil, fmt.Errorf("core: failure-time inversion: %w", err)
+		}
+		out[k] = math.Exp(logT)
+	}
+	return out, nil
+}

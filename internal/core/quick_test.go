@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"obdrel/internal/blod"
+	"obdrel/internal/floorplan"
+	"obdrel/internal/grid"
+	"obdrel/internal/obd"
+)
+
+// randomChip builds a seeded random chip: 2–6 blocks tiling the die,
+// random device counts, temperatures and grid resolution.
+func randomChip(seed int64) (*Chip, *grid.PCA, error) {
+	rng := rand.New(rand.NewSource(seed))
+	nBlocks := 2 + rng.Intn(5)
+	d, err := floorplan.Synthetic("q", nBlocks, 2000+rng.Intn(20000), seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	sigmaTot := 2.2 * (0.02 + 0.04*rng.Float64()) / 3
+	fg := 0.3 + 0.4*rng.Float64()
+	fs := (1 - fg) * rng.Float64()
+	fe := 1 - fg - fs
+	sg, ss, se, err := grid.VarianceBudget(sigmaTot, fg, fs, fe)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := 3 + rng.Intn(5)
+	m, err := grid.NewModel(2.2, 1, 1, n, n, sg, ss, se, 0.2+0.6*rng.Float64())
+	if err != nil {
+		return nil, nil, err
+	}
+	pca, err := m.ComputePCA(1)
+	if err != nil {
+		return nil, nil, err
+	}
+	char, err := blod.Characterize(d, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	tech := obd.DefaultTech()
+	params := make([]obd.Params, nBlocks)
+	for i := range params {
+		params[i], err = tech.Characterize(50+60*rng.Float64(), 1.0+0.4*rng.Float64())
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	chip, err := NewChip(d, m, char, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	return chip, pca, nil
+}
+
+// TestEngineAxiomsProperty checks, over random chips, that the three
+// analytic engines satisfy the reliability-function axioms and that
+// their 10-ppm lifetimes mutually agree.
+func TestEngineAxiomsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		chip, pca, err := randomChip(seed)
+		if err != nil {
+			t.Logf("seed %d: setup: %v", seed, err)
+			return false
+		}
+		fast, err := NewStFast(chip, 0)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		prod, err := NewStMC(chip, pca, StMCOptions{Samples: 4000, Seed: seed, Product: true})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		guard, err := NewGuardBand(chip, 3)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		_, aMax := chip.AlphaRange()
+		for _, e := range []Engine{fast, prod, guard} {
+			prev := 0.0
+			for tt := aMax * 1e-12; tt <= aMax*10; tt *= 100 {
+				p, err := e.FailureProb(tt)
+				if err != nil || p < prev-1e-12 || p < 0 || p > 1 {
+					t.Logf("seed %d: %s axiom violation at %v: p=%v err=%v", seed, e.Name(), tt, p, err)
+					return false
+				}
+				prev = p
+			}
+		}
+		tFast, err := LifetimePPM(fast, chip, 10)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		tProd, err := LifetimePPM(prod, chip, 10)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		tGuard, err := LifetimePPM(guard, chip, 10)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// st_fast and the exact-product sampler agree to a few
+		// percent; guard is always pessimistic.
+		if e := math.Abs(tFast-tProd) / tProd; e > 0.08 {
+			t.Logf("seed %d: st_fast %v vs product %v (%.1f%%)", seed, tFast, tProd, e*100)
+			return false
+		}
+		if !(tGuard < tFast) {
+			t.Logf("seed %d: guard %v not below st_fast %v", seed, tGuard, tFast)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHybridTracksStFastProperty: the lookup table reproduces the
+// direct integration within interpolation error on random chips.
+func TestHybridTracksStFastProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		chip, _, err := randomChip(seed)
+		if err != nil {
+			return false
+		}
+		fast, err := NewStFast(chip, 0)
+		if err != nil {
+			return false
+		}
+		hyb, err := NewHybrid(chip, HybridOptions{})
+		if err != nil {
+			return false
+		}
+		tFast, err := LifetimePPM(fast, chip, 10)
+		if err != nil {
+			return false
+		}
+		tHyb, err := LifetimePPM(hyb, chip, 10)
+		if err != nil {
+			return false
+		}
+		if e := math.Abs(tFast-tHyb) / tFast; e > 0.06 {
+			t.Logf("seed %d: hybrid %v vs st_fast %v (%.1f%%)", seed, tHyb, tFast, e*100)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"obdrel/internal/blod"
+	"obdrel/internal/floorplan"
+	"obdrel/internal/grid"
+	"obdrel/internal/obd"
+)
+
+// structureFixture builds the core-test chip under an arbitrary
+// variation-model mutation, so the engine-agreement checks can be
+// repeated for the quad-tree structure and the wafer pattern.
+func structureFixture(t *testing.T, mutate func(*grid.Model)) *fixture {
+	t.Helper()
+	sigmaTot := 2.2 * 0.04 / 3
+	sg, ss, se, err := grid.VarianceBudget(sigmaTot, 0.5, 0.25, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := grid.NewModel(2.2, 1, 1, 5, 5, sg, ss, se, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate(m)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pca, err := m.ComputePCA(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &floorplan.Design{
+		Name: "structtest", W: 1, H: 1,
+		Blocks: []floorplan.Block{
+			{Name: "exec", X: 0, Y: 0, W: 0.5, H: 0.5, Devices: 6000, Class: floorplan.ClassALU, Activity: 0.9},
+			{Name: "cache", X: 0.5, Y: 0, W: 0.5, H: 0.5, Devices: 8000, Class: floorplan.ClassCache, Activity: 0.25},
+			{Name: "fpu", X: 0, Y: 0.5, W: 0.5, H: 0.5, Devices: 3000, Class: floorplan.ClassFPU, Activity: 0.6},
+			{Name: "ctl", X: 0.5, Y: 0.5, W: 0.5, H: 0.5, Devices: 3000, Class: floorplan.ClassControl, Activity: 0.4},
+		},
+	}
+	char, err := blod.Characterize(d, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tech := obd.DefaultTech()
+	params := make([]obd.Params, 4)
+	for i, tc := range []float64{92, 68, 80, 72} {
+		params[i], err = tech.Characterize(tc, 1.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	chip, err := NewChip(d, m, char, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{chip: chip, pca: pca}
+}
+
+// checkStFastVsMC asserts the headline agreement for a fixture.
+func checkStFastVsMC(t *testing.T, fx *fixture, tolPct float64) {
+	t.Helper()
+	fast, err := NewStFast(fx.chip, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := NewMonteCarlo(fx.chip, fx.pca, MCOptions{Samples: 3000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ppm := range []float64{1, 10} {
+		tFast, err := LifetimePPM(fast, fx.chip, ppm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tMC, err := LifetimePPM(mc, fx.chip, ppm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if errPct := math.Abs(tFast-tMC) / tMC * 100; errPct > tolPct {
+			t.Errorf("%v ppm: st_fast %v vs MC %v — %.2f%% error (tol %.1f%%)",
+				ppm, tFast, tMC, errPct, tolPct)
+		}
+	}
+}
+
+func TestStFastVsMCQuadTree(t *testing.T) {
+	fx := structureFixture(t, func(m *grid.Model) {
+		m.Structure = grid.StructQuadTree
+		m.QTLevels = 2
+		m.QTDecay = 0.5
+	})
+	checkStFastVsMC(t, fx, 5)
+}
+
+func TestStFastVsMCWaferPattern(t *testing.T) {
+	fx := structureFixture(t, func(m *grid.Model) {
+		m.Pattern = &grid.WaferPattern{DieX: 0.6, DieY: -0.3, DieSpan: 0.25, Bowl: 0.04, SlantX: 0.015}
+	})
+	checkStFastVsMC(t, fx, 6)
+}
+
+func TestWaferPatternShiftsLifetime(t *testing.T) {
+	// A thick-side die (bowl, off-center) must live longer than the
+	// same design at wafer center, and a thinned die must live less.
+	center := structureFixture(t, func(m *grid.Model) {
+		m.Pattern = &grid.WaferPattern{DieX: 0, DieY: 0, DieSpan: 0.25, Bowl: 0.04}
+	})
+	edge := structureFixture(t, func(m *grid.Model) {
+		m.Pattern = &grid.WaferPattern{DieX: 0.9, DieY: 0, DieSpan: 0.25, Bowl: 0.04}
+	})
+	thin := structureFixture(t, func(m *grid.Model) {
+		m.Pattern = &grid.WaferPattern{DieX: 0.9, DieY: 0, DieSpan: 0.25, Bowl: -0.04}
+	})
+	life := func(fx *fixture) float64 {
+		e, err := NewStFast(fx.chip, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := LifetimePPM(e, fx.chip, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	lCenter, lEdge, lThin := life(center), life(edge), life(thin)
+	if !(lEdge > lCenter) {
+		t.Errorf("thicker edge die %v not longer-lived than center die %v", lEdge, lCenter)
+	}
+	if !(lThin < lCenter) {
+		t.Errorf("thinned die %v not shorter-lived than center die %v", lThin, lCenter)
+	}
+}
+
+func TestGuardBandUsesPatternWorstNominal(t *testing.T) {
+	plain := structureFixture(t, func(m *grid.Model) {})
+	thinned := structureFixture(t, func(m *grid.Model) {
+		m.Pattern = &grid.WaferPattern{DieX: 0.9, DieY: 0, DieSpan: 0.25, Bowl: -0.05}
+	})
+	gPlain, err := NewGuardBand(plain.chip, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gThin, err := NewGuardBand(thinned.chip, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(gThin.XMin < gPlain.XMin) {
+		t.Errorf("guard band ignored the pattern: %v vs %v", gThin.XMin, gPlain.XMin)
+	}
+}

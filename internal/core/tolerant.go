@@ -1,0 +1,134 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"obdrel/internal/mathx"
+)
+
+// Tolerant wraps a sample-based engine with the successive-breakdown
+// failure criterion discussed in Section III: measurements [4], [28]–
+// [30] show a circuit may keep functioning through several soft (and
+// even hard) breakdowns, so "first breakdown kills the chip" is
+// itself conservative. Tolerant declares the chip failed when at
+// least K devices have broken down.
+//
+// Given a sample chip's thickness vector, device breakdowns are
+// independent with per-device probabilities p_i = 1 - exp(-s_i) where
+// Σ_i s_i = S(t) is the exact chip exponent. At full-chip scale every
+// p_i is tiny while S is moderate, so the breakdown count is Poisson
+// with mean S to within O(max p_i), and
+//
+//	P(N ≥ K | chip) = P(K, S)      (regularized lower incomplete gamma)
+//
+// which reduces to the usual 1 - exp(-S) at K = 1. The ensemble
+// failure probability is the sample average.
+type Tolerant struct {
+	// K is the number of breakdowns the chip cannot survive (K = 1 is
+	// the paper's SBD-as-failure criterion).
+	K   int
+	src exponentSampler
+}
+
+// exponentSampler is satisfied by the engines that can expose the
+// exact per-sample chip exponent S(t): the device-level Monte Carlo
+// and the st_MC engine in product mode.
+type exponentSampler interface {
+	Name() string
+	// exponents returns S(t) for every retained sample chip.
+	exponents(t float64) []float64
+}
+
+// NewTolerant wraps eng (a *MonteCarlo or a *StMC in product mode)
+// with a K-breakdown failure criterion.
+func NewTolerant(eng Engine, k int) (*Tolerant, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: breakdown tolerance must be >= 1, got %d", k)
+	}
+	src, ok := eng.(exponentSampler)
+	if !ok {
+		return nil, errors.New("core: NewTolerant requires a sample-based engine (MonteCarlo or product-mode StMC)")
+	}
+	if smc, isSMC := eng.(*StMC); isSMC && !smc.Product {
+		return nil, errors.New("core: NewTolerant requires StMC in product mode (it needs per-sample exponents)")
+	}
+	return &Tolerant{K: k, src: src}, nil
+}
+
+// Name implements Engine.
+func (e *Tolerant) Name() string {
+	return fmt.Sprintf("%s_k%d", e.src.Name(), e.K)
+}
+
+// FailureProb implements Engine: the sample average of P(N ≥ K | S).
+func (e *Tolerant) FailureProb(t float64) (float64, error) {
+	if t <= 0 {
+		return 0, nil
+	}
+	ss := e.src.exponents(t)
+	if len(ss) == 0 {
+		return 0, errors.New("core: no samples available")
+	}
+	acc := 0.0
+	for _, s := range ss {
+		p, err := poissonTail(e.K, s)
+		if err != nil {
+			return 0, err
+		}
+		acc += p
+	}
+	return acc / float64(len(ss)), nil
+}
+
+// poissonTail returns P(N >= k) for N ~ Poisson(mean).
+func poissonTail(k int, mean float64) (float64, error) {
+	if mean <= 0 {
+		return 0, nil
+	}
+	if k == 1 {
+		return -math.Expm1(-mean), nil
+	}
+	// P(N >= k) = P(k, mean), the regularized lower incomplete gamma.
+	return mathx.GammaP(float64(k), mean)
+}
+
+// exponents implements exponentSampler for MonteCarlo.
+func (e *MonteCarlo) exponents(t float64) []float64 {
+	n := e.chip.NumBlocks()
+	ls := make([]float64, n)
+	ext := 0.0
+	for j := 0; j < n; j++ {
+		ls[j] = math.Log(t / e.chip.Params[j].Alpha)
+		ext += e.chip.extrinsicHazard(j, t)
+	}
+	out := make([]float64, len(e.hists))
+	for i, h := range e.hists {
+		out[i] = e.exponent(h, ls, ext)
+	}
+	return out
+}
+
+// exponents implements exponentSampler for StMC (meaningful in
+// product mode, where the per-sample (u, v) pairs are retained).
+func (e *StMC) exponents(t float64) []float64 {
+	n := e.chip.NumBlocks()
+	ls := make([]float64, n)
+	for j := 0; j < n; j++ {
+		ls[j] = math.Log(t / e.chip.Params[j].Alpha)
+	}
+	ext := 0.0
+	for j := 0; j < n; j++ {
+		ext += e.chip.extrinsicHazard(j, t)
+	}
+	out := make([]float64, e.Samples)
+	for s := 0; s < e.Samples; s++ {
+		expo := ext
+		for j := 0; j < n; j++ {
+			expo += e.chip.Char.Blocks[j].AJ * GValue(ls[j], e.chip.Params[j].B, e.us[j][s], e.vs[j][s])
+		}
+		out[s] = expo
+	}
+	return out
+}

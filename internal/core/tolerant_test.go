@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTolerantK1MatchesBase(t *testing.T) {
+	fx := newFixture(t)
+	mc, err := NewMonteCarlo(fx.chip, fx.pca, MCOptions{Samples: 400, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol, err := NewTolerant(mc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, aMax := fx.chip.AlphaRange()
+	for _, tt := range []float64{aMax * 1e-9, aMax * 1e-7, aMax * 1e-5} {
+		pBase, err := mc.FailureProb(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pTol, err := tol.FailureProb(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx(pBase, pTol, 1e-9) {
+			t.Errorf("K=1 at t=%v: %v vs base %v", tt, pTol, pBase)
+		}
+	}
+}
+
+func TestTolerantMonotoneInK(t *testing.T) {
+	fx := newFixture(t)
+	mc, err := NewMonteCarlo(fx.chip, fx.pca, MCOptions{Samples: 400, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probe where single-breakdown failures are common.
+	t50, err := LifetimeAt(mc, 0.5, 1, 1e20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1.1
+	for k := 1; k <= 5; k++ {
+		tol, err := NewTolerant(mc, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := tol.FailureProb(t50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p > prev+1e-12 {
+			t.Fatalf("P(N>=%d) = %v exceeds P(N>=%d) = %v", k, p, k-1, prev)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("K=%d: P = %v", k, p)
+		}
+		prev = p
+	}
+}
+
+func TestTolerantExtendsLifetime(t *testing.T) {
+	// Surviving breakdowns must buy lifetime at a ppm criterion, and
+	// engineAxioms must still hold for the wrapper.
+	fx := newFixture(t)
+	mc, err := NewMonteCarlo(fx.chip, fx.pca, MCOptions{Samples: 1500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, aMax := fx.chip.AlphaRange()
+	base, err := LifetimePPM(mc, fx.chip, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := base
+	for _, k := range []int{2, 4} {
+		tol, err := NewTolerant(mc, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engineAxioms(t, tol, aMax)
+		life, err := LifetimePPM(tol, fx.chip, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(life > prev) {
+			t.Errorf("K=%d lifetime %v not beyond K-1 lifetime %v", k, life, prev)
+		}
+		prev = life
+	}
+	// The K=2 gain should be substantial at ppm levels: with Weibull
+	// slope β≈1.3, doubling the tolerated count multiplies the
+	// ppm-lifetime by roughly (P2/P1 inverse) — just require 2×.
+	tol2, err := NewTolerant(mc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	life2, err := LifetimePPM(tol2, fx.chip, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if life2 < 2*base {
+		t.Errorf("K=2 lifetime %v < 2× base %v", life2, base)
+	}
+}
+
+func TestTolerantWithStMCProduct(t *testing.T) {
+	fx := newFixture(t)
+	smc, err := NewStMC(fx.chip, fx.pca, StMCOptions{Samples: 4000, Seed: 9, Product: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol, err := NewTolerant(smc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := NewMonteCarlo(fx.chip, fx.pca, MCOptions{Samples: 3000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tolMC, err := NewTolerant(mc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two sample-based backends must agree on the K=3 lifetime.
+	lSMC, err := LifetimePPM(tol, fx.chip, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lMC, err := LifetimePPM(tolMC, fx.chip, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := math.Abs(lSMC-lMC) / lMC * 100; e > 6 {
+		t.Errorf("K=3 lifetimes: st_MC-product %v vs MC %v — %.2f%% apart", lSMC, lMC, e)
+	}
+}
+
+func TestTolerantValidation(t *testing.T) {
+	fx := newFixture(t)
+	mc, err := NewMonteCarlo(fx.chip, fx.pca, MCOptions{Samples: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTolerant(mc, 0); err == nil {
+		t.Error("K=0 should error")
+	}
+	fast, err := NewStFast(fx.chip, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTolerant(fast, 2); err == nil {
+		t.Error("non-sample engine should error")
+	}
+	sumSMC, err := NewStMC(fx.chip, fx.pca, StMCOptions{Samples: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTolerant(sumSMC, 2); err == nil {
+		t.Error("sum-mode StMC should error")
+	}
+	tol, err := NewTolerant(mc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tol.Name() != "MC_k3" {
+		t.Errorf("Name = %q", tol.Name())
+	}
+	if p, err := tol.FailureProb(0); err != nil || p != 0 {
+		t.Errorf("P(0) = %v, %v", p, err)
+	}
+}

@@ -1,0 +1,110 @@
+package floorplan
+
+import "fmt"
+
+// The C1–C5 synthetic benchmarks mirror the evaluation setup of the
+// paper (Table III): automatically generated circuits from 50K to 0.5M
+// devices. Seeds are fixed so every run analyzes the same designs.
+
+// C1 returns the 50K-device synthetic benchmark.
+func C1() *Design { return mustSynthetic("C1", 8, 50_000, 101) }
+
+// C2 returns the 80K-device synthetic benchmark.
+func C2() *Design { return mustSynthetic("C2", 10, 80_000, 102) }
+
+// C3 returns the 0.1M-device synthetic benchmark.
+func C3() *Design { return mustSynthetic("C3", 12, 100_000, 103) }
+
+// C4 returns the 0.2M-device synthetic benchmark.
+func C4() *Design { return mustSynthetic("C4", 12, 200_000, 104) }
+
+// C5 returns the 0.5M-device synthetic benchmark.
+func C5() *Design { return mustSynthetic("C5", 14, 500_000, 105) }
+
+func mustSynthetic(name string, blocks, devices int, seed int64) *Design {
+	d, err := Synthetic(name, blocks, devices, seed)
+	if err != nil {
+		panic(fmt.Sprintf("floorplan: benchmark %s: %v", name, err))
+	}
+	return d
+}
+
+// C6 returns the EV6/alpha-like processor benchmark: 15 functional
+// modules, ~0.84M devices, matching the paper's design C6. The module
+// list follows the classic Alpha 21264 floorplan that HotSpot ships as
+// its default example (icache/dcache, branch predictor, TLBs, integer
+// and floating-point clusters, load/store queue).
+func C6() *Design {
+	d := &Design{
+		Name: "C6",
+		W:    1, H: 1,
+		Blocks: []Block{
+			// Bottom band: the two first-level caches.
+			{Name: "icache", X: 0.00, Y: 0.00, W: 0.50, H: 0.30, Devices: 180_000, Class: ClassCache, Activity: 0.25},
+			{Name: "dcache", X: 0.50, Y: 0.00, W: 0.50, H: 0.30, Devices: 200_000, Class: ClassCache, Activity: 0.28},
+			// Front end and memory pipes.
+			{Name: "bpred", X: 0.00, Y: 0.30, W: 0.25, H: 0.15, Devices: 50_000, Class: ClassControl, Activity: 0.45},
+			{Name: "itb", X: 0.25, Y: 0.30, W: 0.20, H: 0.15, Devices: 15_000, Class: ClassControl, Activity: 0.30},
+			{Name: "dtb", X: 0.45, Y: 0.30, W: 0.25, H: 0.15, Devices: 15_000, Class: ClassControl, Activity: 0.30},
+			{Name: "ldstq", X: 0.70, Y: 0.30, W: 0.30, H: 0.15, Devices: 60_000, Class: ClassQueue, Activity: 0.60},
+			// Integer cluster.
+			{Name: "intreg", X: 0.00, Y: 0.45, W: 0.30, H: 0.25, Devices: 40_000, Class: ClassRegFile, Activity: 0.55},
+			{Name: "intexec", X: 0.30, Y: 0.45, W: 0.35, H: 0.25, Devices: 70_000, Class: ClassALU, Activity: 0.90},
+			{Name: "intq", X: 0.65, Y: 0.45, W: 0.20, H: 0.25, Devices: 30_000, Class: ClassQueue, Activity: 0.45},
+			{Name: "intmap", X: 0.85, Y: 0.45, W: 0.15, H: 0.25, Devices: 20_000, Class: ClassControl, Activity: 0.40},
+			// Floating-point cluster.
+			{Name: "fpreg", X: 0.00, Y: 0.70, W: 0.25, H: 0.30, Devices: 30_000, Class: ClassRegFile, Activity: 0.35},
+			{Name: "fpadd", X: 0.25, Y: 0.70, W: 0.25, H: 0.30, Devices: 45_000, Class: ClassFPU, Activity: 0.45},
+			{Name: "fpmul", X: 0.50, Y: 0.70, W: 0.25, H: 0.30, Devices: 45_000, Class: ClassFPU, Activity: 0.42},
+			{Name: "fpq", X: 0.75, Y: 0.70, W: 0.15, H: 0.30, Devices: 25_000, Class: ClassQueue, Activity: 0.40},
+			{Name: "fpmap", X: 0.90, Y: 0.70, W: 0.10, H: 0.30, Devices: 15_000, Class: ClassControl, Activity: 0.35},
+		},
+	}
+	if err := d.Validate(); err != nil {
+		panic(fmt.Sprintf("floorplan: benchmark C6: %v", err))
+	}
+	return d
+}
+
+// ManyCore returns a tiled many-core design in the style of the
+// Fig. 1(b) thermal profile: cores×cores tiles, each split into a hot
+// compute core and its cooler private cache. devicesPerTile devices
+// are split 40/60 between core and cache.
+func ManyCore(cores, devicesPerTile int) (*Design, error) {
+	if cores <= 0 || devicesPerTile < 2 {
+		return nil, fmt.Errorf("floorplan: invalid many-core parameters cores=%d devicesPerTile=%d", cores, devicesPerTile)
+	}
+	d := &Design{Name: fmt.Sprintf("manycore%dx%d", cores, cores), W: 1, H: 1}
+	tile := 1.0 / float64(cores)
+	coreDev := devicesPerTile * 2 / 5
+	if coreDev < 1 {
+		coreDev = 1
+	}
+	cacheDev := devicesPerTile - coreDev
+	if cacheDev < 1 {
+		cacheDev = 1
+	}
+	for iy := 0; iy < cores; iy++ {
+		for ix := 0; ix < cores; ix++ {
+			x := float64(ix) * tile
+			y := float64(iy) * tile
+			// Core occupies the lower 45% of the tile, cache the rest.
+			d.Blocks = append(d.Blocks,
+				Block{
+					Name: fmt.Sprintf("core_%d_%d", ix, iy),
+					X:    x, Y: y, W: tile, H: tile * 0.45,
+					Devices: coreDev, Class: ClassALU, Activity: 0.85,
+				},
+				Block{
+					Name: fmt.Sprintf("l1_%d_%d", ix, iy),
+					X:    x, Y: y + tile*0.45, W: tile, H: tile * 0.55,
+					Devices: cacheDev, Class: ClassCache, Activity: 0.25,
+				},
+			)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

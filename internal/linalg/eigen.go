@@ -1,0 +1,307 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// EigenSym computes the eigendecomposition of a symmetric matrix a:
+// a = V · diag(values) · Vᵀ with orthonormal columns in V. Eigenvalues
+// are returned in descending order. The input is not modified.
+//
+// The implementation is the classical Householder tridiagonalization
+// (tred2) followed by implicit-shift QL iteration (tql2), the same
+// pair EISPACK and Numerical Recipes use; it is O(n³) with a small
+// constant and handles the few-hundred-row covariance matrices of the
+// spatial-correlation model in well under a second.
+func EigenSym(a *Matrix) (values []float64, vectors *Matrix, err error) {
+	if a.Rows != a.Cols {
+		return nil, nil, errors.New("linalg: EigenSym requires a square matrix")
+	}
+	if !a.IsSymmetric(1e-9 * (1 + maxAbs(a))) {
+		return nil, nil, errors.New("linalg: EigenSym requires a symmetric matrix")
+	}
+	n := a.Rows
+	v := a.Clone()
+	d := make([]float64, n)
+	e := make([]float64, n)
+	tred2(v, d, e)
+	if err := tql2(v, d, e); err != nil {
+		return nil, nil, err
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool { return d[idx[x]] > d[idx[y]] })
+	values = make([]float64, n)
+	vectors = NewMatrix(n, n)
+	for newCol, oldCol := range idx {
+		values[newCol] = d[oldCol]
+		for r := 0; r < n; r++ {
+			vectors.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return values, vectors, nil
+}
+
+func maxAbs(a *Matrix) float64 {
+	m := 0.0
+	for _, x := range a.Data {
+		if ax := math.Abs(x); ax > m {
+			m = ax
+		}
+	}
+	return m
+}
+
+// tred2 reduces the symmetric matrix stored in v to tridiagonal form
+// by Householder similarity transformations, accumulating the
+// transformations in v. On return d holds the diagonal and e the
+// subdiagonal (e[0] unused).
+func tred2(v *Matrix, d, e []float64) {
+	n := v.Rows
+	for j := 0; j < n; j++ {
+		d[j] = v.At(n-1, j)
+	}
+	for i := n - 1; i > 0; i-- {
+		scale, h := 0.0, 0.0
+		if i > 1 {
+			for k := 0; k < i; k++ {
+				scale += math.Abs(d[k])
+			}
+		}
+		if scale == 0 {
+			e[i] = d[i-1]
+			for j := 0; j < i; j++ {
+				d[j] = v.At(i-1, j)
+				v.Set(i, j, 0)
+				v.Set(j, i, 0)
+			}
+		} else {
+			for k := 0; k < i; k++ {
+				d[k] /= scale
+				h += d[k] * d[k]
+			}
+			f := d[i-1]
+			g := math.Sqrt(h)
+			if f > 0 {
+				g = -g
+			}
+			e[i] = scale * g
+			h -= f * g
+			d[i-1] = f - g
+			for j := 0; j < i; j++ {
+				e[j] = 0
+			}
+			for j := 0; j < i; j++ {
+				f = d[j]
+				v.Set(j, i, f)
+				g = e[j] + v.At(j, j)*f
+				for k := j + 1; k <= i-1; k++ {
+					g += v.At(k, j) * d[k]
+					e[k] += v.At(k, j) * f
+				}
+				e[j] = g
+			}
+			f = 0
+			for j := 0; j < i; j++ {
+				e[j] /= h
+				f += e[j] * d[j]
+			}
+			hh := f / (h + h)
+			for j := 0; j < i; j++ {
+				e[j] -= hh * d[j]
+			}
+			for j := 0; j < i; j++ {
+				f = d[j]
+				g = e[j]
+				for k := j; k <= i-1; k++ {
+					v.Set(k, j, v.At(k, j)-(f*e[k]+g*d[k]))
+				}
+				d[j] = v.At(i-1, j)
+				v.Set(i, j, 0)
+			}
+		}
+		d[i] = h
+	}
+	for i := 0; i < n-1; i++ {
+		v.Set(n-1, i, v.At(i, i))
+		v.Set(i, i, 1)
+		h := d[i+1]
+		if h != 0 {
+			for k := 0; k <= i; k++ {
+				d[k] = v.At(k, i+1) / h
+			}
+			for j := 0; j <= i; j++ {
+				g := 0.0
+				for k := 0; k <= i; k++ {
+					g += v.At(k, i+1) * v.At(k, j)
+				}
+				for k := 0; k <= i; k++ {
+					v.Set(k, j, v.At(k, j)-g*d[k])
+				}
+			}
+		}
+		for k := 0; k <= i; k++ {
+			v.Set(k, i+1, 0)
+		}
+	}
+	for j := 0; j < n; j++ {
+		d[j] = v.At(n-1, j)
+		v.Set(n-1, j, 0)
+	}
+	v.Set(n-1, n-1, 1)
+	e[0] = 0
+}
+
+// tql2 diagonalizes the tridiagonal matrix (d, e) by implicit-shift QL
+// iteration, accumulating eigenvectors into v.
+func tql2(v *Matrix, d, e []float64) error {
+	n := v.Rows
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+	f, tst1 := 0.0, 0.0
+	const eps = 2.220446049250313e-16
+	for l := 0; l < n; l++ {
+		tst1 = math.Max(tst1, math.Abs(d[l])+math.Abs(e[l]))
+		m := l
+		for m < n {
+			if math.Abs(e[m]) <= eps*tst1 {
+				break
+			}
+			m++
+		}
+		if m > l {
+			for iter := 0; ; iter++ {
+				if iter >= 100 {
+					return errors.New("linalg: QL iteration did not converge")
+				}
+				g := d[l]
+				p := (d[l+1] - g) / (2 * e[l])
+				r := math.Hypot(p, 1)
+				if p < 0 {
+					r = -r
+				}
+				d[l] = e[l] / (p + r)
+				d[l+1] = e[l] * (p + r)
+				dl1 := d[l+1]
+				h := g - d[l]
+				for i := l + 2; i < n; i++ {
+					d[i] -= h
+				}
+				f += h
+				p = d[m]
+				c, c2, c3 := 1.0, 1.0, 1.0
+				el1 := e[l+1]
+				s, s2 := 0.0, 0.0
+				for i := m - 1; i >= l; i-- {
+					c3 = c2
+					c2 = c
+					s2 = s
+					g = c * e[i]
+					h = c * p
+					r = math.Hypot(p, e[i])
+					e[i+1] = s * r
+					s = e[i] / r
+					c = p / r
+					p = c*d[i] - s*g
+					d[i+1] = h + s*(c*g+s*d[i])
+					for k := 0; k < n; k++ {
+						h = v.At(k, i+1)
+						v.Set(k, i+1, s*v.At(k, i)+c*h)
+						v.Set(k, i, c*v.At(k, i)-s*h)
+					}
+				}
+				p = -s * s2 * c3 * el1 * e[l] / dl1
+				e[l] = s * p
+				d[l] = c * p
+				if math.Abs(e[l]) <= eps*tst1 {
+					break
+				}
+			}
+		}
+		d[l] += f
+		e[l] = 0
+	}
+	return nil
+}
+
+// JacobiEigenSym computes the eigendecomposition of a small symmetric
+// matrix by cyclic Jacobi rotations. It is slower than EigenSym but
+// independent of it, so the two serve as cross-checks in tests.
+// Eigenvalues are returned in descending order.
+func JacobiEigenSym(a *Matrix, maxSweeps int) (values []float64, vectors *Matrix, err error) {
+	if a.Rows != a.Cols {
+		return nil, nil, errors.New("linalg: JacobiEigenSym requires a square matrix")
+	}
+	n := a.Rows
+	m := a.Clone()
+	v := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m.At(i, j) * m.At(i, j)
+			}
+		}
+		if off < 1e-22*float64(n*n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				theta := (m.At(q, q) - m.At(p, p)) / (2 * apq)
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					akp, akq := m.At(k, p), m.At(k, q)
+					m.Set(k, p, c*akp-s*akq)
+					m.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := m.At(p, k), m.At(q, k)
+					m.Set(p, k, c*apk-s*aqk)
+					m.Set(q, k, s*apk+c*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d[i] = m.At(i, i)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool { return d[idx[x]] > d[idx[y]] })
+	values = make([]float64, n)
+	vectors = NewMatrix(n, n)
+	for newCol, oldCol := range idx {
+		values[newCol] = d[oldCol]
+		for r := 0; r < n; r++ {
+			vectors.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return values, vectors, nil
+}

@@ -1,0 +1,289 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomSPD builds a random symmetric positive-definite matrix
+// A = MᵀM + n·I.
+func randomSPD(n int, rng *rand.Rand) *Matrix {
+	m := NewMatrix(n, n)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	a := m.Transpose().Mul(m)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	return a
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	if m.At(1, 2) != 6 {
+		t.Errorf("At(1,2) = %v", m.At(1, 2))
+	}
+	m.Set(0, 0, 9)
+	if m.At(0, 0) != 9 {
+		t.Error("Set failed")
+	}
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 1) != 6 {
+		t.Errorf("Transpose wrong: %+v", tr)
+	}
+	c := m.Clone()
+	c.Set(0, 0, -1)
+	if m.At(0, 0) != 9 {
+		t.Error("Clone is not deep")
+	}
+}
+
+func TestMatrixPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("NewMatrix(0,1)", func() { NewMatrix(0, 1) })
+	mustPanic("NewMatrixFrom short", func() { NewMatrixFrom(2, 2, []float64{1}) })
+	mustPanic("Mul mismatch", func() {
+		NewMatrix(2, 3).Mul(NewMatrix(2, 3))
+	})
+	mustPanic("MulVec mismatch", func() {
+		NewMatrix(2, 3).MulVec([]float64{1})
+	})
+}
+
+func TestMulAgainstHand(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	b := NewMatrixFrom(2, 2, []float64{5, 6, 7, 8})
+	got := a.Mul(b)
+	want := NewMatrixFrom(2, 2, []float64{19, 22, 43, 50})
+	if got.MaxAbsDiff(want) > 1e-15 {
+		t.Errorf("Mul = %+v", got)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	got := a.MulVec([]float64{1, 0, -1})
+	if got[0] != -2 || got[1] != -2 {
+		t.Errorf("MulVec = %v", got)
+	}
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 5, 20, 60} {
+		a := randomSPD(n, rng)
+		l, err := Cholesky(a, 0)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		rec := l.Mul(l.Transpose())
+		if d := rec.MaxAbsDiff(a); d > 1e-8*float64(n) {
+			t.Errorf("n=%d: reconstruction error %v", n, d)
+		}
+		// Strictly upper triangle must be zero.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if l.At(i, j) != 0 {
+					t.Fatalf("n=%d: upper triangle not zero at (%d,%d)", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, -1
+	if _, err := Cholesky(a, 0); err != ErrNotPositiveDefinite {
+		t.Errorf("expected ErrNotPositiveDefinite, got %v", err)
+	}
+	if _, err := Cholesky(NewMatrix(2, 3), 0); err == nil {
+		t.Error("non-square should error")
+	}
+}
+
+func TestCholeskyJitterRescuesSemiDefinite(t *testing.T) {
+	// Rank-1 PSD matrix; plain Cholesky fails, jitter succeeds.
+	a := NewMatrixFrom(2, 2, []float64{1, 1, 1, 1})
+	if _, err := Cholesky(a, 0); err == nil {
+		t.Fatal("rank-1 matrix should fail without jitter")
+	}
+	if _, err := Cholesky(a, 1e-10); err != nil {
+		t.Fatalf("jittered factorization failed: %v", err)
+	}
+}
+
+func checkEigen(t *testing.T, a *Matrix, vals []float64, vecs *Matrix, tol float64) {
+	t.Helper()
+	n := a.Rows
+	// A·v_k = λ_k v_k for every eigenpair.
+	for k := 0; k < n; k++ {
+		v := make([]float64, n)
+		for i := 0; i < n; i++ {
+			v[i] = vecs.At(i, k)
+		}
+		av := a.MulVec(v)
+		for i := 0; i < n; i++ {
+			if math.Abs(av[i]-vals[k]*v[i]) > tol {
+				t.Fatalf("eigenpair %d violates A·v=λv: residual %v", k, av[i]-vals[k]*v[i])
+			}
+		}
+	}
+	// Orthonormality VᵀV = I.
+	vtv := vecs.Transpose().Mul(vecs)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(vtv.At(i, j)-want) > tol {
+				t.Fatalf("VᵀV[%d,%d] = %v", i, j, vtv.At(i, j))
+			}
+		}
+	}
+	// Descending order.
+	for k := 1; k < n; k++ {
+		if vals[k] > vals[k-1]+tol {
+			t.Fatalf("eigenvalues not descending: %v", vals)
+		}
+	}
+}
+
+func TestEigenSymKnown2x2(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{2, 1, 1, 2})
+	vals, vecs, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-3) > 1e-12 || math.Abs(vals[1]-1) > 1e-12 {
+		t.Errorf("eigenvalues = %v, want [3 1]", vals)
+	}
+	checkEigen(t, a, vals, vecs, 1e-10)
+}
+
+func TestEigenSymRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 3, 10, 40, 100} {
+		a := randomSPD(n, rng)
+		vals, vecs, err := EigenSym(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		checkEigen(t, a, vals, vecs, 1e-7*float64(n))
+	}
+}
+
+func TestEigenSymDiagonal(t *testing.T) {
+	a := NewMatrixFrom(3, 3, []float64{5, 0, 0, 0, -2, 0, 0, 0, 1})
+	vals, vecs, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 1, -2}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-12 {
+			t.Errorf("vals = %v, want %v", vals, want)
+		}
+	}
+	checkEigen(t, a, vals, vecs, 1e-12)
+}
+
+func TestEigenSymRejectsAsymmetric(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 5, 0, 1})
+	if _, _, err := EigenSym(a); err == nil {
+		t.Error("asymmetric matrix should error")
+	}
+	if _, _, err := EigenSym(NewMatrix(2, 3)); err == nil {
+		t.Error("non-square matrix should error")
+	}
+}
+
+func TestJacobiMatchesQL(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{2, 5, 15} {
+		a := randomSPD(n, rng)
+		v1, _, err := EigenSym(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, vecs2, err := JacobiEigenSym(a, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range v1 {
+			if math.Abs(v1[i]-v2[i]) > 1e-8*(1+math.Abs(v1[i])) {
+				t.Errorf("n=%d eigenvalue %d: QL %v vs Jacobi %v", n, i, v1[i], v2[i])
+			}
+		}
+		checkEigen(t, a, v2, vecs2, 1e-8*float64(n))
+	}
+}
+
+// TestEigenTraceProperty checks trace(A) = Σλ and trace(A²) = Σλ² on
+// random symmetric (not necessarily definite) matrices.
+func TestEigenTraceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				x := rng.NormFloat64()
+				a.Set(i, j, x)
+				a.Set(j, i, x)
+			}
+		}
+		vals, _, err := EigenSym(a)
+		if err != nil {
+			return false
+		}
+		tr, tr2 := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			tr += a.At(i, i)
+			for j := 0; j < n; j++ {
+				tr2 += a.At(i, j) * a.At(j, i)
+			}
+		}
+		s, s2 := 0.0, 0.0
+		for _, l := range vals {
+			s += l
+			s2 += l * l
+		}
+		return math.Abs(tr-s) < 1e-9*float64(n) && math.Abs(tr2-s2) < 1e-8*float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEigenSym100(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomSPD(100, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := EigenSym(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCholesky100(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomSPD(100, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cholesky(a, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	d := math.Abs(a - b)
+	if d <= tol {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= tol*m
+}
+
+func TestNormPDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.3989422804014327},
+		{1, 0.24197072451914337},
+		{-1, 0.24197072451914337},
+		{2, 0.05399096651318806},
+		{3.5, 0.0008726826950457602},
+	}
+	for _, c := range cases {
+		if got := NormPDF(c.x); !almostEqual(got, c.want, 1e-14) {
+			t.Errorf("NormPDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormCDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145705},
+		{1.959963984540054, 0.975},
+		{-3, 0.0013498980316300933},
+		{6, 0.9999999990134123},
+	}
+	for _, c := range cases {
+		if got := NormCDF(c.x); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("NormCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormCDFMonotone(t *testing.T) {
+	prev := NormCDF(-10)
+	for x := -10.0; x <= 10; x += 0.01 {
+		cur := NormCDF(x)
+		if cur < prev {
+			t.Fatalf("NormCDF not monotone at x=%v: %v < %v", x, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestNormQuantileInvertsCDF(t *testing.T) {
+	for _, p := range []float64{1e-9, 1e-6, 0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1 - 1e-6} {
+		x := NormQuantile(p)
+		if got := NormCDF(x); !almostEqual(got, p, 1e-10) {
+			t.Errorf("NormCDF(NormQuantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestNormQuantileEdges(t *testing.T) {
+	if !math.IsInf(NormQuantile(0), -1) {
+		t.Error("NormQuantile(0) should be -Inf")
+	}
+	if !math.IsInf(NormQuantile(1), 1) {
+		t.Error("NormQuantile(1) should be +Inf")
+	}
+	for _, p := range []float64{-0.5, 1.5, math.NaN()} {
+		if !math.IsNaN(NormQuantile(p)) {
+			t.Errorf("NormQuantile(%v) should be NaN", p)
+		}
+	}
+	if q := NormQuantile(0.5); math.Abs(q) > 1e-15 {
+		t.Errorf("NormQuantile(0.5) = %v, want 0", q)
+	}
+}
+
+func TestNormQuantileSymmetryProperty(t *testing.T) {
+	f := func(raw float64) bool {
+		p := math.Abs(math.Mod(raw, 1))
+		if p <= 0 || p >= 1 || p == 0.5 {
+			return true
+		}
+		return almostEqual(NormQuantile(p), -NormQuantile(1-p), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGammaPKnownValues(t *testing.T) {
+	// Reference values from the identity P(1, x) = 1 - exp(-x) and
+	// P(1/2, x) = erf(sqrt(x)).
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		got, err := GammaP(1, x)
+		if err != nil {
+			t.Fatalf("GammaP(1,%v): %v", x, err)
+		}
+		if want := 1 - math.Exp(-x); !almostEqual(got, want, 1e-12) {
+			t.Errorf("GammaP(1,%v) = %v, want %v", x, got, want)
+		}
+		got, err = GammaP(0.5, x)
+		if err != nil {
+			t.Fatalf("GammaP(0.5,%v): %v", x, err)
+		}
+		if want := math.Erf(math.Sqrt(x)); !almostEqual(got, want, 1e-12) {
+			t.Errorf("GammaP(0.5,%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestGammaPEdges(t *testing.T) {
+	if p, err := GammaP(3, 0); err != nil || p != 0 {
+		t.Errorf("GammaP(3,0) = %v, %v; want 0, nil", p, err)
+	}
+	if p, err := GammaP(3, math.Inf(1)); err != nil || p != 1 {
+		t.Errorf("GammaP(3,+Inf) = %v, %v; want 1, nil", p, err)
+	}
+	if _, err := GammaP(-1, 2); err == nil {
+		t.Error("GammaP(-1,2) should error")
+	}
+	if _, err := GammaP(1, -2); err == nil {
+		t.Error("GammaP(1,-2) should error")
+	}
+}
+
+func TestGammaPQComplementProperty(t *testing.T) {
+	f := func(ra, rx float64) bool {
+		a := 0.1 + math.Abs(math.Mod(ra, 50))
+		x := math.Abs(math.Mod(rx, 100))
+		p, err1 := GammaP(a, x)
+		q, err2 := GammaQ(a, x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqual(p+q, 1, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGammaPMonotoneInX(t *testing.T) {
+	for _, a := range []float64{0.5, 1, 2.5, 7, 30} {
+		prev := -1.0
+		for x := 0.0; x < 4*a+20; x += 0.25 {
+			p, err := GammaP(a, x)
+			if err != nil {
+				t.Fatalf("GammaP(%v,%v): %v", a, x, err)
+			}
+			if p < prev-1e-13 {
+				t.Fatalf("GammaP(%v,·) not monotone at x=%v", a, x)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestBisect(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(root, math.Sqrt2, 1e-10) {
+		t.Errorf("Bisect sqrt(2) = %v", root)
+	}
+	// Root at an endpoint.
+	root, err = Bisect(func(x float64) float64 { return x }, 0, 5, 1e-12, 200)
+	if err != nil || root != 0 {
+		t.Errorf("Bisect endpoint root = %v, %v", root, err)
+	}
+	// No sign change must error.
+	if _, err := Bisect(func(x float64) float64 { return 1 + x*x }, -1, 1, 1e-12, 200); err == nil {
+		t.Error("Bisect without sign change should error")
+	}
+}
+
+func TestBisectDecreasingFunction(t *testing.T) {
+	// Bisect must also handle f decreasing over the bracket.
+	root, err := Bisect(func(x float64) float64 { return 3 - x }, 0, 10, 1e-12, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(root, 3, 1e-10) {
+		t.Errorf("Bisect decreasing root = %v, want 3", root)
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{0, 0, math.Log(2)},
+		{1000, 1000, 1000 + math.Log(2)},
+		{-1000, 0, math.Log(1 + math.Exp(-1000))},
+		{math.Inf(-1), 3, 3},
+		{3, math.Inf(-1), 3},
+	}
+	for _, c := range cases {
+		if got := LogSumExp(c.a, c.b); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("LogSumExp(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+func BenchmarkNormQuantile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		NormQuantile(0.3 + 0.4*float64(i%2))
+	}
+}
+
+func BenchmarkGammaP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := GammaP(12.5, 10+float64(i%5)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

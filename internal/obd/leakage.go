@@ -1,0 +1,129 @@
+package obd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LeakagePoint is one sample of a stressed device's gate-leakage
+// trace.
+type LeakagePoint struct {
+	// TimeS is the stress time in seconds.
+	TimeS float64
+	// CurrentA is the gate leakage in amperes.
+	CurrentA float64
+}
+
+// LeakageTrace is the simulated gate-leakage history of one stressed
+// device: the Fig. 3 measurement. Fresh-oxide direct tunneling slowly
+// rises through stress-induced leakage (SILC), jumps at the soft
+// breakdown (SBD), then grows monotonically through progressive
+// wear-out until the hard breakdown (HBD).
+type LeakageTrace struct {
+	Points []LeakagePoint
+	// TSBDs and THBDs are the soft and hard breakdown times (s).
+	TSBDs, THBDs float64
+	// I0 is the fresh-device leakage (A); ISBD the leakage right
+	// after soft breakdown.
+	I0, ISBD float64
+}
+
+// LeakageConfig parameterizes the trace simulation.
+type LeakageConfig struct {
+	// StressV is the stress voltage (V) and StressTC the stress
+	// temperature (°C). The Fig. 3 condition is 3.1 V, 100 °C.
+	StressV  float64
+	StressTC float64
+	// Thickness is the device oxide thickness (nm).
+	Thickness float64
+	// Area is the normalized device area.
+	Area float64
+	// Points is the number of trace samples (default 400).
+	Points int
+}
+
+// DefaultLeakageConfig returns the Fig. 3 stress condition on a
+// nominal device.
+func DefaultLeakageConfig() LeakageConfig {
+	return LeakageConfig{
+		StressV:   3.1,
+		StressTC:  100,
+		Thickness: 2.2,
+		Area:      1,
+		Points:    400,
+	}
+}
+
+// SimulateLeakageTrace generates one device's stress history. The SBD
+// time is sampled from the Weibull OBD model at the stress condition;
+// the post-SBD wear-out time constant scales with the SBD time, as
+// observed in successive-breakdown statistics [28]: the time between
+// breakdowns is itself a (shorter) statistically distributed quantity.
+func (tech *Tech) SimulateLeakageTrace(cfg LeakageConfig, rng *rand.Rand) (*LeakageTrace, error) {
+	if rng == nil {
+		return nil, errors.New("obd: SimulateLeakageTrace requires an RNG")
+	}
+	if cfg.Points <= 1 {
+		cfg.Points = 400
+	}
+	if !(cfg.Thickness > 0) || !(cfg.Area > 0) {
+		return nil, fmt.Errorf("obd: invalid stress device thickness=%v area=%v", cfg.Thickness, cfg.Area)
+	}
+	p, err := tech.Characterize(cfg.StressTC, cfg.StressV)
+	if err != nil {
+		return nil, err
+	}
+	// Sample the SBD time (convert the model's hours to seconds).
+	u := rng.Float64()
+	for u == 0 || u == 1 {
+		u = rng.Float64()
+	}
+	tSBD := p.SampleFailureTime(u, cfg.Thickness, cfg.Area) * 3600
+
+	// Fresh-device direct-tunneling leakage: exponential in thickness
+	// and voltage (WKB-style sensitivity ~6 decades/nm), normalized to
+	// ~1 nA for the nominal device at the Fig. 3 stress.
+	i0 := 1e-9 * cfg.Area *
+		math.Exp(-6.5*(cfg.Thickness-2.2)*math.Ln10) *
+		math.Exp(2.0*(cfg.StressV-3.1))
+
+	// SBD multiplies the leakage by 10–20× (Section III).
+	sbdJump := 10 + 10*rng.Float64()
+	iSBD := i0 * sbdJump
+
+	// Progressive wear-out: I grows as a power law of time past SBD
+	// until the HBD criterion (leakage 1000× the fresh device) is
+	// met. The wear-out time constant is a random fraction of tSBD.
+	tau := tSBD * (0.2 + 0.6*rng.Float64())
+	growth := 2.5 // wear-out exponent
+	ratioHBD := 1000.0
+	// Solve iSBD·(1 + ((t-tSBD)/tau)^growth) = ratioHBD·i0 for t.
+	tHBD := tSBD + tau*math.Pow(ratioHBD*i0/iSBD-1, 1/growth)
+
+	trace := &LeakageTrace{TSBDs: tSBD, THBDs: tHBD, I0: i0, ISBD: iSBD}
+	// Log-spaced sampling from 1 s to a little past HBD.
+	t0 := 1.0
+	t1 := tHBD * 1.2
+	if t1 <= t0 {
+		t1 = t0 * 10
+	}
+	logStep := math.Log(t1/t0) / float64(cfg.Points-1)
+	for i := 0; i < cfg.Points; i++ {
+		t := t0 * math.Exp(float64(i)*logStep)
+		var cur float64
+		switch {
+		case t < tSBD:
+			// SILC: a gentle sub-linear pre-breakdown drift.
+			cur = i0 * (1 + 0.5*math.Sqrt(t/tSBD))
+		case t < tHBD:
+			cur = iSBD * (1 + math.Pow((t-tSBD)/tau, growth))
+		default:
+			// Post-HBD ohmic conduction: several orders above fresh.
+			cur = ratioHBD * i0 * 20
+		}
+		trace.Points = append(trace.Points, LeakagePoint{TimeS: t, CurrentA: cur})
+	}
+	return trace, nil
+}

@@ -1,0 +1,111 @@
+package obd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLeakageTraceShape(t *testing.T) {
+	tech := DefaultTech()
+	rng := rand.New(rand.NewSource(3))
+	tr, err := tech.SimulateLeakageTrace(DefaultLeakageConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Points) != 400 {
+		t.Fatalf("points = %d", len(tr.Points))
+	}
+	if !(tr.TSBDs > 0 && tr.THBDs > tr.TSBDs) {
+		t.Fatalf("breakdown ordering: SBD %v, HBD %v", tr.TSBDs, tr.THBDs)
+	}
+	// The SBD jump is 10–20× (Section III).
+	jump := tr.ISBD / tr.I0
+	if jump < 10 || jump > 20 {
+		t.Errorf("SBD jump = %v×, want 10–20×", jump)
+	}
+	// The trace is non-decreasing (gate leakage only grows under
+	// stress) and ends orders of magnitude above the fresh level.
+	prev := 0.0
+	for _, pt := range tr.Points {
+		if pt.CurrentA < prev*(1-1e-9) {
+			t.Fatalf("leakage decreased at t=%v", pt.TimeS)
+		}
+		prev = pt.CurrentA
+	}
+	last := tr.Points[len(tr.Points)-1].CurrentA
+	if last < 1000*tr.I0 {
+		t.Errorf("final leakage %v not ≥ 1000× fresh %v", last, tr.I0)
+	}
+	// Time axis is increasing.
+	for i := 1; i < len(tr.Points); i++ {
+		if tr.Points[i].TimeS <= tr.Points[i-1].TimeS {
+			t.Fatal("time axis not increasing")
+		}
+	}
+}
+
+func TestLeakageTraceStressScale(t *testing.T) {
+	// At the Fig. 3 condition the SBD typically lands between 10² and
+	// 10⁶ seconds; check a few seeds stay in a generous envelope.
+	tech := DefaultTech()
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tr, err := tech.SimulateLeakageTrace(DefaultLeakageConfig(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.TSBDs < 1 || tr.TSBDs > 1e8 {
+			t.Errorf("seed %d: SBD at %v s, implausible", seed, tr.TSBDs)
+		}
+	}
+}
+
+func TestLeakageTraceValidation(t *testing.T) {
+	tech := DefaultTech()
+	if _, err := tech.SimulateLeakageTrace(DefaultLeakageConfig(), nil); err == nil {
+		t.Error("nil RNG should error")
+	}
+	cfg := DefaultLeakageConfig()
+	cfg.Thickness = 0
+	if _, err := tech.SimulateLeakageTrace(cfg, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero thickness should error")
+	}
+	cfg = DefaultLeakageConfig()
+	cfg.Area = -1
+	if _, err := tech.SimulateLeakageTrace(cfg, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("negative area should error")
+	}
+}
+
+func TestLeakageTraceDefaultPoints(t *testing.T) {
+	tech := DefaultTech()
+	cfg := DefaultLeakageConfig()
+	cfg.Points = 0 // should fall back to 400
+	tr, err := tech.SimulateLeakageTrace(cfg, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Points) != 400 {
+		t.Errorf("default points = %d", len(tr.Points))
+	}
+}
+
+func TestLeakageThicknessSensitivity(t *testing.T) {
+	// Thinner oxide leaks more when fresh.
+	tech := DefaultTech()
+	thin := DefaultLeakageConfig()
+	thin.Thickness = 2.0
+	thick := DefaultLeakageConfig()
+	thick.Thickness = 2.4
+	trThin, err := tech.SimulateLeakageTrace(thin, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trThick, err := tech.SimulateLeakageTrace(thick, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(trThin.I0 > trThick.I0*100) {
+		t.Errorf("fresh leakage not strongly thickness-sensitive: %v vs %v", trThin.I0, trThick.I0)
+	}
+}

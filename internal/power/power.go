@@ -1,0 +1,125 @@
+// Package power estimates per-block power in the spirit of Wattch
+// [35]: an activity-based dynamic component per block class plus a
+// temperature-dependent leakage component. The reliability analysis
+// does not need cycle accuracy — it needs a plausible per-block
+// power map to drive the thermal solver, which in turn produces the
+// block-structured temperature profiles (Fig. 1) that define the
+// reliability blocks.
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"obdrel/internal/floorplan"
+)
+
+// Model holds the power-density coefficients. Lengths use the
+// floorplan's normalized unit (the reference chip is 1×1), so
+// densities are watts per unit chip area.
+type Model struct {
+	// VNom is the supply voltage the dynamic densities are quoted at.
+	VNom float64
+	// DynDensity maps block class to dynamic power density at VNom
+	// and activity 1 (W per unit area).
+	DynDensity map[floorplan.Class]float64
+	// LeakDensity0 is the leakage power density at TRef (W per unit
+	// area).
+	LeakDensity0 float64
+	// LeakTCoeff is the exponential temperature coefficient of
+	// leakage (1/K); leakage doubles every ln(2)/LeakTCoeff kelvin.
+	LeakTCoeff float64
+	// TRef is the leakage reference temperature (°C).
+	TRef float64
+}
+
+// Default returns the calibrated model used by the benchmarks: a
+// high-performance 45 nm-class design drawing a few tens of watts on
+// the normalized 1×1 die, with execution units an order of magnitude
+// denser in power than caches — the contrast that creates the
+// hotspots of Fig. 1.
+func Default() *Model {
+	return &Model{
+		VNom: 1.2,
+		DynDensity: map[floorplan.Class]float64{
+			floorplan.ClassALU:     112,
+			floorplan.ClassFPU:     90,
+			floorplan.ClassRegFile: 60,
+			floorplan.ClassQueue:   45,
+			floorplan.ClassControl: 40,
+			floorplan.ClassCache:   25,
+		},
+		LeakDensity0: 4,
+		LeakTCoeff:   math.Ln2 / 30, // leakage doubles every 30 K
+		TRef:         45,
+	}
+}
+
+// Validate checks the model's coefficients.
+func (m *Model) Validate() error {
+	if !(m.VNom > 0) {
+		return fmt.Errorf("power: nominal voltage must be positive, got %v", m.VNom)
+	}
+	if len(m.DynDensity) == 0 {
+		return fmt.Errorf("power: no dynamic densities configured")
+	}
+	for c, d := range m.DynDensity {
+		if d < 0 {
+			return fmt.Errorf("power: negative dynamic density for class %v", c)
+		}
+	}
+	if m.LeakDensity0 < 0 || m.LeakTCoeff < 0 {
+		return fmt.Errorf("power: negative leakage parameters")
+	}
+	return nil
+}
+
+// Dynamic returns the block's dynamic power at supply voltage v:
+// density · area · activity · (v/VNom)². The quadratic voltage
+// dependence is the α·C·V²·f switching-power law with activity and
+// frequency folded into the density.
+func (m *Model) Dynamic(b *floorplan.Block, v float64) float64 {
+	d, ok := m.DynDensity[b.Class]
+	if !ok {
+		d = m.DynDensity[floorplan.ClassControl]
+	}
+	s := v / m.VNom
+	return d * b.Area() * b.Activity * s * s
+}
+
+// Leakage returns the block's leakage power at supply voltage v and
+// temperature tC (°C). Leakage scales linearly with v (subthreshold
+// current ∝ V to first order at fixed Vth) and exponentially with
+// temperature.
+func (m *Model) Leakage(b *floorplan.Block, v, tC float64) float64 {
+	return m.LeakDensity0 * b.Area() * (v / m.VNom) * math.Exp(m.LeakTCoeff*(tC-m.TRef))
+}
+
+// Block returns the block's total power at (v, tC).
+func (m *Model) Block(b *floorplan.Block, v, tC float64) float64 {
+	return m.Dynamic(b, v) + m.Leakage(b, v, tC)
+}
+
+// DesignPowers returns per-block total power for a whole design with a
+// uniform supply voltage and per-block temperatures. temps must have
+// one entry per block (use the same value everywhere for a first
+// leakage estimate before the thermal solve).
+func (m *Model) DesignPowers(d *floorplan.Design, v float64, temps []float64) ([]float64, error) {
+	if len(temps) != len(d.Blocks) {
+		return nil, fmt.Errorf("power: %d temperatures for %d blocks", len(temps), len(d.Blocks))
+	}
+	out := make([]float64, len(d.Blocks))
+	for i := range d.Blocks {
+		out[i] = m.Block(&d.Blocks[i], v, temps[i])
+	}
+	return out, nil
+}
+
+// Total sums a power vector.
+func Total(powers []float64) float64 {
+	s := 0.0
+	for _, p := range powers {
+		s += p
+	}
+	return s
+}

@@ -1,0 +1,147 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"obdrel/internal/floorplan"
+)
+
+func approx(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	return d <= tol || d <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func aluBlock() *floorplan.Block {
+	return &floorplan.Block{
+		Name: "alu", X: 0, Y: 0, W: 0.2, H: 0.2,
+		Devices: 1000, Class: floorplan.ClassALU, Activity: 0.5,
+	}
+}
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadModels(t *testing.T) {
+	m := Default()
+	m.VNom = 0
+	if err := m.Validate(); err == nil {
+		t.Error("zero VNom should fail")
+	}
+	m = Default()
+	m.DynDensity = nil
+	if err := m.Validate(); err == nil {
+		t.Error("empty densities should fail")
+	}
+	m = Default()
+	m.DynDensity[floorplan.ClassALU] = -1
+	if err := m.Validate(); err == nil {
+		t.Error("negative density should fail")
+	}
+	m = Default()
+	m.LeakDensity0 = -1
+	if err := m.Validate(); err == nil {
+		t.Error("negative leakage should fail")
+	}
+}
+
+func TestDynamicScalesQuadraticallyWithVoltage(t *testing.T) {
+	m := Default()
+	b := aluBlock()
+	p1 := m.Dynamic(b, 1.2)
+	p2 := m.Dynamic(b, 2.4)
+	if !approx(p2, 4*p1, 1e-12) {
+		t.Errorf("doubling V: %v → %v, want ×4", p1, p2)
+	}
+	// Hand check: density·area·activity at nominal V.
+	want := 112 * 0.04 * 0.5
+	if !approx(p1, want, 1e-12) {
+		t.Errorf("Dynamic = %v, want %v", p1, want)
+	}
+}
+
+func TestDynamicScalesWithActivity(t *testing.T) {
+	m := Default()
+	b := aluBlock()
+	p1 := m.Dynamic(b, 1.2)
+	b.Activity = 1.0
+	p2 := m.Dynamic(b, 1.2)
+	if !approx(p2, 2*p1, 1e-12) {
+		t.Errorf("doubling activity: %v → %v", p1, p2)
+	}
+}
+
+func TestDynamicUnknownClassFallsBack(t *testing.T) {
+	m := Default()
+	b := aluBlock()
+	b.Class = floorplan.Class(97)
+	got := m.Dynamic(b, 1.2)
+	want := m.DynDensity[floorplan.ClassControl] * b.Area() * b.Activity
+	if !approx(got, want, 1e-12) {
+		t.Errorf("unknown class power = %v, want control fallback %v", got, want)
+	}
+}
+
+func TestLeakageDoublesPer30K(t *testing.T) {
+	m := Default()
+	b := aluBlock()
+	p45 := m.Leakage(b, 1.2, 45)
+	p75 := m.Leakage(b, 1.2, 75)
+	if !approx(p75, 2*p45, 1e-9) {
+		t.Errorf("leakage 45→75 °C: %v → %v, want ×2", p45, p75)
+	}
+	if !approx(p45, 4*0.04, 1e-12) {
+		t.Errorf("reference leakage = %v", p45)
+	}
+}
+
+func TestBlockIsSumOfComponents(t *testing.T) {
+	m := Default()
+	b := aluBlock()
+	if got := m.Block(b, 1.2, 60); !approx(got, m.Dynamic(b, 1.2)+m.Leakage(b, 1.2, 60), 1e-12) {
+		t.Errorf("Block = %v", got)
+	}
+}
+
+func TestDesignPowers(t *testing.T) {
+	m := Default()
+	d := floorplan.C6()
+	temps := make([]float64, len(d.Blocks))
+	for i := range temps {
+		temps[i] = 60
+	}
+	powers, err := m.DesignPowers(d, 1.2, temps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(powers) != len(d.Blocks) {
+		t.Fatalf("got %d powers", len(powers))
+	}
+	tot := Total(powers)
+	// Calibration envelope: the EV6-like chip draws tens of watts.
+	if tot < 15 || tot > 80 {
+		t.Errorf("C6 total power = %v W, outside the calibrated envelope", tot)
+	}
+	// The hottest producer per area should be the integer execution
+	// unit, not a cache.
+	var intexecD, icacheD float64
+	for i := range d.Blocks {
+		density := powers[i] / d.Blocks[i].Area()
+		switch d.Blocks[i].Name {
+		case "intexec":
+			intexecD = density
+		case "icache":
+			icacheD = density
+		}
+	}
+	if !(intexecD > 3*icacheD) {
+		t.Errorf("intexec density %v not ≫ icache density %v", intexecD, icacheD)
+	}
+	// Mismatched temps slice must error.
+	if _, err := m.DesignPowers(d, 1.2, temps[:2]); err == nil {
+		t.Error("short temps should error")
+	}
+}

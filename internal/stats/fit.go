@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// FitWeibull estimates the two-parameter Weibull distribution best
+// describing a sample of failure times, using median-rank regression
+// (the standard probability-plot technique of reliability
+// engineering, cf. Meeker & Escobar [39]): with order statistics
+// t_(1) ≤ … ≤ t_(n) and Bernard's median ranks
+// F_i = (i - 0.3)/(n + 0.4), the line
+//
+//	ln(-ln(1 - F_i)) = β·ln t_(i) - β·ln α
+//
+// is fitted by least squares; the slope is the Weibull shape β and
+// the intercept yields the scale α. The returned r2 is the regression
+// coefficient of determination — near 1 means the sample really is
+// Weibull, which is how the chip-level "weakest-link" behaviour shows
+// up in sampled lifetimes.
+func FitWeibull(times []float64) (w Weibull, r2 float64, err error) {
+	if len(times) < 3 {
+		return Weibull{}, 0, errors.New("stats: FitWeibull needs at least 3 samples")
+	}
+	ts := append([]float64(nil), times...)
+	sort.Float64s(ts)
+	if ts[0] <= 0 {
+		return Weibull{}, 0, errors.New("stats: FitWeibull requires positive failure times")
+	}
+	n := float64(len(ts))
+	var sx, sy, sxx, sxy, syy float64
+	for i, t := range ts {
+		f := (float64(i+1) - 0.3) / (n + 0.4)
+		x := math.Log(t)
+		y := math.Log(-math.Log(1 - f))
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		syy += y * y
+	}
+	den := n*sxx - sx*sx
+	if den <= 0 {
+		return Weibull{}, 0, errors.New("stats: degenerate sample (all failure times equal)")
+	}
+	beta := (n*sxy - sx*sy) / den
+	if !(beta > 0) {
+		return Weibull{}, 0, errors.New("stats: fitted non-positive Weibull shape")
+	}
+	intercept := (sy - beta*sx) / n
+	alpha := math.Exp(-intercept / beta)
+	w, err = NewWeibull(alpha, beta)
+	if err != nil {
+		return Weibull{}, 0, err
+	}
+	// R² of the probability-plot regression.
+	ssTot := syy - sy*sy/n
+	ssRes := 0.0
+	for i, t := range ts {
+		f := (float64(i+1) - 0.3) / (n + 0.4)
+		y := math.Log(-math.Log(1 - f))
+		pred := beta*math.Log(t) + intercept
+		ssRes += (y - pred) * (y - pred)
+	}
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return w, r2, nil
+}

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitWeibullRecoversParameters(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, c := range []struct{ scale, shape float64 }{
+		{100, 1.3}, {1e6, 0.8}, {42, 3.5},
+	} {
+		w, _ := NewWeibull(c.scale, c.shape)
+		n := 20000
+		ts := make([]float64, n)
+		for i := range ts {
+			ts[i] = w.Sample(rng)
+		}
+		fit, r2, err := FitWeibull(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx(fit.Scale, c.scale, 0.03) {
+			t.Errorf("scale %v fitted as %v", c.scale, fit.Scale)
+		}
+		if !approx(fit.Shape, c.shape, 0.03) {
+			t.Errorf("shape %v fitted as %v", c.shape, fit.Shape)
+		}
+		if r2 < 0.99 {
+			t.Errorf("Weibull sample fit R² = %v", r2)
+		}
+	}
+}
+
+func TestFitWeibullRejectsBadInput(t *testing.T) {
+	if _, _, err := FitWeibull([]float64{1, 2}); err == nil {
+		t.Error("too-small sample should error")
+	}
+	if _, _, err := FitWeibull([]float64{0, 1, 2}); err == nil {
+		t.Error("non-positive time should error")
+	}
+	if _, _, err := FitWeibull([]float64{5, 5, 5}); err == nil {
+		t.Error("constant sample should error")
+	}
+}
+
+func TestFitWeibullNonWeibullLowR2(t *testing.T) {
+	// A bimodal sample (two well-separated Weibull populations)
+	// should fit visibly worse than a pure sample.
+	rng := rand.New(rand.NewSource(8))
+	w1, _ := NewWeibull(1, 8)
+	w2, _ := NewWeibull(1e6, 8)
+	ts := make([]float64, 4000)
+	for i := range ts {
+		if i%2 == 0 {
+			ts[i] = w1.Sample(rng)
+		} else {
+			ts[i] = w2.Sample(rng)
+		}
+	}
+	_, r2, err := FitWeibull(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 > 0.9 {
+		t.Errorf("bimodal sample fit suspiciously well: R² = %v", r2)
+	}
+}
+
+// Property: scaling all times by a constant scales the fitted scale
+// and leaves the shape invariant.
+func TestFitWeibullScalingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, _ := NewWeibull(10, 1.5)
+		ts := make([]float64, 500)
+		for i := range ts {
+			ts[i] = w.Sample(rng)
+		}
+		fit1, _, err1 := FitWeibull(ts)
+		scaled := make([]float64, len(ts))
+		for i := range ts {
+			scaled[i] = ts[i] * 1000
+		}
+		fit2, _, err2 := FitWeibull(scaled)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return approx(fit2.Shape, fit1.Shape, 1e-9) && approx(fit2.Scale, fit1.Scale*1000, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmptySample
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs)), nil
+}
+
+// Variance returns the unbiased (n-1 denominator) sample variance.
+func Variance(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, ErrEmptySample
+	}
+	m, _ := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1), nil
+}
+
+// MeanVariance returns both in one pass over the data (Welford).
+func MeanVariance(xs []float64) (mean, variance float64, err error) {
+	if len(xs) < 2 {
+		return 0, 0, ErrEmptySample
+	}
+	var m, m2 float64
+	for i, x := range xs {
+		d := x - m
+		m += d / float64(i+1)
+		m2 += d * (x - m)
+	}
+	return m, m2 / float64(len(xs)-1), nil
+}
+
+// Correlation returns the Pearson correlation coefficient of the
+// paired samples xs, ys.
+func Correlation(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, ErrEmptySample
+	}
+	mx, _ := Mean(xs)
+	my, _ := Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Quantile returns the p-quantile of the sample by linear
+// interpolation of the order statistics (type-7, the R default). The
+// input is not modified.
+func Quantile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmptySample
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0], nil
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1], nil
+	}
+	h := p * float64(len(sorted)-1)
+	i := int(math.Floor(h))
+	frac := h - float64(i)
+	if i+1 >= len(sorted) {
+		return sorted[len(sorted)-1], nil
+	}
+	return sorted[i]*(1-frac) + sorted[i+1]*frac, nil
+}
+
+// ECDF is an empirical cumulative distribution function built from a
+// sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF copies and sorts the sample.
+func NewECDF(xs []float64) (*ECDF, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmptySample
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}, nil
+}
+
+// At returns the fraction of the sample <= x.
+func (e *ECDF) At(x float64) float64 {
+	// Index of first element > x.
+	i := sort.SearchFloat64s(e.sorted, x)
+	for i < len(e.sorted) && e.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Len returns the sample size.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// Min and Max return the sample range.
+func (e *ECDF) Min() float64 { return e.sorted[0] }
+
+// Max returns the largest sample value.
+func (e *ECDF) Max() float64 { return e.sorted[len(e.sorted)-1] }
+
+// KSDistance returns the Kolmogorov–Smirnov statistic
+// sup_x |ECDF(x) - cdf(x)| evaluated at the sample points (both
+// one-sided gaps at each jump are checked).
+func (e *ECDF) KSDistance(cdf func(float64) float64) float64 {
+	n := float64(len(e.sorted))
+	max := 0.0
+	for i, x := range e.sorted {
+		c := cdf(x)
+		lo := math.Abs(c - float64(i)/n)
+		hi := math.Abs(float64(i+1)/n - c)
+		if lo > max {
+			max = lo
+		}
+		if hi > max {
+			max = hi
+		}
+	}
+	return max
+}

@@ -1,0 +1,176 @@
+// Package textplot renders small terminal visualizations — heat maps
+// and log-scale line charts — used by the examples and the figure
+// regeneration tool to make results inspectable without leaving the
+// terminal. It is deliberately tiny: fixed-width ASCII output, no
+// colors, no dependencies.
+package textplot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// shades orders glyphs from cold to hot for heat maps.
+var shades = []byte(" .:-=+*#%@")
+
+// HeatMap renders a row-major field of nx×ny values as an ASCII map,
+// hottest values darkest. Row 0 of the field is drawn at the bottom
+// (Cartesian orientation, matching die coordinates). rowStride halves
+// or thins rows for terminal aspect ratio; 0 selects 2.
+func HeatMap(field []float64, nx, ny, rowStride int) (string, error) {
+	if nx <= 0 || ny <= 0 || len(field) != nx*ny {
+		return "", fmt.Errorf("textplot: field length %d does not match %d×%d", len(field), nx, ny)
+	}
+	if rowStride <= 0 {
+		rowStride = 2
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range field {
+		if math.IsNaN(v) {
+			return "", errors.New("textplot: NaN in field")
+		}
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	span := max - min
+	var sb strings.Builder
+	for iy := ny - 1; iy >= 0; iy -= rowStride {
+		row := make([]byte, nx)
+		for ix := 0; ix < nx; ix++ {
+			f := 0.0
+			if span > 0 {
+				f = (field[iy*nx+ix] - min) / span
+			}
+			idx := int(f * float64(len(shades)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			row[ix] = shades[idx]
+		}
+		sb.WriteString("|")
+		sb.Write(row)
+		sb.WriteString("|\n")
+	}
+	fmt.Fprintf(&sb, "scale: ' '=%.4g  '@'=%.4g\n", min, max)
+	return sb.String(), nil
+}
+
+// Series is one named line of a chart.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker byte
+}
+
+// LinePlot renders one or more series on a width×height character
+// canvas. Axes can be logarithmic; non-positive values are dropped on
+// log axes. Each series is drawn with its marker (later series
+// overdraw earlier ones where they collide).
+func LinePlot(series []Series, width, height int, logX, logY bool) (string, error) {
+	if width < 8 || height < 3 {
+		return "", fmt.Errorf("textplot: canvas %d×%d too small", width, height)
+	}
+	if len(series) == 0 {
+		return "", errors.New("textplot: no series")
+	}
+	tx := func(v float64) (float64, bool) {
+		if logX {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+		return v, true
+	}
+	ty := func(v float64) (float64, bool) {
+		if logY {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+		return v, true
+	}
+	// Find the transformed bounds.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("textplot: series %q has mismatched lengths", s.Name)
+		}
+		for i := range s.X {
+			x, okx := tx(s.X[i])
+			y, oky := ty(s.Y[i])
+			if !okx || !oky || math.IsNaN(x) || math.IsNaN(y) {
+				continue
+			}
+			any = true
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if !any {
+		return "", errors.New("textplot: no drawable points")
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	canvas := make([][]byte, height)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		for i := range s.X {
+			x, okx := tx(s.X[i])
+			y, oky := ty(s.Y[i])
+			if !okx || !oky {
+				continue
+			}
+			cx := int((x - xmin) / (xmax - xmin) * float64(width-1))
+			cy := int((y - ymin) / (ymax - ymin) * float64(height-1))
+			if cx < 0 || cx >= width || cy < 0 || cy >= height {
+				continue
+			}
+			canvas[height-1-cy][cx] = marker
+		}
+	}
+	var sb strings.Builder
+	for _, row := range canvas {
+		sb.WriteString("|")
+		sb.Write(row)
+		sb.WriteString("|\n")
+	}
+	axis := func(v float64, log bool) float64 {
+		if log {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	fmt.Fprintf(&sb, "x: [%.4g, %.4g]  y: [%.4g, %.4g]\n",
+		axis(xmin, logX), axis(xmax, logX), axis(ymin, logY), axis(ymax, logY))
+	for _, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		fmt.Fprintf(&sb, "  %c %s\n", marker, s.Name)
+	}
+	return sb.String(), nil
+}

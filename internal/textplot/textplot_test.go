@@ -1,0 +1,163 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHeatMapBasics(t *testing.T) {
+	// 2×2 field: gradient from 0 to 3.
+	out, err := HeatMap([]float64{0, 1, 2, 3}, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // two rows + scale line
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Row 1 of the field (values 2, 3) must be printed first (top):
+	// fractions 2/3 and 1 map to '*' and '@'; the bottom row's 0 and
+	// 1/3 map to ' ' and '-' (1/3·9 rounds to exactly 3 in float64).
+	if lines[0] != "|*@|" {
+		t.Errorf("top row = %q", lines[0])
+	}
+	if lines[1] != "| -|" {
+		t.Errorf("bottom row = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "scale:") {
+		t.Errorf("missing scale line: %q", lines[2])
+	}
+}
+
+func TestHeatMapUniformField(t *testing.T) {
+	out, err := HeatMap([]float64{5, 5, 5, 5}, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "|  |") {
+		t.Errorf("uniform field should render cold:\n%s", out)
+	}
+}
+
+func TestHeatMapRowStride(t *testing.T) {
+	field := make([]float64, 4*8)
+	out, err := HeatMap(field, 4, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 rows at stride 2 → 4 drawn rows + scale.
+	if got := strings.Count(out, "\n"); got != 5 {
+		t.Errorf("stride-2 line count = %d:\n%s", got, out)
+	}
+}
+
+func TestHeatMapValidation(t *testing.T) {
+	if _, err := HeatMap([]float64{1, 2, 3}, 2, 2, 1); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := HeatMap([]float64{1, math.NaN(), 3, 4}, 2, 2, 1); err == nil {
+		t.Error("NaN should error")
+	}
+	if _, err := HeatMap(nil, 0, 0, 1); err == nil {
+		t.Error("empty field should error")
+	}
+}
+
+func TestLinePlotBasics(t *testing.T) {
+	s := []Series{{
+		Name: "line",
+		X:    []float64{0, 1, 2, 3, 4},
+		Y:    []float64{0, 1, 2, 3, 4},
+	}}
+	out, err := LinePlot(s, 20, 10, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no markers drawn")
+	}
+	if !strings.Contains(out, "line") {
+		t.Error("legend missing")
+	}
+	// A rising line puts a marker in the bottom-left and top-right.
+	lines := strings.Split(out, "\n")
+	if lines[9][1] != '*' {
+		t.Errorf("bottom-left corner missing marker: %q", lines[9])
+	}
+	if lines[0][19+1] != '*' { // +1 for the leading border
+		t.Errorf("top-right corner missing marker: %q", lines[0])
+	}
+}
+
+func TestLinePlotLogAxes(t *testing.T) {
+	s := []Series{{
+		Name:   "decade",
+		X:      []float64{1, 10, 100, 1000},
+		Y:      []float64{1e-6, 1e-4, 1e-2, 1},
+		Marker: 'o',
+	}}
+	out, err := LinePlot(s, 40, 10, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Log-log of an exact power law is a straight diagonal; check the
+	// corner markers again.
+	lines := strings.Split(out, "\n")
+	if lines[9][1] != 'o' || lines[0][40] != 'o' {
+		t.Errorf("log-log power law not diagonal:\n%s", out)
+	}
+	if !strings.Contains(out, "x: [1, 1000]") {
+		t.Errorf("x axis label wrong:\n%s", out)
+	}
+}
+
+func TestLinePlotDropsNonPositiveOnLog(t *testing.T) {
+	s := []Series{{
+		Name: "mixed",
+		X:    []float64{-1, 0, 1, 10},
+		Y:    []float64{1, 1, 1, 2},
+	}}
+	if _, err := LinePlot(s, 20, 5, true, false); err != nil {
+		t.Fatalf("mixed-sign series on log axis should still plot: %v", err)
+	}
+	// All-invalid series must error.
+	bad := []Series{{Name: "neg", X: []float64{-1, -2}, Y: []float64{1, 1}}}
+	if _, err := LinePlot(bad, 20, 5, true, false); err == nil {
+		t.Error("no drawable points should error")
+	}
+}
+
+func TestLinePlotMultipleSeries(t *testing.T) {
+	s := []Series{
+		{Name: "a", X: []float64{0, 1}, Y: []float64{0, 0}, Marker: 'a'},
+		{Name: "b", X: []float64{0, 1}, Y: []float64{1, 1}, Marker: 'b'},
+	}
+	out, err := LinePlot(s, 16, 6, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Error("missing series markers")
+	}
+}
+
+func TestLinePlotValidation(t *testing.T) {
+	if _, err := LinePlot(nil, 20, 5, false, false); err == nil {
+		t.Error("no series should error")
+	}
+	if _, err := LinePlot([]Series{{Name: "x", X: []float64{1}, Y: []float64{}}}, 20, 5, false, false); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+	if _, err := LinePlot([]Series{{Name: "x", X: []float64{1}, Y: []float64{1}}}, 2, 2, false, false); err == nil {
+		t.Error("tiny canvas should error")
+	}
+}
+
+func TestLinePlotConstantSeries(t *testing.T) {
+	// Degenerate (single-point) ranges must not divide by zero.
+	s := []Series{{Name: "pt", X: []float64{5}, Y: []float64{7}}}
+	if _, err := LinePlot(s, 20, 5, false, false); err != nil {
+		t.Fatalf("single point should plot: %v", err)
+	}
+}

@@ -1,0 +1,85 @@
+package thermal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"obdrel/internal/floorplan"
+)
+
+// CoupledResult is the converged output of SolveCoupled.
+type CoupledResult struct {
+	Field *Field
+	// BlockMean and BlockMax are the per-block mean and worst-case
+	// temperatures (°C).
+	BlockMean, BlockMax []float64
+	// Powers is the converged per-block power (W).
+	Powers []float64
+	// Rounds is the number of power/thermal fixed-point rounds used.
+	Rounds int
+}
+
+// SolveCoupled runs the power/thermal fixed point: leakage power
+// depends on temperature, which depends on power. powerAt receives the
+// current per-block mean temperatures and returns per-block powers;
+// the loop repeats until the largest block-temperature change falls
+// below tolK (default 0.05 K) or maxRounds (default 25) is hit.
+func (s *Solver) SolveCoupled(d *floorplan.Design, powerAt func(temps []float64) ([]float64, error), tolK float64, maxRounds int) (*CoupledResult, error) {
+	if powerAt == nil {
+		return nil, errors.New("thermal: SolveCoupled requires a power callback")
+	}
+	if tolK <= 0 {
+		tolK = 0.05
+	}
+	if maxRounds <= 0 {
+		maxRounds = 25
+	}
+	temps := make([]float64, len(d.Blocks))
+	for i := range temps {
+		temps[i] = s.TAmbient
+	}
+	var (
+		field      *Field
+		mean, max  []float64
+		powers     []float64
+		err        error
+		lastChange = math.Inf(1)
+	)
+	round := 0
+	for ; round < maxRounds; round++ {
+		powers, err = powerAt(temps)
+		if err != nil {
+			return nil, fmt.Errorf("thermal: power callback: %w", err)
+		}
+		field, err = s.Solve(d, powers)
+		if err != nil {
+			return nil, err
+		}
+		mean, max, err = field.BlockTemps(d)
+		if err != nil {
+			return nil, err
+		}
+		lastChange = 0
+		for i := range mean {
+			if c := math.Abs(mean[i] - temps[i]); c > lastChange {
+				lastChange = c
+			}
+		}
+		copy(temps, mean)
+		if lastChange < tolK {
+			round++
+			break
+		}
+	}
+	if lastChange >= tolK {
+		return nil, errors.New("thermal: power/thermal fixed point did not converge")
+	}
+	return &CoupledResult{
+		Field:     field,
+		BlockMean: mean,
+		BlockMax:  max,
+		Powers:    powers,
+		Rounds:    round,
+	}, nil
+}

@@ -1,0 +1,79 @@
+package obdrel
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxVDD finds the highest supply voltage in [vLo, vHi] at which the
+// design still meets an n-per-million lifetime requirement of at
+// least targetHours, using the given analysis method. This is the
+// design decision the paper's introduction motivates: "any pessimism
+// in oxide reliability analysis limits the maximum operating voltage
+// and thus the maximum achievable chip-performance."
+//
+// Every probe voltage requires a fresh characterization (the thermal
+// profile moves with VDD), so the search bisects on voltage: lifetime
+// is strictly decreasing in VDD through both the power-law voltage
+// acceleration and the hotter die. The result is resolved to tolV
+// volts (default 5 mV when 0). It returns an error when even vLo
+// fails the requirement; if vHi already meets it, vHi is returned.
+func MaxVDD(d *Design, cfg *Config, method Method, ppm, targetHours, vLo, vHi, tolV float64) (float64, error) {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	if !(vLo > 0) || !(vHi > vLo) {
+		return 0, fmt.Errorf("obdrel: invalid voltage bracket [%v, %v]", vLo, vHi)
+	}
+	if !(targetHours > 0) || !(ppm > 0) {
+		return 0, fmt.Errorf("obdrel: invalid requirement %v ppm at %v h", ppm, targetHours)
+	}
+	if tolV <= 0 {
+		tolV = 0.005
+	}
+	meets := func(v float64) (bool, error) {
+		probe := *cfg
+		probe.VDD = v
+		an, err := NewAnalyzer(d, &probe)
+		if err != nil {
+			return false, fmt.Errorf("obdrel: at %v V: %w", v, err)
+		}
+		life, err := an.LifetimePPM(ppm, method)
+		if err != nil {
+			return false, fmt.Errorf("obdrel: at %v V: %w", v, err)
+		}
+		return life >= targetHours, nil
+	}
+	okLo, err := meets(vLo)
+	if err != nil {
+		return 0, err
+	}
+	if !okLo {
+		return 0, fmt.Errorf("obdrel: the requirement fails even at %v V", vLo)
+	}
+	// Above vLo, a voltage where the characterization itself fails —
+	// typically power/thermal runaway — certainly fails the
+	// reliability requirement; the search treats it as out of reach
+	// rather than aborting.
+	okHi, err := meets(vHi)
+	if err != nil {
+		okHi = false
+	}
+	if okHi {
+		return vHi, nil
+	}
+	lo, hi := vLo, vHi // invariant: lo meets, hi does not
+	for hi-lo > tolV {
+		mid := (lo + hi) / 2
+		ok, err := meets(mid)
+		if err != nil {
+			ok = false
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return math.Floor(lo/tolV) * tolV, nil
+}

@@ -1,0 +1,86 @@
+package obdrel_test
+
+import (
+	"testing"
+
+	"obdrel"
+)
+
+func TestMaxVDDBracketsRequirement(t *testing.T) {
+	cfg := fastConfig()
+	const (
+		ppm    = 10.0
+		target = 5 * 8760.0
+	)
+	v, err := obdrel.MaxVDD(obdrel.C1(), cfg, obdrel.MethodStFast, ppm, target, 1.0, 1.5, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(v > 1.0 && v < 1.5) {
+		t.Fatalf("MaxVDD = %v, expected interior solution", v)
+	}
+	// The returned voltage meets the requirement; one step above
+	// does not.
+	check := func(vdd float64) float64 {
+		probe := *cfg
+		probe.VDD = vdd
+		an, err := obdrel.NewAnalyzer(obdrel.C1(), &probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		life, err := an.LifetimePPM(ppm, obdrel.MethodStFast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return life
+	}
+	if life := check(v); life < target {
+		t.Errorf("at MaxVDD %v the lifetime %v misses the target %v", v, life, target)
+	}
+	if life := check(v + 0.02); life >= target {
+		t.Errorf("2 steps above MaxVDD still meets the target (%v h)", life)
+	}
+}
+
+func TestMaxVDDGuardBandCostsHeadroom(t *testing.T) {
+	// The paper's point: the pessimistic analysis forces a lower VDD.
+	cfg := fastConfig()
+	const (
+		ppm    = 10.0
+		target = 5 * 8760.0
+	)
+	vStat, err := obdrel.MaxVDD(obdrel.C1(), cfg, obdrel.MethodStFast, ppm, target, 0.9, 1.5, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vGuard, err := obdrel.MaxVDD(obdrel.C1(), cfg, obdrel.MethodGuard, ppm, target, 0.9, 1.5, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(vStat > vGuard) {
+		t.Errorf("statistical max VDD %v not above guard-band %v", vStat, vGuard)
+	}
+}
+
+func TestMaxVDDEdges(t *testing.T) {
+	cfg := fastConfig()
+	// Requirement trivially met everywhere → vHi.
+	v, err := obdrel.MaxVDD(obdrel.C1(), cfg, obdrel.MethodStFast, 10, 1, 1.0, 1.1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1.1 {
+		t.Errorf("trivial requirement: %v, want vHi", v)
+	}
+	// Impossible requirement → error.
+	if _, err := obdrel.MaxVDD(obdrel.C1(), cfg, obdrel.MethodStFast, 10, 1e30, 1.0, 1.1, 0.01); err == nil {
+		t.Error("impossible requirement should error")
+	}
+	// Bad bracket → error.
+	if _, err := obdrel.MaxVDD(obdrel.C1(), cfg, obdrel.MethodStFast, 10, 1e4, 1.2, 1.0, 0.01); err == nil {
+		t.Error("inverted bracket should error")
+	}
+	if _, err := obdrel.MaxVDD(obdrel.C1(), cfg, obdrel.MethodStFast, 0, 1e4, 1.0, 1.2, 0.01); err == nil {
+		t.Error("zero ppm should error")
+	}
+}

@@ -1,0 +1,223 @@
+package obdrel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"obdrel/internal/blod"
+	"obdrel/internal/core"
+	"obdrel/internal/floorplan"
+	"obdrel/internal/obd"
+	"obdrel/internal/power"
+	"obdrel/internal/thermal"
+)
+
+// Mode is one operating mode of a mission profile: a supply voltage,
+// an activity scaling applied to every block, and the fraction of
+// operating time spent in the mode.
+type Mode struct {
+	Name string
+	// VDD is the mode's supply voltage (V).
+	VDD float64
+	// ActivityScale multiplies each block's switching activity
+	// (results clamp to [0, 1]); 1 is the design's nominal workload.
+	ActivityScale float64
+	// Fraction is the share of operating time, in (0, 1]; the modes'
+	// fractions must sum to 1.
+	Fraction float64
+}
+
+// NewMissionAnalyzer characterizes a design under a duty-cycled
+// mission profile instead of a single worst-case operating point.
+// Each mode gets its own power/thermal solve and block-level Weibull
+// characterization; the per-mode characteristic lives combine by
+// linear damage accumulation (Miner's rule):
+//
+//	1/α_eff,j = Σ_m fraction_m / α_{j,m}
+//
+// so a block ages at each mode's rate for that mode's share of time.
+// The per-block slope b is damage-weighted across modes (its spread
+// over realistic mode temperatures is a few percent, so the
+// approximation is mild; the dominant mode dominates the weight). The
+// same combination applies to the extrinsic population when
+// configured.
+//
+// The returned Analyzer answers all the usual queries; reported block
+// temperatures are the fraction-weighted means with the max taken
+// across modes, and the stored temperature field belongs to the
+// highest-power mode.
+func NewMissionAnalyzer(d *Design, cfg *Config, modes []Mode) (*Analyzer, error) {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateModes(modes); err != nil {
+		return nil, err
+	}
+	fd, err := d.internal()
+	if err != nil {
+		return nil, err
+	}
+	tech := cfg.Tech
+	if tech == nil {
+		tech = obd.DefaultTech()
+	}
+	if err := tech.Validate(); err != nil {
+		return nil, err
+	}
+	pm := cfg.Power
+	if pm == nil {
+		pm = power.Default()
+	}
+	if err := pm.Validate(); err != nil {
+		return nil, err
+	}
+	ts := cfg.Thermal
+	if ts == nil {
+		ts = thermal.DefaultSolver()
+	}
+
+	n := len(fd.Blocks)
+	info := make([]BlockInfo, n)
+	for i := range info {
+		info[i] = BlockInfo{
+			Name:     fd.Blocks[i].Name,
+			Devices:  fd.Blocks[i].Devices,
+			MaxTempC: math.Inf(-1),
+		}
+	}
+	// Per-block accumulators: damage rate Σ f/α, damage-weighted b,
+	// extrinsic damage rate.
+	damage := make([]float64, n)
+	bWeighted := make([]float64, n)
+	extDamage := make([]float64, n)
+	var (
+		bestField *thermal.Field
+		bestPower float64
+	)
+	for _, mode := range modes {
+		scaled := *fd
+		scaled.Blocks = append([]floorplan.Block(nil), fd.Blocks...)
+		for i := range scaled.Blocks {
+			a := scaled.Blocks[i].Activity * mode.ActivityScale
+			if a > 1 {
+				a = 1
+			}
+			scaled.Blocks[i].Activity = a
+		}
+		coupled, err := ts.SolveCoupled(&scaled, func(temps []float64) ([]float64, error) {
+			return pm.DesignPowers(&scaled, mode.VDD, temps)
+		}, 0, 0)
+		if err != nil {
+			return nil, fmt.Errorf("obdrel: mode %q thermal analysis: %w", mode.Name, err)
+		}
+		if tot := power.Total(coupled.Powers); tot > bestPower {
+			bestPower = tot
+			bestField = coupled.Field
+		}
+		for j := 0; j < n; j++ {
+			tBlock := coupled.BlockMean[j]
+			if cfg.UseBlockMaxTemp {
+				tBlock = coupled.BlockMax[j]
+			}
+			p, err := tech.Characterize(tBlock, mode.VDD)
+			if err != nil {
+				return nil, fmt.Errorf("obdrel: mode %q block %q: %w", mode.Name, fd.Blocks[j].Name, err)
+			}
+			w := mode.Fraction / p.Alpha
+			damage[j] += w
+			bWeighted[j] += w * p.B
+			info[j].MeanTempC += mode.Fraction * coupled.BlockMean[j]
+			info[j].PowerW += mode.Fraction * coupled.Powers[j]
+			if coupled.BlockMax[j] > info[j].MaxTempC {
+				info[j].MaxTempC = coupled.BlockMax[j]
+			}
+			if cfg.Extrinsic != nil {
+				pe, err := tech.CharacterizeExtrinsic(cfg.Extrinsic, tBlock, mode.VDD)
+				if err != nil {
+					return nil, fmt.Errorf("obdrel: mode %q block %q extrinsic: %w", mode.Name, fd.Blocks[j].Name, err)
+				}
+				extDamage[j] += mode.Fraction / pe.AlphaE
+			}
+		}
+	}
+	params := make([]obd.Params, n)
+	for j := 0; j < n; j++ {
+		params[j] = obd.Params{
+			Alpha: 1 / damage[j],
+			B:     bWeighted[j] / damage[j],
+		}
+		info[j].Alpha = params[j].Alpha
+		info[j].B = params[j].B
+	}
+
+	model, err := cfg.variationModel(fd.W, fd.H)
+	if err != nil {
+		return nil, err
+	}
+	keep := cfg.PCAKeepFraction
+	if keep == 0 {
+		keep = 1
+	}
+	pca, err := model.ComputePCA(keep)
+	if err != nil {
+		return nil, err
+	}
+	char, err := blod.Characterize(fd, model)
+	if err != nil {
+		return nil, err
+	}
+	chip, err := core.NewChip(fd, model, char, params)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Extrinsic != nil {
+		ext := make([]obd.ExtrinsicParams, n)
+		for j := 0; j < n; j++ {
+			ext[j] = obd.ExtrinsicParams{
+				AlphaE:         1 / extDamage[j],
+				BetaE:          cfg.Extrinsic.BetaE,
+				DefectFraction: cfg.Extrinsic.DefectFraction,
+			}
+		}
+		if err := chip.SetExtrinsic(ext); err != nil {
+			return nil, err
+		}
+	}
+	return &Analyzer{
+		cfg:       cfg,
+		design:    fd,
+		model:     model,
+		pca:       pca,
+		chip:      chip,
+		tech:      tech,
+		blockInfo: info,
+		field:     bestField,
+		engines:   make(map[Method]core.Engine),
+	}, nil
+}
+
+func validateModes(modes []Mode) error {
+	if len(modes) == 0 {
+		return errors.New("obdrel: mission profile needs at least one mode")
+	}
+	sum := 0.0
+	for _, m := range modes {
+		switch {
+		case !(m.VDD > 0):
+			return fmt.Errorf("obdrel: mode %q has non-positive VDD", m.Name)
+		case m.ActivityScale < 0:
+			return fmt.Errorf("obdrel: mode %q has negative activity scale", m.Name)
+		case !(m.Fraction > 0) || m.Fraction > 1:
+			return fmt.Errorf("obdrel: mode %q fraction %v outside (0,1]", m.Name, m.Fraction)
+		}
+		sum += m.Fraction
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("obdrel: mode fractions sum to %v, want 1", sum)
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package obdrel_test
+
+import (
+	"math"
+	"testing"
+
+	"obdrel"
+)
+
+func TestMissionSingleModeMatchesAnalyzer(t *testing.T) {
+	cfg := fastConfig()
+	plain, err := obdrel.NewAnalyzer(obdrel.C1(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mission, err := obdrel.NewMissionAnalyzer(obdrel.C1(), cfg, []obdrel.Mode{
+		{Name: "nominal", VDD: 1.2, ActivityScale: 1, Fraction: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lPlain, err := plain.LifetimePPM(10, obdrel.MethodStFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lMission, err := mission.LifetimePPM(10, obdrel.MethodStFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(lPlain, lMission, 1e-9) {
+		t.Errorf("single-mode mission %v differs from plain analyzer %v", lMission, lPlain)
+	}
+}
+
+func TestMissionBetweenPureModes(t *testing.T) {
+	cfg := fastConfig()
+	idle := obdrel.Mode{Name: "idle", VDD: 1.0, ActivityScale: 0.3, Fraction: 1}
+	turbo := obdrel.Mode{Name: "turbo", VDD: 1.3, ActivityScale: 1, Fraction: 1}
+	life := func(modes []obdrel.Mode) float64 {
+		an, err := obdrel.NewMissionAnalyzer(obdrel.C1(), cfg, modes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := an.LifetimePPM(10, obdrel.MethodStFast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	lIdle := life([]obdrel.Mode{idle})
+	lTurbo := life([]obdrel.Mode{turbo})
+	mixIdle, mixTurbo := idle, turbo
+	mixIdle.Fraction, mixTurbo.Fraction = 0.5, 0.5
+	lMix := life([]obdrel.Mode{mixIdle, mixTurbo})
+	if !(lTurbo < lMix && lMix < lIdle) {
+		t.Fatalf("mix %v not between turbo %v and idle %v", lMix, lTurbo, lIdle)
+	}
+	// Linear damage: the mix is dominated by the turbo mode; the
+	// effective lifetime is close to lTurbo/fraction (up to the
+	// Weibull-slope nonlinearity), far below the arithmetic mean.
+	if lMix > (lIdle+lTurbo)/4 {
+		t.Errorf("mix %v suspiciously close to the arithmetic mean of %v and %v", lMix, lIdle, lTurbo)
+	}
+	if lMix > 4*lTurbo {
+		t.Errorf("50%% turbo mix %v more than 4× pure turbo %v", lMix, lTurbo)
+	}
+}
+
+func TestMissionMonotoneInTurboShare(t *testing.T) {
+	cfg := fastConfig()
+	prev := math.Inf(1)
+	for _, turboFrac := range []float64{0.1, 0.4, 0.8} {
+		an, err := obdrel.NewMissionAnalyzer(obdrel.C1(), cfg, []obdrel.Mode{
+			{Name: "idle", VDD: 1.0, ActivityScale: 0.3, Fraction: 1 - turboFrac},
+			{Name: "turbo", VDD: 1.3, ActivityScale: 1, Fraction: turboFrac},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := an.LifetimePPM(10, obdrel.MethodStFast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(l < prev) {
+			t.Fatalf("lifetime %v did not fall as turbo share rose to %v", l, turboFrac)
+		}
+		prev = l
+	}
+}
+
+func TestMissionBlockReport(t *testing.T) {
+	cfg := fastConfig()
+	an, err := obdrel.NewMissionAnalyzer(obdrel.C1(), cfg, []obdrel.Mode{
+		{Name: "lo", VDD: 1.0, ActivityScale: 0.5, Fraction: 0.7},
+		{Name: "hi", VDD: 1.3, ActivityScale: 1, Fraction: 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range an.Blocks() {
+		if !(b.Alpha > 0) || !(b.B > 0) || !(b.PowerW > 0) {
+			t.Fatalf("implausible mission block report %+v", b)
+		}
+		if b.MaxTempC < b.MeanTempC {
+			t.Fatalf("block %s: max temp below weighted mean", b.Name)
+		}
+	}
+	// The temperature field must be present (highest-power mode).
+	nx, ny, temps := an.TemperatureField()
+	if nx*ny != len(temps) || len(temps) == 0 {
+		t.Fatal("missing mission temperature field")
+	}
+}
+
+func TestMissionWithExtrinsic(t *testing.T) {
+	cfg := extrinsicConfig()
+	an, err := obdrel.NewMissionAnalyzer(obdrel.C1(), cfg, []obdrel.Mode{
+		{Name: "lo", VDD: 1.0, ActivityScale: 0.5, Fraction: 0.5},
+		{Name: "hi", VDD: 1.3, ActivityScale: 1, Fraction: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The defect population must still dominate early life.
+	intCfg := fastConfig()
+	anInt, err := obdrel.NewMissionAnalyzer(obdrel.C1(), intCfg, []obdrel.Mode{
+		{Name: "lo", VDD: 1.0, ActivityScale: 0.5, Fraction: 0.5},
+		{Name: "hi", VDD: 1.3, ActivityScale: 1, Fraction: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lExt, err := an.LifetimePPM(10, obdrel.MethodStFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lInt, err := anInt.LifetimePPM(10, obdrel.MethodStFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lExt < lInt) {
+		t.Errorf("extrinsic mission lifetime %v not below intrinsic %v", lExt, lInt)
+	}
+}
+
+func TestMissionValidation(t *testing.T) {
+	cfg := fastConfig()
+	cases := []struct {
+		name  string
+		modes []obdrel.Mode
+	}{
+		{"empty", nil},
+		{"fractions", []obdrel.Mode{{Name: "a", VDD: 1.2, ActivityScale: 1, Fraction: 0.6}}},
+		{"zero vdd", []obdrel.Mode{{Name: "a", VDD: 0, ActivityScale: 1, Fraction: 1}}},
+		{"negative scale", []obdrel.Mode{{Name: "a", VDD: 1.2, ActivityScale: -1, Fraction: 1}}},
+		{"zero fraction", []obdrel.Mode{
+			{Name: "a", VDD: 1.2, ActivityScale: 1, Fraction: 0},
+			{Name: "b", VDD: 1.2, ActivityScale: 1, Fraction: 1},
+		}},
+	}
+	for _, c := range cases {
+		if _, err := obdrel.NewMissionAnalyzer(obdrel.C1(), cfg, c.modes); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
