@@ -131,6 +131,13 @@ func NewAnalyzer(d *Design, cfg *Config) (*Analyzer, error) {
 	if ts == nil {
 		ts = thermal.DefaultSolver()
 	}
+	if ts.Workers == 0 && cfg.Workers != 0 {
+		// Propagate the config's worker knob without mutating a
+		// caller-owned solver.
+		tsCopy := *ts
+		tsCopy.Workers = cfg.Workers
+		ts = &tsCopy
+	}
 	coupled, err := ts.SolveCoupled(fd, func(temps []float64) ([]float64, error) {
 		return pm.DesignPowers(fd, cfg.VDD, temps)
 	}, 0, 0)
@@ -147,7 +154,16 @@ func NewAnalyzer(d *Design, cfg *Config) (*Analyzer, error) {
 	if keep == 0 {
 		keep = 1
 	}
-	pca, err := model.ComputePCA(keep)
+	// The covariance eigendecomposition is the dominant setup cost and
+	// depends only on (geometry, sigmas, ρ_dist, structure), so sweeps
+	// over other parameters — and repeated analyzers in one process —
+	// share it through the process-wide cache.
+	var pca *grid.PCA
+	if cfg.DisablePCACache {
+		pca, err = model.ComputePCAWorkers(keep, cfg.Workers)
+	} else {
+		pca, err = grid.SharedPCACache.Get(model, keep, cfg.Workers)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -232,16 +248,19 @@ func (a *Analyzer) engine(m Method) (core.Engine, error) {
 	case MethodStMC:
 		e, err = core.NewStMC(a.chip, a.pca, core.StMCOptions{
 			Samples: a.cfg.StMCSamples, Bins: a.cfg.StMCBins, Seed: a.cfg.Seed,
+			Workers: a.cfg.Workers,
 		})
 	case MethodHybrid:
 		e, err = core.NewHybrid(a.chip, core.HybridOptions{
 			NL: a.cfg.HybridNL, NB: a.cfg.HybridNB, L0: a.cfg.L0,
+			Workers: a.cfg.Workers,
 		})
 	case MethodGuard:
 		e, err = core.NewGuardBand(a.chip, a.cfg.GuardSigmas)
 	case MethodMC:
 		e, err = core.NewMonteCarlo(a.chip, a.pca, core.MCOptions{
 			Samples: a.cfg.MCSamples, Seed: a.cfg.Seed,
+			Workers: a.cfg.Workers,
 		})
 	case MethodTempUnaware:
 		var uni *core.Chip

@@ -1,0 +1,337 @@
+// Command bench times the Table III workloads — the hot query paths
+// of every engine plus the full sweep — and emits a machine-readable
+// JSON report (BENCH_pr1.json) comparing the serial (Workers:1) and
+// parallel (Workers:0 ⇒ GOMAXPROCS) code paths.
+//
+//	bench                         # full run, writes BENCH_pr1.json
+//	bench -quick                  # CI-sized run (C1, 100 MC samples, 8×8 grid)
+//	bench -validate BENCH_pr1.json  # schema check an existing report, no benchmarking
+//
+// The per-engine numbers are steady-state query costs (engines are
+// warmed before timing); mc_failure_prob isolates the MC reduction
+// that dominates every MC query; table3_sweep times the whole
+// design×method fan-out end to end, including engine construction and
+// the shared PCA cache. Speedups are relative to the serial path on
+// the same host, so they reflect the core count the run actually had
+// (see go_max_procs in the report).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"obdrel"
+	"obdrel/internal/grid"
+	"obdrel/internal/par"
+)
+
+// Schema is the report format identifier checked by -validate.
+const Schema = "obdrel-bench/v1"
+
+// Report is the top-level BENCH_pr1.json document.
+type Report struct {
+	Schema      string         `json:"schema"`
+	GeneratedAt string         `json:"generated_at"`
+	GoMaxProcs  int            `json:"go_max_procs"`
+	Workers     int            `json:"workers"`
+	Quick       bool           `json:"quick"`
+	MCSamples   int            `json:"mc_samples"`
+	GridN       int            `json:"grid_n"`
+	Designs     []DesignReport `json:"designs"`
+	Table3Sweep SerialParallel `json:"table3_sweep"`
+	PCACache    CacheReport    `json:"pca_cache"`
+}
+
+// DesignReport carries one design's per-engine query costs and the
+// isolated MC-reduction comparison.
+type DesignReport struct {
+	Design        string         `json:"design"`
+	Devices       int            `json:"devices"`
+	Engines       []EngineReport `json:"engines"`
+	MCFailureProb SerialParallel `json:"mc_failure_prob"`
+}
+
+// EngineReport is one engine's steady-state query cost on one design.
+type EngineReport struct {
+	Method       string  `json:"method"`
+	QueryNs      int64   `json:"query_ns"`
+	LifetimeH    float64 `json:"lifetime_h"`
+	SpeedupVsMC  float64 `json:"speedup_vs_mc"`
+	ErrVsMCPct   float64 `json:"err_vs_mc_pct"`
+	QueriesTimed int     `json:"queries_timed"`
+}
+
+// SerialParallel compares the Workers:1 legacy path against the
+// parallel pool on the same workload.
+type SerialParallel struct {
+	SerialNs   int64   `json:"serial_ns"`
+	ParallelNs int64   `json:"parallel_ns"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// CacheReport snapshots the shared PCA cache after the sweep.
+type CacheReport struct {
+	Computes int64 `json:"computes"`
+	Hits     int64 `json:"hits"`
+	Entries  int   `json:"entries"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench: ")
+	var (
+		out       = flag.String("out", "BENCH_pr1.json", "output JSON path (\"-\" for stdout)")
+		quick     = flag.Bool("quick", false, "CI-sized run: C1 only, 100 MC samples, 8×8 grid")
+		validate  = flag.String("validate", "", "validate an existing report instead of benchmarking")
+		designCSV = flag.String("designs", "", "comma-separated design subset (default C1,C3 or C1 with -quick)")
+		mcSamples = flag.Int("mc-samples", 1000, "Monte-Carlo sample chips")
+		gridN     = flag.Int("grid", 25, "spatial-correlation grid resolution")
+		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	if *validate != "" {
+		if err := validateReport(*validate); err != nil {
+			log.Fatalf("validate %s: %v", *validate, err)
+		}
+		fmt.Printf("bench: %s conforms to %s\n", *validate, Schema)
+		return
+	}
+
+	if *quick {
+		if *designCSV == "" {
+			*designCSV = "C1"
+		}
+		*mcSamples = 100
+		*gridN = 8
+	} else if *designCSV == "" {
+		*designCSV = "C1,C3"
+	}
+	designs, err := pickDesigns(*designCSV)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep := run(designs, *mcSamples, *gridN, *seed, *workers, *quick)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (GOMAXPROCS=%d)", *out, runtime.GOMAXPROCS(0))
+	for _, d := range rep.Designs {
+		log.Printf("%s: MC FailureProb serial %.2fms parallel %.2fms speedup %.2fx",
+			d.Design,
+			float64(d.MCFailureProb.SerialNs)/1e6,
+			float64(d.MCFailureProb.ParallelNs)/1e6,
+			d.MCFailureProb.Speedup)
+	}
+	log.Printf("table3 sweep serial %.2fs parallel %.2fs speedup %.2fx",
+		float64(rep.Table3Sweep.SerialNs)/1e9,
+		float64(rep.Table3Sweep.ParallelNs)/1e9,
+		rep.Table3Sweep.Speedup)
+}
+
+func pickDesigns(csv string) ([]*obdrel.Design, error) {
+	all := map[string]*obdrel.Design{}
+	for _, d := range obdrel.Benchmarks() {
+		all[d.Name] = d
+	}
+	var out []*obdrel.Design
+	for _, name := range strings.Split(csv, ",") {
+		d, ok := all[strings.ToUpper(strings.TrimSpace(name))]
+		if !ok {
+			return nil, fmt.Errorf("unknown design %q", name)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+func config(mcSamples, gridN int, seed int64, workers int) *obdrel.Config {
+	cfg := obdrel.DefaultConfig()
+	cfg.MCSamples = mcSamples
+	cfg.GridNx, cfg.GridNy = gridN, gridN
+	cfg.Seed = seed
+	cfg.Workers = workers
+	return cfg
+}
+
+func run(designs []*obdrel.Design, mcSamples, gridN int, seed int64, workers int, quick bool) *Report {
+	rep := &Report{
+		Schema:      Schema,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Workers:     par.Resolve(workers, 1<<30),
+		Quick:       quick,
+		MCSamples:   mcSamples,
+		GridN:       gridN,
+	}
+	for _, d := range designs {
+		rep.Designs = append(rep.Designs, benchDesign(d, mcSamples, gridN, seed, workers, quick))
+	}
+	rep.Table3Sweep = benchSweep(designs, mcSamples, gridN, seed, workers)
+	rep.PCACache = CacheReport{
+		Computes: grid.SharedPCACache.Computes(),
+		Hits:     grid.SharedPCACache.Hits(),
+		Entries:  grid.SharedPCACache.Len(),
+	}
+	return rep
+}
+
+// benchDesign times each engine's steady-state query and isolates the
+// MC FailureProb reduction serial-vs-parallel.
+func benchDesign(d *obdrel.Design, mcSamples, gridN int, seed int64, workers int, quick bool) DesignReport {
+	dr := DesignReport{Design: d.Name, Devices: d.TotalDevices()}
+	an, err := obdrel.NewAnalyzer(d, config(mcSamples, gridN, seed, workers))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := an.LifetimePPM(10, obdrel.MethodMC) // warms the MC engine too
+	if err != nil {
+		log.Fatal(err)
+	}
+	reps := 5
+	if quick {
+		reps = 2
+	}
+	methods := []obdrel.Method{
+		obdrel.MethodMC, obdrel.MethodStFast, obdrel.MethodStMC,
+		obdrel.MethodHybrid, obdrel.MethodGuard,
+	}
+	times := map[obdrel.Method]time.Duration{}
+	for _, m := range methods {
+		// Warm: engine construction (sampling, PCA, hybrid table) is a
+		// one-time cost, not the steady-state query being measured.
+		life, err := an.LifetimePPM(10, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			if _, err := an.LifetimePPM(10, m); err != nil {
+				log.Fatal(err)
+			}
+		}
+		per := time.Since(start) / time.Duration(reps)
+		times[m] = per
+		dr.Engines = append(dr.Engines, EngineReport{
+			Method:       m.String(),
+			QueryNs:      per.Nanoseconds(),
+			LifetimeH:    life,
+			ErrVsMCPct:   (life - ref) / ref * 100,
+			QueriesTimed: reps,
+		})
+	}
+	for i := range dr.Engines {
+		dr.Engines[i].SpeedupVsMC = float64(times[obdrel.MethodMC]) / float64(times[methods[i]])
+	}
+	dr.MCFailureProb = benchMCFailureProb(d, mcSamples, gridN, seed, workers, ref, reps)
+	return dr
+}
+
+// benchMCFailureProb times the pure MC reduction (FailureProb over the
+// sample histograms) with Workers:1 against the parallel pool. Both
+// analyzers draw identical samples (the sampling plan is
+// worker-independent), so the comparison is reduction-only.
+func benchMCFailureProb(d *obdrel.Design, mcSamples, gridN int, seed int64, workers int, t float64, reps int) SerialParallel {
+	timeOne := func(w int) int64 {
+		an, err := obdrel.NewAnalyzer(d, config(mcSamples, gridN, seed, w))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := an.FailureProb(t, obdrel.MethodMC); err != nil { // warm: sampling
+			log.Fatal(err)
+		}
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			if _, err := an.FailureProb(t, obdrel.MethodMC); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return (time.Since(start) / time.Duration(reps)).Nanoseconds()
+	}
+	sp := SerialParallel{SerialNs: timeOne(1), ParallelNs: timeOne(workers)}
+	sp.Speedup = float64(sp.SerialNs) / float64(sp.ParallelNs)
+	return sp
+}
+
+// benchSweep times a Table III-shaped sweep (every design × the four
+// fast methods + the MC reference) serially and with the full fan-out.
+func benchSweep(designs []*obdrel.Design, mcSamples, gridN int, seed int64, workers int) SerialParallel {
+	sweep := func(w int) int64 {
+		start := time.Now()
+		par.For(w, len(designs), func(di int) {
+			an, err := obdrel.NewAnalyzer(designs[di], config(mcSamples, gridN, seed, w))
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, m := range []obdrel.Method{
+				obdrel.MethodMC, obdrel.MethodStFast, obdrel.MethodStMC,
+				obdrel.MethodHybrid, obdrel.MethodGuard,
+			} {
+				if _, err := an.LifetimePPM(10, m); err != nil {
+					log.Fatal(err)
+				}
+			}
+		})
+		return time.Since(start).Nanoseconds()
+	}
+	sp := SerialParallel{SerialNs: sweep(1), ParallelNs: sweep(workers)}
+	sp.Speedup = float64(sp.SerialNs) / float64(sp.ParallelNs)
+	return sp
+}
+
+// validateReport checks that an existing report file parses and
+// carries the required fields — the CI smoke test for the schema.
+func validateReport(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep Report
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		return err
+	}
+	switch {
+	case rep.Schema != Schema:
+		return fmt.Errorf("schema %q, want %q", rep.Schema, Schema)
+	case rep.GoMaxProcs < 1:
+		return fmt.Errorf("go_max_procs %d", rep.GoMaxProcs)
+	case len(rep.Designs) == 0:
+		return fmt.Errorf("no designs")
+	case rep.Table3Sweep.SerialNs <= 0 || rep.Table3Sweep.ParallelNs <= 0:
+		return fmt.Errorf("table3_sweep timings missing")
+	}
+	for _, d := range rep.Designs {
+		if d.Design == "" || len(d.Engines) == 0 {
+			return fmt.Errorf("design entry %+v incomplete", d)
+		}
+		for _, e := range d.Engines {
+			if e.Method == "" || e.QueryNs <= 0 {
+				return fmt.Errorf("%s: engine entry %+v incomplete", d.Design, e)
+			}
+		}
+		if d.MCFailureProb.SerialNs <= 0 || d.MCFailureProb.ParallelNs <= 0 {
+			return fmt.Errorf("%s: mc_failure_prob timings missing", d.Design)
+		}
+	}
+	return nil
+}

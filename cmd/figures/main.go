@@ -9,6 +9,10 @@
 //	figures -fig 7    # normalized product error + mutual information (Fig. 7)
 //	figures -fig 8    # quadratic-form CDF vs χ² approximation (Fig. 8)
 //	figures -fig 10   # failure-rate curves of the four methods (Fig. 10)
+//
+// -workers parallelizes both the analyzer internals and the per-design
+// / per-method fan-out of figs. 1 and 10; output order is fixed
+// regardless of worker count.
 package main
 
 import (
@@ -18,12 +22,14 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"strings"
 
 	"obdrel"
 	"obdrel/internal/blod"
 	"obdrel/internal/floorplan"
 	"obdrel/internal/grid"
 	"obdrel/internal/obd"
+	"obdrel/internal/par"
 	"obdrel/internal/stats"
 	"obdrel/internal/textplot"
 )
@@ -32,13 +38,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
 	var (
-		fig  = flag.Int("fig", 4, "figure to regenerate: 1, 3, 4, 6, 7, 8 or 10")
-		seed = flag.Int64("seed", 1, "random seed")
+		fig     = flag.Int("fig", 4, "figure to regenerate: 1, 3, 4, 6, 7, 8 or 10")
+		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "parallelism for analyzers and figure fan-out (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 	switch *fig {
 	case 1:
-		fig1(*seed)
+		fig1(*seed, *workers)
 	case 3:
 		fig3(*seed)
 	case 4:
@@ -48,7 +55,7 @@ func main() {
 	case 8:
 		fig8(*seed)
 	case 10:
-		fig10(*seed)
+		fig10(*seed, *workers)
 	default:
 		log.Fatalf("unknown figure %d (want 1, 3, 4, 6, 7, 8 or 10)", *fig)
 	}
@@ -60,32 +67,45 @@ func note(format string, args ...any) {
 }
 
 // fig1 emits the solved temperature fields of the alpha-like C6 and a
-// 4×4 many-core design.
-func fig1(seed int64) {
+// 4×4 many-core design. The designs solve in parallel; rows and
+// summaries print in design order.
+func fig1(seed int64, workers int) {
 	designs := []*obdrel.Design{obdrel.C6()}
 	if mc, err := obdrel.ManyCore(4, 50_000); err == nil {
 		designs = append(designs, mc)
 	}
-	fmt.Println("design,ix,iy,temp_c")
-	for _, d := range designs {
+	type result struct {
+		rows, summary string
+	}
+	results := make([]result, len(designs))
+	par.For(workers, len(designs), func(di int) {
+		d := designs[di]
 		cfg := obdrel.DefaultConfig()
 		cfg.GridNx, cfg.GridNy = 10, 10 // the analysis grid is irrelevant here
 		cfg.Seed = seed
+		cfg.Workers = workers
 		an, err := obdrel.NewAnalyzer(d, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		nx, ny, temps := an.TemperatureField()
+		var rows strings.Builder
 		for iy := 0; iy < ny; iy++ {
 			for ix := 0; ix < nx; ix++ {
-				fmt.Printf("%s,%d,%d,%.3f\n", d.Name, ix, iy, temps[iy*nx+ix])
+				fmt.Fprintf(&rows, "%s,%d,%d,%.3f\n", d.Name, ix, iy, temps[iy*nx+ix])
 			}
 		}
 		min, mean, max := an.TempSpread()
-		note("%s: %.1f–%.1f °C (mean %.1f, spread %.1f K)", d.Name, min, max, mean, max-min)
+		summary := fmt.Sprintf("%s: %.1f–%.1f °C (mean %.1f, spread %.1f K)", d.Name, min, max, mean, max-min)
 		if art, err := textplot.HeatMap(temps, nx, ny, 2); err == nil {
-			note("%s", art)
+			summary += "\n" + art
 		}
+		results[di] = result{rows.String(), summary}
+	})
+	fmt.Println("design,ix,iy,temp_c")
+	for _, r := range results {
+		fmt.Print(r.rows)
+		note("%s", r.summary)
 	}
 }
 
@@ -269,9 +289,10 @@ func fig8(seed int64) {
 // variant, and the guard-band bound on design C3, plus each method's
 // 10-per-million lifetime error vs MC and the sampled chip failure
 // times behind the empirical curve.
-func fig10(seed int64) {
+func fig10(seed int64, workers int) {
 	cfg := obdrel.DefaultConfig()
 	cfg.Seed = seed
+	cfg.Workers = workers
 	an, err := obdrel.NewAnalyzer(obdrel.C3(), cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -285,22 +306,35 @@ func fig10(seed int64) {
 		obdrel.MethodMC: 'M', obdrel.MethodStFast: '*',
 		obdrel.MethodTempUnaware: 'u', obdrel.MethodGuard: 'g',
 	}
-	var chart []textplot.Series
-	fmt.Println("method,time_h,p_fail")
-	for _, m := range methods {
+	// The four method curves are independent given the shared analyzer
+	// (whose queries are safe for concurrent use) — fan them out and
+	// print in method order.
+	type curve struct {
+		times, pf []float64
+		life      float64
+	}
+	curves := make([]curve, len(methods))
+	par.For(workers, len(methods), func(mi int) {
+		m := methods[mi]
 		times, pf, err := an.ReliabilityCurve(ref/30, ref*1000, 60, m)
 		if err != nil {
 			log.Fatal(err)
 		}
-		for i := range times {
-			fmt.Printf("%s,%.5g,%.5g\n", m, times[i], pf[i])
-		}
-		chart = append(chart, textplot.Series{Name: m.String(), X: times, Y: pf, Marker: markers[m]})
 		life, err := an.LifetimePPM(10, m)
 		if err != nil {
 			log.Fatal(err)
 		}
-		note("%-13s 10ppm lifetime %11.4g h   error vs MC %+6.1f%%", m, life, (life-ref)/ref*100)
+		curves[mi] = curve{times, pf, life}
+	})
+	var chart []textplot.Series
+	fmt.Println("method,time_h,p_fail")
+	for mi, m := range methods {
+		c := curves[mi]
+		for i := range c.times {
+			fmt.Printf("%s,%.5g,%.5g\n", m, c.times[i], c.pf[i])
+		}
+		chart = append(chart, textplot.Series{Name: m.String(), X: c.times, Y: c.pf, Marker: markers[m]})
+		note("%-13s 10ppm lifetime %11.4g h   error vs MC %+6.1f%%", m, c.life, (c.life-ref)/ref*100)
 	}
 	if art, err := textplot.LinePlot(chart, 72, 20, true, true); err == nil {
 		note("failure probability vs time (log-log):\n%s", art)

@@ -49,3 +49,82 @@ func TestConcurrentQueries(t *testing.T) {
 		}
 	}
 }
+
+// TestConcurrentQueriesMC drives the Monte-Carlo engine — whose query
+// path now fans out over an internal worker pool — from many
+// goroutines at once. Under -race this checks that nested parallelism
+// (concurrent FailureProb calls, each spawning reduction workers) is
+// clean and that all callers see identical answers.
+func TestConcurrentQueriesMC(t *testing.T) {
+	cfg := fastConfig()
+	cfg.MCSamples = 150
+	cfg.Workers = 4
+	an, err := obdrel.NewAnalyzer(obdrel.C1(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	results := make([]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			life, err := an.LifetimePPM(10, obdrel.MethodMC)
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+				return
+			}
+			results[w] = life
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if results[w] != results[0] {
+			t.Fatalf("worker %d MC lifetime differs: %v vs %v", w, results[w], results[0])
+		}
+	}
+}
+
+// TestWorkersEquivalence pins the Config.Workers contract end to end:
+// Workers:1 runs the exact serial legacy paths, and any Workers ≥ 2
+// must agree with it to the documented tolerances. The thermal stage
+// switches ordering (lexicographic vs red-black, both converged to the
+// same tolerance) and the MC reduction reassociates — everything else
+// is bit-identical — so the analyzer-level lifetimes agree to ≪ 0.01%.
+func TestWorkersEquivalence(t *testing.T) {
+	lifetimes := func(workers int) map[obdrel.Method]float64 {
+		cfg := fastConfig()
+		cfg.MCSamples = 200
+		cfg.Workers = workers
+		cfg.DisablePCACache = true // isolate runs from the shared cache
+		an, err := obdrel.NewAnalyzer(obdrel.C1(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[obdrel.Method]float64{}
+		for _, m := range []obdrel.Method{
+			obdrel.MethodStFast, obdrel.MethodStMC, obdrel.MethodHybrid,
+			obdrel.MethodGuard, obdrel.MethodMC,
+		} {
+			life, err := an.LifetimePPM(10, m)
+			if err != nil {
+				t.Fatalf("workers=%d method %v: %v", workers, m, err)
+			}
+			out[m] = life
+		}
+		return out
+	}
+	serial := lifetimes(1)
+	parallel := lifetimes(4)
+	again := lifetimes(7)
+	for m, ref := range serial {
+		if !approx(parallel[m], ref, 1e-4) {
+			t.Errorf("method %v: workers=4 %v vs serial %v", m, parallel[m], ref)
+		}
+		if parallel[m] != again[m] {
+			t.Errorf("method %v: workers=4 %v != workers=7 %v (parallel plan not deterministic)",
+				m, parallel[m], again[m])
+		}
+	}
+}

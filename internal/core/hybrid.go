@@ -35,6 +35,11 @@ type HybridOptions struct {
 	LMin, LMax float64
 	BMin, BMax float64
 	L0         int
+	// Workers parallelizes the table fill (0 = GOMAXPROCS,
+	// 1 = serial). Every entry is an independent double integral over
+	// precomputed weights, so the tables are bit-identical for every
+	// worker count.
+	Workers int
 }
 
 // NewHybrid precomputes the per-block lookup tables.
@@ -83,9 +88,12 @@ func NewHybrid(c *Chip, opts HybridOptions) (*Hybrid, error) {
 			return nil, fmt.Errorf("core: block %q: %w", c.Char.Blocks[j].Name, err)
 		}
 		area := c.Char.Blocks[j].AJ
-		tab, err := integrate.NewTable2D(ls, bs, func(l, b float64) float64 {
+		// The 100×100 fill is the dominant build cost; its rows fan
+		// out over the workers (each entry reads only the immutable
+		// per-block weights).
+		tab, err := integrate.NewTable2DWorkers(ls, bs, func(l, b float64) float64 {
 			return bw.failureProb(l, b, area)
-		})
+		}, opts.Workers)
 		if err != nil {
 			return nil, err
 		}

@@ -5,11 +5,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
 	"sync"
 
 	"obdrel/internal/grid"
 	"obdrel/internal/mathx"
+	"obdrel/internal/par"
 )
 
 // MonteCarlo is the device-level reference simulation (Section V's
@@ -40,6 +40,11 @@ type MonteCarlo struct {
 	Samples int
 	// WBins is the per-block w-histogram resolution.
 	WBins int
+	// Workers is the query-path worker count (0 = GOMAXPROCS,
+	// 1 = exact serial path). Queries reduce over samples with the
+	// deterministic chunk plan of internal/par, so any Workers ≥ 2
+	// produce bit-identical results.
+	Workers int
 
 	// hists[s] holds sample s's concatenated per-block histograms
 	// (N·WBins counts).
@@ -49,12 +54,15 @@ type MonteCarlo struct {
 	seed    int64
 }
 
-// MCOptions configures NewMonteCarlo. Zero values select 1000 samples
-// and 512 bins.
+// MCOptions configures NewMonteCarlo. Zero values select 1000 samples,
+// 512 bins, and GOMAXPROCS workers.
 type MCOptions struct {
 	Samples int
 	WBins   int
 	Seed    int64
+	// Workers bounds the sampling and query parallelism (0 =
+	// GOMAXPROCS, 1 = serial).
+	Workers int
 }
 
 // NewMonteCarlo runs the sampling phase (the expensive part, linear in
@@ -66,7 +74,7 @@ func NewMonteCarlo(c *Chip, pca *grid.PCA, opts MCOptions) (*MonteCarlo, error) 
 	if pca.Loadings.Rows != c.Model.NumGrids() {
 		return nil, fmt.Errorf("core: PCA covers %d grids, model has %d", pca.Loadings.Rows, c.Model.NumGrids())
 	}
-	e := &MonteCarlo{chip: c, Samples: opts.Samples, WBins: opts.WBins, seed: opts.Seed}
+	e := &MonteCarlo{chip: c, Samples: opts.Samples, WBins: opts.WBins, Workers: opts.Workers, seed: opts.Seed}
 	if e.Samples <= 0 {
 		e.Samples = 1000
 	}
@@ -104,27 +112,13 @@ func NewMonteCarlo(c *Chip, pca *grid.PCA, opts MCOptions) (*MonteCarlo, error) 
 		allocGrids[j], allocCounts[j] = c.Char.Blocks[j].DeviceAllocation()
 	}
 
+	// Per-sample deterministic seeds make the sampling phase
+	// order-independent; the atomic-counter pool in par avoids the
+	// unbuffered-channel handoff the old producer serialized on.
 	e.hists = make([][]float32, e.Samples)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > e.Samples {
-		workers = e.Samples
-	}
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for s := range jobs {
-				e.hists[s] = e.sampleChip(pca, allocGrids, allocCounts, e.seed+int64(s)*7919+1)
-			}
-		}()
-	}
-	for s := 0; s < e.Samples; s++ {
-		jobs <- s
-	}
-	close(jobs)
-	wg.Wait()
+	par.For(e.Workers, e.Samples, func(s int) {
+		e.hists[s] = e.sampleChip(pca, allocGrids, allocCounts, e.seed+int64(s)*7919+1)
+	})
 	return e, nil
 }
 
@@ -159,6 +153,14 @@ func (e *MonteCarlo) sampleChip(pca *grid.PCA, allocGrids [][]int, allocCounts [
 	return hist
 }
 
+// expResync is the bin interval at which the geometric progression in
+// exponent is resynchronized with an exact math.Exp. The running
+// product cur *= r compounds one rounding error per bin; over 512 bins
+// that drift reaches ~512 ULP (≳1e-13 relative), while resyncing every
+// 64 bins bounds it at ~64 ULP — far below the Monte-Carlo noise floor
+// and cheap (8 extra Exp calls per block).
+const expResync = 64
+
 // exponent evaluates S(t) = Σ_j Σ_i e^(w_i·L_j) + extra for one
 // sample's histograms, where extra carries the (deterministic)
 // extrinsic hazard sum.
@@ -167,9 +169,13 @@ func (e *MonteCarlo) exponent(hist []float32, ls []float64, extra float64) float
 	for j := range ls {
 		l := ls[j]
 		base := hist[j*e.WBins : (j+1)*e.WBins]
-		cur := math.Exp((e.wLo[j] + e.dW[j]/2) * l)
-		r := math.Exp(e.dW[j] * l)
-		for _, cnt := range base {
+		wLo, dw := e.wLo[j], e.dW[j]
+		cur := math.Exp((wLo + dw/2) * l)
+		r := math.Exp(dw * l)
+		for k, cnt := range base {
+			if k%expResync == 0 && k != 0 {
+				cur = math.Exp((wLo + (float64(k)+0.5)*dw) * l)
+			}
 			if cnt != 0 {
 				s += float64(cnt) * cur
 			}
@@ -183,7 +189,10 @@ func (e *MonteCarlo) exponent(hist []float32, ls []float64, extra float64) float
 func (e *MonteCarlo) Name() string { return "MC" }
 
 // FailureProb implements Engine: the sample average of
-// 1 - exp(-S_k(t)).
+// 1 - exp(-S_k(t)). The reduction over sample histograms fans out over
+// e.Workers with the deterministic chunk plan of par.SumOrdered, so
+// the result is bit-identical for every worker count ≥ 2 and matches
+// the legacy serial loop when Workers == 1.
 func (e *MonteCarlo) FailureProb(t float64) (float64, error) {
 	if t <= 0 {
 		return 0, nil
@@ -195,10 +204,9 @@ func (e *MonteCarlo) FailureProb(t float64) (float64, error) {
 		ls[j] = math.Log(t / e.chip.Params[j].Alpha)
 		ext += e.chip.extrinsicHazard(j, t)
 	}
-	acc := 0.0
-	for _, h := range e.hists {
-		acc += -math.Expm1(-e.exponent(h, ls, ext))
-	}
+	acc := par.SumOrdered(e.Workers, len(e.hists), func(s int) float64 {
+		return -math.Expm1(-e.exponent(e.hists[s], ls, ext))
+	})
 	return acc / float64(len(e.hists)), nil
 }
 
@@ -212,38 +220,63 @@ func (e *MonteCarlo) SampleFailureTimes(count int, seed int64) ([]float64, error
 	if count <= 0 {
 		return nil, errors.New("core: SampleFailureTimes requires count > 0")
 	}
+	// The uniform variates are drawn serially up front (preserving the
+	// legacy rng consumption order exactly); the per-draw bisections —
+	// the expensive part, ~200 exponent evaluations each — are then
+	// independent and fan out over e.Workers. Every draw is inverted
+	// from its own variate, so the output is bit-identical for every
+	// worker count, including the serial path.
 	rng := rand.New(rand.NewSource(seed))
-	n := e.chip.NumBlocks()
-	aMin, aMax := e.chip.AlphaRange()
-	out := make([]float64, count)
-	ls := make([]float64, n)
-	for k := 0; k < count; k++ {
-		h := e.hists[k%len(e.hists)]
+	us := make([]float64, count)
+	for k := range us {
 		u := rng.Float64()
 		for u == 0 {
 			u = rng.Float64()
 		}
-		target := -math.Log(u) // solve S(t) = target
-		f := func(logT float64) float64 {
-			tt := math.Exp(logT)
-			ext := 0.0
-			for j := 0; j < n; j++ {
-				ls[j] = logT - math.Log(e.chip.Params[j].Alpha)
-				ext += e.chip.extrinsicHazard(j, tt)
+		us[k] = u
+	}
+	n := e.chip.NumBlocks()
+	aMin, aMax := e.chip.AlphaRange()
+	out := make([]float64, count)
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	par.ForChunks(e.Workers, count, 16, func(kLo, kHi int) {
+		ls := make([]float64, n)
+		for k := kLo; k < kHi; k++ {
+			h := e.hists[k%len(e.hists)]
+			target := -math.Log(us[k]) // solve S(t) = target
+			f := func(logT float64) float64 {
+				tt := math.Exp(logT)
+				ext := 0.0
+				for j := 0; j < n; j++ {
+					ls[j] = logT - math.Log(e.chip.Params[j].Alpha)
+					ext += e.chip.extrinsicHazard(j, tt)
+				}
+				return e.exponent(h, ls, ext) - target
 			}
-			return e.exponent(h, ls, ext) - target
+			lo := math.Log(aMin) - 40*math.Ln10
+			hi := math.Log(aMax) + 4*math.Ln10
+			// S is monotone increasing in t; expand upward if needed.
+			for f(hi) < 0 {
+				hi += 2 * math.Ln10
+			}
+			logT, err := mathx.Bisect(f, lo, hi, 1e-9, 200)
+			if err != nil {
+				// Record one failure; out is discarded by the caller.
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("core: failure-time inversion: %w", err)
+				}
+				errMu.Unlock()
+				return
+			}
+			out[k] = math.Exp(logT)
 		}
-		lo := math.Log(aMin) - 40*math.Ln10
-		hi := math.Log(aMax) + 4*math.Ln10
-		// S is monotone increasing in t; expand upward if needed.
-		for f(hi) < 0 {
-			hi += 2 * math.Ln10
-		}
-		logT, err := mathx.Bisect(f, lo, hi, 1e-9, 200)
-		if err != nil {
-			return nil, fmt.Errorf("core: failure-time inversion: %w", err)
-		}
-		out[k] = math.Exp(logT)
+	})
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
 }

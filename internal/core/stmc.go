@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"obdrel/internal/grid"
+	"obdrel/internal/par"
 	"obdrel/internal/stats"
 )
 
@@ -43,6 +44,11 @@ type StMCOptions struct {
 	Bins    int
 	Product bool
 	Seed    int64
+	// Workers parallelizes the sampling projection (0 = GOMAXPROCS,
+	// 1 = serial). The component draws themselves stay serial so the
+	// rng consumption order — and therefore the result — is identical
+	// for every worker count.
+	Workers int
 }
 
 // NewStMC draws the component samples and builds the per-block joint
@@ -74,12 +80,19 @@ func NewStMC(c *Chip, pca *grid.PCA, opts StMCOptions) (*StMC, error) {
 		e.us[j] = make([]float64, e.Samples)
 		e.vs[j] = make([]float64, e.Samples)
 	}
-	for s := 0; s < e.Samples; s++ {
-		shifts := pca.GridShifts(pca.SampleComponents(rng))
+	// Draw every component vector serially (cheap, and it pins the rng
+	// stream), then fan the expensive Λ·z projections out over the
+	// workers — each sample writes disjoint [j][s] slots.
+	zs := make([][]float64, e.Samples)
+	for s := range zs {
+		zs[s] = pca.SampleComponents(rng)
+	}
+	par.For(opts.Workers, e.Samples, func(s int) {
+		shifts := pca.GridShifts(zs[s])
 		for j := 0; j < n; j++ {
 			e.us[j][s], e.vs[j][s] = c.Char.Blocks[j].UVFromShifts(shifts)
 		}
-	}
+	})
 	// Build the per-block joint histograms over the sampled ranges.
 	for j := 0; j < n; j++ {
 		uLo, uHi := minMax(e.us[j])

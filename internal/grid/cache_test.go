@@ -1,0 +1,136 @@
+package grid
+
+import (
+	"sync"
+	"testing"
+)
+
+func cacheModel(t *testing.T, nx int, rho float64) *Model {
+	t.Helper()
+	m, err := NewModel(2.2, 1, 1, nx, nx, 0.02, 0.015, 0.015, rho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestPCACacheComputesOncePerKey is the Table IV/V contract: the
+// eigendecomposition runs once per distinct (geometry, ρ_dist) key no
+// matter how many sweep cells request it.
+func TestPCACacheComputesOncePerKey(t *testing.T) {
+	c := NewPCACache()
+	mA := cacheModel(t, 6, 0.5)
+	pA, err := c.Get(mA, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		p, err := c.Get(cacheModel(t, 6, 0.5), 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != pA {
+			t.Fatal("cache returned a different PCA instance for an identical key")
+		}
+	}
+	if got := c.Computes(); got != 1 {
+		t.Fatalf("Computes = %d after repeated identical keys, want 1", got)
+	}
+	if got := c.Hits(); got != 5 {
+		t.Fatalf("Hits = %d, want 5", got)
+	}
+
+	// Distinct ρ_dist and grid keys each decompose exactly once.
+	if _, err := c.Get(cacheModel(t, 6, 0.25), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(cacheModel(t, 5, 0.5), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(cacheModel(t, 5, 0.5), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Computes(); got != 3 {
+		t.Fatalf("Computes = %d after 3 distinct keys, want 3", got)
+	}
+	if got := c.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+}
+
+// TestPCACacheKeyIgnoresIrrelevantParams: σ_ε, u0 and the wafer
+// pattern do not enter the covariance, so varying them must hit the
+// same entry.
+func TestPCACacheKeyIgnoresIrrelevantParams(t *testing.T) {
+	c := NewPCACache()
+	m1 := cacheModel(t, 6, 0.5)
+	m2 := cacheModel(t, 6, 0.5)
+	m2.SigmaE = 0.03
+	m2.U0 = 1.8
+	m2.Pattern = &WaferPattern{DieSpan: 0.1, Bowl: 0.05}
+	p1, err := c.Get(m1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.Get(m2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("σ_ε/u0/pattern changed the cache key but not the covariance")
+	}
+	if got := c.Computes(); got != 1 {
+		t.Fatalf("Computes = %d, want 1", got)
+	}
+}
+
+// TestPCACacheMatchesDirect: the cached result is the same
+// decomposition ComputePCA returns directly.
+func TestPCACacheMatchesDirect(t *testing.T) {
+	c := NewPCACache()
+	m := cacheModel(t, 5, 0.4)
+	cached, err := c.Get(m, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := m.ComputePCA(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.K != direct.K {
+		t.Fatalf("K: cached %d vs direct %d", cached.K, direct.K)
+	}
+	if d := cached.Loadings.MaxAbsDiff(direct.Loadings); d != 0 {
+		t.Fatalf("loadings differ by %v — parallel covariance assembly is not bit-deterministic", d)
+	}
+}
+
+// TestPCACacheConcurrentSingleflight: many goroutines requesting the
+// same key must trigger exactly one decomposition.
+func TestPCACacheConcurrentSingleflight(t *testing.T) {
+	c := NewPCACache()
+	m := cacheModel(t, 7, 0.5)
+	var wg sync.WaitGroup
+	results := make([]*PCA, 16)
+	for g := 0; g < len(results); g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p, err := c.Get(m, 1, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[g] = p
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Computes(); got != 1 {
+		t.Fatalf("Computes = %d under concurrent identical Gets, want 1", got)
+	}
+	for g := 1; g < len(results); g++ {
+		if results[g] != results[0] {
+			t.Fatal("goroutines saw different PCA instances")
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"math/rand"
 
 	"obdrel/internal/linalg"
+	"obdrel/internal/par"
 )
 
 // Model describes the thickness-variation structure of one technology
@@ -194,6 +195,15 @@ func (m *Model) Correlation(d float64) float64 {
 // StructQuadTree it is σ_g² plus the variances of the quad-tree
 // regions shared by the two grids.
 func (m *Model) Covariance() *linalg.Matrix {
+	return m.CovarianceWorkers(1)
+}
+
+// CovarianceWorkers is Covariance with the row assembly fanned out
+// over workers (0 = GOMAXPROCS, 1 = serial). Row i fills entries
+// (i, j≥i) and mirrors them; distinct i touch disjoint (i, j) pairs,
+// and every entry depends only on the two grid centers, so the matrix
+// is bit-identical for every worker count.
+func (m *Model) CovarianceWorkers(workers int) *linalg.Matrix {
 	if m.Structure == StructQuadTree {
 		return m.quadTreeCovariance()
 	}
@@ -202,7 +212,7 @@ func (m *Model) Covariance() *linalg.Matrix {
 	l := m.RhoDist * math.Max(m.W, m.H)
 	g2 := m.SigmaG * m.SigmaG
 	s2 := m.SigmaS * m.SigmaS
-	for i := 0; i < n; i++ {
+	par.For(workers, n, func(i int) {
 		xi, yi := m.GridCenter(i)
 		c.Set(i, i, g2+s2)
 		for j := i + 1; j < n; j++ {
@@ -212,7 +222,7 @@ func (m *Model) Covariance() *linalg.Matrix {
 			c.Set(i, j, v)
 			c.Set(j, i, v)
 		}
-	}
+	})
 	return c
 }
 
@@ -239,13 +249,22 @@ type PCA struct {
 // construction (one component per region) and keepFraction is
 // ignored beyond validation.
 func (m *Model) ComputePCA(keepFraction float64) (*PCA, error) {
+	return m.ComputePCAWorkers(keepFraction, 1)
+}
+
+// ComputePCAWorkers is ComputePCA with the covariance assembly and the
+// loading-matrix scaling fanned out over workers. The eigensolver
+// itself stays serial (Householder/QL is sequential by construction);
+// since every parallel stage here is element-independent, the PCA is
+// bit-identical for every worker count.
+func (m *Model) ComputePCAWorkers(keepFraction float64, workers int) (*PCA, error) {
 	if !(keepFraction > 0) || keepFraction > 1 {
 		return nil, fmt.Errorf("grid: keepFraction must be in (0,1], got %v", keepFraction)
 	}
 	if m.Structure == StructQuadTree {
 		return m.quadTreeFactor(), nil
 	}
-	cov := m.Covariance()
+	cov := m.CovarianceWorkers(workers)
 	vals, vecs, err := linalg.EigenSym(cov)
 	if err != nil {
 		return nil, fmt.Errorf("grid: covariance eigendecomposition: %w", err)
@@ -273,12 +292,11 @@ func (m *Model) ComputePCA(keepFraction float64) (*PCA, error) {
 		return nil, errors.New("grid: covariance matrix has no positive eigenvalues")
 	}
 	loadings := linalg.NewMatrix(n, k)
-	for j := 0; j < k; j++ {
-		s := math.Sqrt(vals[j])
-		for i := 0; i < n; i++ {
-			loadings.Set(i, j, vecs.At(i, j)*s)
+	par.For(workers, n, func(i int) {
+		for j := 0; j < k; j++ {
+			loadings.Set(i, j, vecs.At(i, j)*math.Sqrt(vals[j]))
 		}
-	}
+	})
 	return &PCA{
 		Loadings:         loadings,
 		Eigenvalues:      append([]float64(nil), vals[:k]...),
@@ -302,6 +320,14 @@ func (p *PCA) SampleComponents(rng *rand.Rand) []float64 {
 // a component sample z.
 func (p *PCA) GridShifts(z []float64) []float64 {
 	return p.Loadings.MulVec(z)
+}
+
+// GridShiftsWorkers is GridShifts with the per-grid dot products
+// fanned out over workers — useful for single large shift evaluations
+// outside an already-parallel sampling loop. Bit-identical to
+// GridShifts for every worker count.
+func (p *PCA) GridShiftsWorkers(z []float64, workers int) []float64 {
+	return p.Loadings.MulVecWorkers(z, workers)
 }
 
 // ReconstructCovariance returns Λ·Λᵀ, which approximates the original

@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"obdrel/internal/par"
 )
 
 // Midpoint1D integrates f over [a, b] with n midpoint panels.
@@ -133,6 +135,15 @@ type Table2D struct {
 // NewTable2D builds a table from strictly increasing axes and a
 // fill function evaluated at every grid point.
 func NewTable2D(xs, ys []float64, fill func(x, y float64) float64) (*Table2D, error) {
+	return NewTable2DWorkers(xs, ys, fill, 1)
+}
+
+// NewTable2DWorkers is NewTable2D with the fill fanned out over
+// workers (0 = GOMAXPROCS, 1 = serial), one x-row at a time. Every
+// entry is computed independently from its grid point, so the table is
+// bit-identical for every worker count. fill must be safe for
+// concurrent calls when workers != 1.
+func NewTable2DWorkers(xs, ys []float64, fill func(x, y float64) float64, workers int) (*Table2D, error) {
 	if len(xs) < 2 || len(ys) < 2 {
 		return nil, errors.New("integrate: Table2D needs at least 2 points per axis")
 	}
@@ -151,11 +162,13 @@ func NewTable2D(xs, ys []float64, fill func(x, y float64) float64) (*Table2D, er
 		ys:   append([]float64(nil), ys...),
 		vals: make([]float64, len(xs)*len(ys)),
 	}
-	for i, x := range t.xs {
+	par.For(workers, len(t.xs), func(i int) {
+		x := t.xs[i]
+		row := t.vals[i*len(t.ys) : (i+1)*len(t.ys)]
 		for j, y := range t.ys {
-			t.vals[i*len(t.ys)+j] = fill(x, y)
+			row[j] = fill(x, y)
 		}
-	}
+	})
 	return t, nil
 }
 

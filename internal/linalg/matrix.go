@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"obdrel/internal/par"
 )
 
 // Matrix is a dense row-major matrix.
@@ -68,11 +70,19 @@ func (m *Matrix) Transpose() *Matrix {
 
 // Mul returns m · b as a new matrix.
 func (m *Matrix) Mul(b *Matrix) *Matrix {
+	return m.MulWorkers(b, 1)
+}
+
+// MulWorkers returns m · b with the output rows fanned out over
+// workers (0 = GOMAXPROCS, 1 = serial). Each output row is computed
+// independently in a fixed order, so the product is bit-identical for
+// every worker count.
+func (m *Matrix) MulWorkers(b *Matrix, workers int) *Matrix {
 	if m.Cols != b.Rows {
 		panic(fmt.Sprintf("linalg: Mul dimension mismatch %d×%d · %d×%d", m.Rows, m.Cols, b.Rows, b.Cols))
 	}
 	out := NewMatrix(m.Rows, b.Cols)
-	for i := 0; i < m.Rows; i++ {
+	par.For(workers, m.Rows, func(i int) {
 		mi := m.Row(i)
 		oi := out.Row(i)
 		for k := 0; k < m.Cols; k++ {
@@ -85,24 +95,55 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 				oi[j] += a * bk[j]
 			}
 		}
-	}
+	})
 	return out
 }
 
 // MulVec returns m · v as a new slice.
 func (m *Matrix) MulVec(v []float64) []float64 {
+	out := make([]float64, m.Rows)
+	m.MulVecInto(out, v)
+	return out
+}
+
+// MulVecInto computes m · v into dst (len m.Rows), avoiding the
+// allocation of MulVec on hot paths.
+func (m *Matrix) MulVecInto(dst, v []float64) {
 	if m.Cols != len(v) {
 		panic(fmt.Sprintf("linalg: MulVec dimension mismatch %d×%d · %d", m.Rows, m.Cols, len(v)))
 	}
-	out := make([]float64, m.Rows)
-	for i := range out {
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("linalg: MulVecInto dst length %d for %d rows", len(dst), m.Rows))
+	}
+	for i := range dst {
 		ri := m.Row(i)
 		s := 0.0
 		for j, x := range v {
 			s += ri[j] * x
 		}
-		out[i] = s
+		dst[i] = s
 	}
+}
+
+// MulVecWorkers returns m · v with the row dot products fanned out
+// over workers (0 = GOMAXPROCS, 1 = serial). Every row is an
+// independent left-to-right dot product, so the result is
+// bit-identical to MulVec for every worker count.
+func (m *Matrix) MulVecWorkers(v []float64, workers int) []float64 {
+	if m.Cols != len(v) {
+		panic(fmt.Sprintf("linalg: MulVec dimension mismatch %d×%d · %d", m.Rows, m.Cols, len(v)))
+	}
+	out := make([]float64, m.Rows)
+	par.ForChunks(workers, m.Rows, 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ri := m.Row(i)
+			s := 0.0
+			for j, x := range v {
+				s += ri[j] * x
+			}
+			out[i] = s
+		}
+	})
 	return out
 }
 

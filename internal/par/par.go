@@ -1,0 +1,188 @@
+// Package par is the repo-wide worker-pool substrate. Every
+// parallelized hot path — Monte-Carlo sampling and queries, the
+// red-black thermal SOR, covariance assembly, hybrid-table fills, the
+// cmd/ sweep fan-outs — goes through these helpers so the concurrency
+// policy lives in one place:
+//
+//   - A requested worker count of 0 means "use GOMAXPROCS"; 1 selects
+//     the exact serial legacy path (no goroutines, no reduction-order
+//     change), which keeps serial/parallel equivalence testable.
+//   - Work distribution uses an atomic counter, not a channel, so the
+//     producer never serializes on an unbuffered handoff.
+//   - Floating-point reductions use a fixed chunk plan that depends
+//     only on the problem size, never on the worker count, so parallel
+//     results are bit-identical no matter how many workers run.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps a requested worker count onto [1, n]: 0 (or negative)
+// selects GOMAXPROCS, and the result never exceeds the number of work
+// items n.
+func Resolve(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// For runs fn(i) for every i in [0, n), fanning out over Resolve
+// (workers, n) goroutines. Items are claimed with an atomic counter.
+// With workers == 1 (after resolution) fn runs inline in index order —
+// the exact serial path.
+func For(workers, n int, fn func(i int)) {
+	w := Resolve(workers, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForChunks splits [0, n) into ceil(n/chunk) fixed-size chunks and
+// runs fn(lo, hi) for each. The chunk boundaries depend only on n and
+// chunk — not on the worker count — so any per-chunk results a caller
+// collects are deterministic. With workers == 1 chunks run inline in
+// order.
+func ForChunks(workers, n, chunk int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	numChunks := (n + chunk - 1) / chunk
+	For(workers, numChunks, func(c int) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}
+
+// sumChunk is the fixed reduction granularity of SumOrdered. It is a
+// compile-time constant precisely so the summation tree never depends
+// on the runtime worker count.
+const sumChunk = 256
+
+// SumOrdered computes Σ term(i) for i in [0, n).
+//
+// With workers == 1 it is the plain left-to-right loop — bit-identical
+// to the pre-parallel serial code. With workers > 1 each fixed
+// 256-item chunk is summed left-to-right into a partial, and the
+// partials are combined by ordered pairwise summation; the result is
+// bit-identical for every worker count ≥ 2 (the tree shape depends
+// only on n). The two paths differ only by floating-point reassociation,
+// i.e. within a few ULPs; pairwise summation is in fact the more
+// accurate of the two.
+func SumOrdered(workers, n int, term func(i int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	w := Resolve(workers, n)
+	if w == 1 {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += term(i)
+		}
+		return s
+	}
+	numChunks := (n + sumChunk - 1) / sumChunk
+	partials := make([]float64, numChunks)
+	ForChunks(w, n, sumChunk, func(lo, hi int) {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += term(i)
+		}
+		partials[lo/sumChunk] = s
+	})
+	return PairwiseSum(partials)
+}
+
+// PairwiseSum adds xs by recursive halving in index order. The result
+// depends only on the values and their order, and the error grows as
+// O(log n) rather than the linear loop's O(n).
+func PairwiseSum(xs []float64) float64 {
+	switch len(xs) {
+	case 0:
+		return 0
+	case 1:
+		return xs[0]
+	case 2:
+		return xs[0] + xs[1]
+	}
+	half := len(xs) / 2
+	return PairwiseSum(xs[:half]) + PairwiseSum(xs[half:])
+}
+
+// MaxOrdered computes max over per-chunk maxima with the same fixed
+// chunk plan as SumOrdered. max is associative and commutative, so the
+// result is identical to the serial loop for every worker count; the
+// helper exists so convergence checks inside parallel sweeps stay
+// deterministic and allocation-free at the call site.
+func MaxOrdered(workers, n int, term func(i int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	w := Resolve(workers, n)
+	if w == 1 {
+		m := term(0)
+		for i := 1; i < n; i++ {
+			if v := term(i); v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	numChunks := (n + sumChunk - 1) / sumChunk
+	partials := make([]float64, numChunks)
+	ForChunks(w, n, sumChunk, func(lo, hi int) {
+		m := term(lo)
+		for i := lo + 1; i < hi; i++ {
+			if v := term(i); v > m {
+				m = v
+			}
+		}
+		partials[lo/sumChunk] = m
+	})
+	m := partials[0]
+	for _, v := range partials[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

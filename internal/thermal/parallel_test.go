@@ -1,0 +1,79 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"obdrel/internal/floorplan"
+)
+
+func solveWorkers(t *testing.T, workers int) *Field {
+	t.Helper()
+	d := floorplan.C6()
+	s := DefaultSolver()
+	s.Workers = workers
+	powers := make([]float64, len(d.Blocks))
+	for i := range powers {
+		powers[i] = 2 + float64(i)
+	}
+	f, err := s.Solve(d, powers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestRedBlackMatchesSerial: the red-black ordering converges to the
+// same steady state as the legacy lexicographic sweep; the two differ
+// only by where each stops inside the convergence tolerance. 1e-4 K is
+// far tighter than any temperature difference that matters to the
+// reliability model (block temperatures are used at ~0.1 K fidelity).
+func TestRedBlackMatchesSerial(t *testing.T) {
+	serial := solveWorkers(t, 1)
+	parallel := solveWorkers(t, 4)
+	for i := range serial.Temps {
+		if d := math.Abs(serial.Temps[i] - parallel.Temps[i]); d > 1e-4 {
+			t.Fatalf("cell %d: serial %.9f vs red-black %.9f (Δ %.2g K)",
+				i, serial.Temps[i], parallel.Temps[i], d)
+		}
+	}
+}
+
+// TestRedBlackWorkerDeterminism: within a red-black phase every cell
+// reads only opposite-color neighbours, so the solution is
+// bit-identical for every worker count ≥ 2.
+func TestRedBlackWorkerDeterminism(t *testing.T) {
+	ref := solveWorkers(t, 2)
+	for _, w := range []int{3, 5, 11} {
+		f := solveWorkers(t, w)
+		if f.Iterations != ref.Iterations {
+			t.Fatalf("workers=%d: %d iterations vs %d", w, f.Iterations, ref.Iterations)
+		}
+		for i := range ref.Temps {
+			if f.Temps[i] != ref.Temps[i] {
+				t.Fatalf("workers=%d cell %d: %v != %v", w, i, f.Temps[i], ref.Temps[i])
+			}
+		}
+	}
+}
+
+// TestRedBlackEnergyBalance: the parallel solution still conserves
+// energy — the physical invariant the serial solver is tested on.
+func TestRedBlackEnergyBalance(t *testing.T) {
+	d := floorplan.C6()
+	s := DefaultSolver()
+	s.Workers = 4
+	powers := make([]float64, len(d.Blocks))
+	total := 0.0
+	for i := range powers {
+		powers[i] = 3
+		total += 3
+	}
+	f, err := s.Solve(d, powers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imb := f.EnergyBalance(s, total); imb > 1e-4 {
+		t.Fatalf("energy imbalance %v", imb)
+	}
+}

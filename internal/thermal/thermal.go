@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"obdrel/internal/floorplan"
+	"obdrel/internal/par"
 )
 
 // Solver holds the discretization and package parameters.
@@ -40,6 +41,14 @@ type Solver struct {
 	Tol float64
 	// MaxIter bounds the SOR sweeps; 0 selects 20000.
 	MaxIter int
+	// Workers selects the sweep parallelism: 0 uses GOMAXPROCS, 1 the
+	// exact legacy lexicographic Gauss–Seidel sweep, and ≥ 2 a
+	// red-black (checkerboard) sweep whose row updates fan out over
+	// the workers. Within a red-black phase every cell reads only
+	// opposite-color neighbours, so the parallel solution is
+	// bit-identical for every worker count ≥ 2; it differs from the
+	// lexicographic ordering only within the convergence tolerance.
+	Workers int
 }
 
 // DefaultSolver returns the solver calibrated for the normalized 1×1
@@ -180,41 +189,81 @@ func (s *Solver) Solve(d *floorplan.Design, blockPowers []float64) (*Field, erro
 	for i := range temps {
 		temps[i] = s.TAmbient
 	}
+	workers := par.Resolve(s.Workers, s.Ny)
+	update := func(ix, iy int) float64 {
+		i := iy*s.Nx + ix
+		num := cellPower[i] + gv*s.TAmbient
+		den := gv
+		if ix > 0 {
+			num += gl * temps[i-1]
+			den += gl
+		}
+		if ix < s.Nx-1 {
+			num += gl * temps[i+1]
+			den += gl
+		}
+		if iy > 0 {
+			num += gl * temps[i-s.Nx]
+			den += gl
+		}
+		if iy < s.Ny-1 {
+			num += gl * temps[i+s.Nx]
+			den += gl
+		}
+		delta := num/den - temps[i]
+		temps[i] += omega * delta
+		return math.Abs(delta)
+	}
 	iter := 0
-	for ; iter < maxIter; iter++ {
-		maxDelta := 0.0
-		for iy := 0; iy < s.Ny; iy++ {
-			for ix := 0; ix < s.Nx; ix++ {
-				i := iy*s.Nx + ix
-				num := cellPower[i] + gv*s.TAmbient
-				den := gv
-				if ix > 0 {
-					num += gl * temps[i-1]
-					den += gl
-				}
-				if ix < s.Nx-1 {
-					num += gl * temps[i+1]
-					den += gl
-				}
-				if iy > 0 {
-					num += gl * temps[i-s.Nx]
-					den += gl
-				}
-				if iy < s.Ny-1 {
-					num += gl * temps[i+s.Nx]
-					den += gl
-				}
-				tNew := num / den
-				delta := tNew - temps[i]
-				temps[i] += omega * delta
-				if ad := math.Abs(delta); ad > maxDelta {
-					maxDelta = ad
+	if workers == 1 {
+		// Legacy lexicographic Gauss–Seidel-ordered SOR.
+		for ; iter < maxIter; iter++ {
+			maxDelta := 0.0
+			for iy := 0; iy < s.Ny; iy++ {
+				for ix := 0; ix < s.Nx; ix++ {
+					if ad := update(ix, iy); ad > maxDelta {
+						maxDelta = ad
+					}
 				}
 			}
+			if maxDelta < tol {
+				iter++
+				break
+			}
 		}
-		if maxDelta < tol {
-			iter++
-			break
+	} else {
+		// Red-black SOR: phase 0 updates cells with (ix+iy) even,
+		// phase 1 the odd ones. All cells of one color depend only on
+		// the other color, so rows fan out over the workers without
+		// changing the result.
+		rowMax := make([]float64, s.Ny)
+		for ; iter < maxIter; iter++ {
+			for i := range rowMax {
+				rowMax[i] = 0
+			}
+			for phase := 0; phase < 2; phase++ {
+				par.ForChunks(workers, s.Ny, 4, func(yLo, yHi int) {
+					for iy := yLo; iy < yHi; iy++ {
+						m := rowMax[iy]
+						for ix := (phase + iy) % 2; ix < s.Nx; ix += 2 {
+							if ad := update(ix, iy); ad > m {
+								m = ad
+							}
+						}
+						rowMax[iy] = m
+					}
+				})
+			}
+			maxDelta := 0.0
+			for _, m := range rowMax {
+				if m > maxDelta {
+					maxDelta = m
+				}
+			}
+			if maxDelta < tol {
+				iter++
+				break
+			}
 		}
 	}
 	if iter >= maxIter {

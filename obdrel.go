@@ -270,6 +270,17 @@ type Config struct {
 	GuardSigmas float64
 	// Seed makes every stochastic stage reproducible.
 	Seed int64
+	// Workers bounds the parallelism of every engine and substrate
+	// stage (MC sampling and queries, thermal SOR, st_MC projection,
+	// hybrid-table fill, PCA). 0 uses GOMAXPROCS; 1 selects the exact
+	// serial legacy paths; any value ≥ 2 produces bit-identical
+	// results regardless of the actual count (fixed deterministic
+	// reduction plans), differing from the serial paths only within
+	// documented floating-point/ordering tolerances.
+	Workers int
+	// DisablePCACache skips the process-wide covariance/PCA cache and
+	// recomputes the eigendecomposition for this analyzer.
+	DisablePCACache bool
 }
 
 // DefaultConfig returns the paper's experimental setup.
@@ -308,6 +319,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("obdrel: RhoDist must be positive, got %v", c.RhoDist)
 	case c.GuardSigmas < 0:
 		return fmt.Errorf("obdrel: GuardSigmas must be non-negative, got %v", c.GuardSigmas)
+	case c.Workers < 0:
+		return fmt.Errorf("obdrel: Workers must be non-negative, got %v", c.Workers)
 	}
 	return nil
 }
