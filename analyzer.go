@@ -278,8 +278,29 @@ func (a *Analyzer) engine(m Method) (core.Engine, error) {
 	return e, nil
 }
 
+// validTime rejects non-finite query times before they reach an
+// engine — a NaN time silently propagates through every integral.
+func validTime(t float64) error {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return fmt.Errorf("obdrel: query time must be finite, got %v", t)
+	}
+	return nil
+}
+
+// validPPM rejects ppm criteria outside (0, 1e6): n per million only
+// names a reachable failure probability n/1e6 in (0, 1).
+func validPPM(n float64) error {
+	if !(n > 0) || n >= 1e6 || math.IsNaN(n) {
+		return fmt.Errorf("obdrel: ppm criterion must be in (0, 1e6), got %v", n)
+	}
+	return nil
+}
+
 // FailureProb returns P_fail(t) = 1 - R(t) at time t (hours).
 func (a *Analyzer) FailureProb(t float64, m Method) (float64, error) {
+	if err := validTime(t); err != nil {
+		return 0, err
+	}
 	e, err := a.engine(m)
 	if err != nil {
 		return 0, err
@@ -300,6 +321,9 @@ func (a *Analyzer) Reliability(t float64, m Method) (float64, error) {
 // hours — the time at which n out of a million chips have failed
 // (Section V's evaluation criterion).
 func (a *Analyzer) LifetimePPM(n float64, m Method) (float64, error) {
+	if err := validPPM(n); err != nil {
+		return 0, err
+	}
 	e, err := a.engine(m)
 	if err != nil {
 		return 0, err
@@ -335,6 +359,9 @@ func (a *Analyzer) tolerant(k int) (core.Engine, error) {
 // criterion. The estimate comes from the device-level Monte-Carlo
 // samples.
 func (a *Analyzer) FailureProbTolerant(t float64, k int) (float64, error) {
+	if err := validTime(t); err != nil {
+		return 0, err
+	}
 	e, err := a.tolerant(k)
 	if err != nil {
 		return 0, err
@@ -345,6 +372,9 @@ func (a *Analyzer) FailureProbTolerant(t float64, k int) (float64, error) {
 // LifetimePPMTolerant returns the n-per-million lifetime under a
 // k-breakdown failure criterion.
 func (a *Analyzer) LifetimePPMTolerant(n float64, k int) (float64, error) {
+	if err := validPPM(n); err != nil {
+		return 0, err
+	}
 	e, err := a.tolerant(k)
 	if err != nil {
 		return 0, err
@@ -377,6 +407,9 @@ type BlockContribution struct {
 // largest share is the chip's reliability limiter — typically the
 // hotspot, but a large cool cache can win on sheer area.
 func (a *Analyzer) FailureContributions(t float64) ([]BlockContribution, error) {
+	if err := validTime(t); err != nil {
+		return nil, err
+	}
 	e, err := a.engine(MethodStFast)
 	if err != nil {
 		return nil, err

@@ -3,7 +3,9 @@
 // JSON report (BENCH_pr1.json) comparing the serial (Workers:1) and
 // parallel (Workers:0 ⇒ GOMAXPROCS) code paths.
 //
-//	bench                         # full run, writes BENCH_pr1.json
+//	bench                         # full run, writes BENCH_pr<pr>.json (see -pr)
+//	bench -pr 3                   # full run, writes BENCH_pr3.json
+//	bench -o custom.json          # explicit output path
 //	bench -quick                  # CI-sized run (C1, 100 MC samples, 8×8 grid)
 //	bench -validate BENCH_pr1.json  # schema check an existing report, no benchmarking
 //
@@ -86,7 +88,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bench: ")
 	var (
-		out       = flag.String("out", "BENCH_pr1.json", "output JSON path (\"-\" for stdout)")
+		out       = flag.String("o", "", "output JSON path (\"-\" for stdout; default BENCH_pr<pr>.json)")
+		pr        = flag.Int("pr", 1, "PR number the default output name is derived from")
 		quick     = flag.Bool("quick", false, "CI-sized run: C1 only, 100 MC samples, 8×8 grid")
 		validate  = flag.String("validate", "", "validate an existing report instead of benchmarking")
 		designCSV = flag.String("designs", "", "comma-separated design subset (default C1,C3 or C1 with -quick)")
@@ -96,6 +99,11 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	if *out == "" {
+		// Derive the artifact name from the PR number so successive
+		// PRs' baselines coexist instead of overwriting each other.
+		*out = fmt.Sprintf("BENCH_pr%d.json", *pr)
+	}
 
 	if *validate != "" {
 		if err := validateReport(*validate); err != nil {

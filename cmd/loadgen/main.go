@@ -1,0 +1,419 @@
+// Command loadgen is a closed-loop load generator for obdreld: N
+// workers issue mixed reliability-query traffic back-to-back for a
+// fixed duration, then the tool reports per-route latency percentiles
+// and total throughput, scrapes the daemon's /metrics for the cache
+// hit rate, and writes BENCH_pr2.json (obdrel-bench/v1 schema) — the
+// serving-path performance baseline tracked across PRs.
+//
+//	loadgen -addr http://127.0.0.1:8080           # against a running daemon
+//	loadgen -self                                 # spin up the service in-process
+//	loadgen -quick -self -o BENCH_pr2.json        # CI-sized run
+//	loadgen -validate BENCH_pr2.json              # schema check only
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"obdrel/internal/server"
+)
+
+// Schema is the report format identifier; Kind separates the serving
+// report from cmd/bench's engine report under the same schema family.
+const (
+	Schema = "obdrel-bench/v1"
+	Kind   = "serving"
+)
+
+// Report is the top-level BENCH_pr2.json document.
+type Report struct {
+	Schema        string       `json:"schema"`
+	Kind          string       `json:"kind"`
+	GeneratedAt   string       `json:"generated_at"`
+	Target        string       `json:"target"`
+	Quick         bool         `json:"quick"`
+	GoMaxProcs    int          `json:"go_max_procs"`
+	Concurrency   int          `json:"concurrency"`
+	DurationS     float64      `json:"duration_s"`
+	TotalRequests int          `json:"total_requests"`
+	Errors        int          `json:"errors"`
+	ThroughputRPS float64      `json:"throughput_rps"`
+	Routes        []RouteStats `json:"routes"`
+	Cache         CacheStats   `json:"cache"`
+	EngineBuilds  BuildStats   `json:"engine_builds"`
+}
+
+// RouteStats carries one route's latency distribution.
+type RouteStats struct {
+	Route  string  `json:"route"`
+	Count  int     `json:"count"`
+	Errors int     `json:"errors"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P95Us  float64 `json:"p95_us"`
+	P99Us  float64 `json:"p99_us"`
+	MaxUs  float64 `json:"max_us"`
+}
+
+// CacheStats snapshots the daemon's analyzer registry counters.
+type CacheStats struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Coalesced int64   `json:"coalesced"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// BuildStats snapshots the daemon's engine-build cost.
+type BuildStats struct {
+	Count        int64   `json:"count"`
+	TotalSeconds float64 `json:"total_seconds"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:8080", "obdreld base URL")
+		self        = flag.Bool("self", false, "start the service in-process instead of targeting -addr")
+		out         = flag.String("o", "BENCH_pr2.json", "output JSON path (\"-\" for stdout)")
+		duration    = flag.Duration("duration", 10*time.Second, "timed phase length")
+		concurrency = flag.Int("concurrency", 8, "closed-loop workers")
+		design      = flag.String("design", "C1", "design the query mix targets")
+		gridN       = flag.Int("grid", 8, "correlation grid resolution the queries request")
+		mcSamples   = flag.Int("mc-samples", 100, "MC samples the queries request")
+		seed        = flag.Int64("seed", 1, "traffic-mix random seed")
+		quick       = flag.Bool("quick", false, "CI-sized run: 2s, 4 workers")
+		validate    = flag.String("validate", "", "validate an existing report instead of generating load")
+	)
+	flag.Parse()
+
+	if *validate != "" {
+		if err := validateReport(*validate); err != nil {
+			log.Fatalf("validate %s: %v", *validate, err)
+		}
+		fmt.Printf("loadgen: %s conforms to %s (%s)\n", *validate, Schema, Kind)
+		return
+	}
+	if *quick {
+		*duration = 2 * time.Second
+		*concurrency = 4
+	}
+
+	target := strings.TrimRight(*addr, "/")
+	if *self {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		svc := server.New(server.Options{MaxConcurrent: *concurrency * 2})
+		hs := &http.Server{Handler: svc.Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		target = "http://" + ln.Addr().String()
+		log.Printf("self-hosted service on %s", target)
+	}
+
+	rep, err := run(target, *duration, *concurrency, *design, *gridN, *mcSamples, *seed, *quick)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s: %d requests, %.0f req/s, cache hit rate %.3f",
+		*out, rep.TotalRequests, rep.ThroughputRPS, rep.Cache.HitRate)
+	for _, r := range rep.Routes {
+		log.Printf("%-18s n=%-6d p50=%.0fµs p95=%.0fµs p99=%.0fµs",
+			r.Route, r.Count, r.P50Us, r.P95Us, r.P99Us)
+	}
+}
+
+// sample is one completed request.
+type sample struct {
+	route string
+	dur   time.Duration
+	ok    bool
+}
+
+// trafficMix returns the weighted query URLs. All analyzer-backed
+// routes share one (design, config) so the steady state exercises the
+// warm cache; the mix mirrors a DRM deployment: mostly lifetime and
+// failure-probability polls, occasional operating-point inspection.
+func trafficMix(target, design string, gridN, mcSamples int) []struct {
+	route, url string
+	weight     int
+} {
+	cfg := fmt.Sprintf("grid=%d&mc_samples=%d&stmc_samples=1000", gridN, mcSamples)
+	q := func(path, params string) string { return target + path + "?" + params }
+	return []struct {
+		route, url string
+		weight     int
+	}{
+		{"/v1/lifetime", q("/v1/lifetime", "design="+design+"&method=hybrid&ppm=10&"+cfg), 40},
+		{"/v1/lifetime", q("/v1/lifetime", "design="+design+"&method=st_fast&ppm=10&"+cfg), 15},
+		{"/v1/failureprob", q("/v1/failureprob", "design="+design+"&method=hybrid&t=1e5&"+cfg), 25},
+		{"/v1/blocks", q("/v1/blocks", "design="+design+"&"+cfg), 10},
+		{"/v1/designs", target + "/v1/designs", 5},
+		{"/healthz", target + "/healthz", 5},
+	}
+}
+
+func run(target string, duration time.Duration, concurrency int, design string, gridN, mcSamples int, seed int64, quick bool) (*Report, error) {
+	client := &http.Client{
+		Timeout: 60 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        concurrency * 2,
+			MaxIdleConnsPerHost: concurrency * 2,
+		},
+	}
+	if err := waitHealthy(client, target, 15*time.Second); err != nil {
+		return nil, err
+	}
+
+	mix := trafficMix(target, design, gridN, mcSamples)
+	totalWeight := 0
+	for _, m := range mix {
+		totalWeight += m.weight
+	}
+
+	// Warmup: drive each distinct query once so engine construction
+	// happens before the timed phase. Build cost still shows up in
+	// the report via the scraped engine_builds counters.
+	for _, m := range mix {
+		if _, _, err := hit(client, m.url); err != nil {
+			return nil, fmt.Errorf("warmup %s: %w", m.url, err)
+		}
+	}
+
+	var (
+		mu      sync.Mutex
+		samples []sample
+	)
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			var local []sample
+			for time.Now().Before(deadline) {
+				pick := rng.Intn(totalWeight)
+				var route, url string
+				for _, m := range mix {
+					if pick < m.weight {
+						route, url = m.route, m.url
+						break
+					}
+					pick -= m.weight
+				}
+				t0 := time.Now()
+				code, _, err := hit(client, url)
+				local = append(local, sample{
+					route: route,
+					dur:   time.Since(t0),
+					ok:    err == nil && code == http.StatusOK,
+				})
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{
+		Schema:      Schema,
+		Kind:        Kind,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Target:      target,
+		Quick:       quick,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Concurrency: concurrency,
+		DurationS:   elapsed.Seconds(),
+	}
+	byRoute := map[string][]sample{}
+	for _, s := range samples {
+		rep.TotalRequests++
+		if !s.ok {
+			rep.Errors++
+		}
+		byRoute[s.route] = append(byRoute[s.route], s)
+	}
+	rep.ThroughputRPS = float64(rep.TotalRequests) / elapsed.Seconds()
+	routes := make([]string, 0, len(byRoute))
+	for r := range byRoute {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		rep.Routes = append(rep.Routes, routeStats(r, byRoute[r]))
+	}
+
+	cache, builds, err := scrapeMetrics(client, target)
+	if err != nil {
+		return nil, fmt.Errorf("scrape metrics: %w", err)
+	}
+	rep.Cache, rep.EngineBuilds = cache, builds
+	return rep, nil
+}
+
+func hit(client *http.Client, url string) (int, []byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, body, err
+}
+
+func waitHealthy(client *http.Client, target string, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	for {
+		code, _, err := hit(client, target+"/healthz")
+		if err == nil && code == http.StatusOK {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("service at %s not healthy after %v (last: code=%d err=%v)", target, patience, code, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func routeStats(route string, ss []sample) RouteStats {
+	durs := make([]float64, 0, len(ss))
+	st := RouteStats{Route: route, Count: len(ss)}
+	sum := 0.0
+	for _, s := range ss {
+		us := float64(s.dur.Microseconds())
+		durs = append(durs, us)
+		sum += us
+		if !s.ok {
+			st.Errors++
+		}
+	}
+	sort.Float64s(durs)
+	pct := func(q float64) float64 {
+		if len(durs) == 0 {
+			return 0
+		}
+		i := int(q*float64(len(durs))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(durs) {
+			i = len(durs) - 1
+		}
+		return durs[i]
+	}
+	st.MeanUs = sum / float64(len(durs))
+	st.P50Us = pct(0.50)
+	st.P95Us = pct(0.95)
+	st.P99Us = pct(0.99)
+	st.MaxUs = durs[len(durs)-1]
+	return st
+}
+
+// scrapeMetrics pulls the daemon's Prometheus text exposition and
+// extracts the registry and build counters.
+func scrapeMetrics(client *http.Client, target string) (CacheStats, BuildStats, error) {
+	code, body, err := hit(client, target+"/metrics")
+	if err != nil || code != http.StatusOK {
+		return CacheStats{}, BuildStats{}, fmt.Errorf("GET /metrics: code=%d err=%v", code, err)
+	}
+	vals := map[string]float64{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 || strings.Contains(fields[0], "{") {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		vals[fields[0]] = v
+	}
+	cache := CacheStats{
+		Hits:      int64(vals["obdreld_analyzer_cache_hits_total"]),
+		Misses:    int64(vals["obdreld_analyzer_cache_misses_total"]),
+		Coalesced: int64(vals["obdreld_coalesced_requests_total"]),
+	}
+	if total := cache.Hits + cache.Misses; total > 0 {
+		cache.HitRate = float64(cache.Hits) / float64(total)
+	}
+	builds := BuildStats{
+		Count:        int64(vals["obdreld_engine_builds_total"]),
+		TotalSeconds: vals["obdreld_engine_build_seconds_total"],
+	}
+	return cache, builds, nil
+}
+
+// validateReport checks that an existing report parses and carries
+// the required fields — the CI schema gate for BENCH_pr2.json.
+func validateReport(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep Report
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		return err
+	}
+	switch {
+	case rep.Schema != Schema:
+		return fmt.Errorf("schema %q, want %q", rep.Schema, Schema)
+	case rep.Kind != Kind:
+		return fmt.Errorf("kind %q, want %q", rep.Kind, Kind)
+	case rep.Concurrency < 1:
+		return fmt.Errorf("concurrency %d", rep.Concurrency)
+	case rep.TotalRequests <= 0:
+		return fmt.Errorf("no requests recorded")
+	case rep.ThroughputRPS <= 0:
+		return fmt.Errorf("throughput missing")
+	case len(rep.Routes) == 0:
+		return fmt.Errorf("no per-route stats")
+	case rep.Cache.HitRate < 0 || rep.Cache.HitRate > 1:
+		return fmt.Errorf("cache hit rate %v outside [0,1]", rep.Cache.HitRate)
+	}
+	for _, r := range rep.Routes {
+		if r.Route == "" || r.Count <= 0 {
+			return fmt.Errorf("route entry %+v incomplete", r)
+		}
+		if !(r.P50Us > 0) || !(r.P95Us >= r.P50Us) || !(r.P99Us >= r.P95Us) {
+			return fmt.Errorf("%s: implausible percentiles p50=%v p95=%v p99=%v", r.Route, r.P50Us, r.P95Us, r.P99Us)
+		}
+	}
+	return nil
+}

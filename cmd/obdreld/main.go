@@ -1,0 +1,103 @@
+// Command obdreld serves full-chip oxide-breakdown reliability
+// queries over JSON-HTTP — the runtime reliability-management
+// deployment the paper's Section IV-E motivates: characterize once,
+// then answer µs-latency lifetime/failure-probability queries for
+// field systems, DRM controllers, and design sweeps.
+//
+// Routes:
+//
+//	GET /healthz                       liveness + registry occupancy
+//	GET /metrics                       Prometheus text format
+//	GET /v1/designs                    the built-in benchmark designs
+//	GET /v1/lifetime?design=C6&method=hybrid&ppm=10
+//	GET /v1/failureprob?design=C6&t=1e5
+//	GET /v1/maxvdd?design=C6&target_hours=1e5&vlo=1.0&vhi=1.4
+//	GET /v1/blocks?design=C6
+//
+// Every /v1 route also accepts POST with the same fields as a JSON
+// body (config knobs nested under "config"). Analyzers are cached in
+// an LRU registry keyed by canonical (design, config) identity;
+// concurrent cold requests for one configuration coalesce into a
+// single build.
+//
+//	obdreld -addr :8080 -cache 32 -max-concurrent 64 -timeout 30s
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"obdrel/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("obdreld: ")
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		cache         = flag.Int("cache", 32, "analyzer registry capacity (LRU entries)")
+		maxConcurrent = flag.Int("max-concurrent", 0, "max simultaneous /v1 requests; excess get 429 (0 = 4×GOMAXPROCS)")
+		timeout       = flag.Duration("timeout", 30*time.Second, "per-request deadline")
+		workers       = flag.Int("workers", 0, "analysis worker parallelism per build (0 = GOMAXPROCS)")
+		drain         = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window")
+		quiet         = flag.Bool("quiet", false, "suppress per-request access log")
+	)
+	flag.Parse()
+
+	var accessLog io.Writer = os.Stderr
+	if *quiet {
+		accessLog = io.Discard
+	}
+	svc := server.New(server.Options{
+		MaxAnalyzers:   *cache,
+		MaxConcurrent:  *maxConcurrent,
+		RequestTimeout: *timeout,
+		Workers:        *workers,
+		AccessLog:      accessLog,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving on %s (cache=%d, timeout=%v)", *addr, *cache, *timeout)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests for
+	// up to the drain window, then report the session's counters.
+	log.Printf("shutting down, draining for up to %v", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("drain incomplete: %v", err)
+	}
+	m := svc.Metrics()
+	fmt.Fprintf(os.Stderr,
+		"obdreld: served %v; cache hits=%d misses=%d coalesced=%d; builds=%d (%.2fs); throttled=%d timed_out=%d\n",
+		m.Uptime().Round(time.Second),
+		m.CacheHits.Load(), m.CacheMisses.Load(), m.Coalesced.Load(),
+		m.Builds.Load(), float64(m.BuildNanos.Load())/1e9,
+		m.Throttled.Load(), m.TimedOut.Load())
+}

@@ -1,6 +1,7 @@
 package obdrel_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -126,5 +127,112 @@ func TestWorkersEquivalence(t *testing.T) {
 			t.Errorf("method %v: workers=4 %v != workers=7 %v (parallel plan not deterministic)",
 				m, parallel[m], again[m])
 		}
+	}
+}
+
+// TestConcurrentMixedMethodQueries pins the README's "safe for
+// concurrent queries" claim under the serving layer's real traffic
+// shape: one Analyzer answering lifetime, failure-probability,
+// contribution, and curve queries across several methods at once,
+// while a MaxVDD voltage search (which builds sibling analyzers from
+// the same config) runs alongside. Run with -race; every repeated
+// query must also return the identical answer.
+func TestConcurrentMixedMethodQueries(t *testing.T) {
+	cfg := fastConfig()
+	cfg.MCSamples = 150
+	an, err := obdrel.NewAnalyzer(obdrel.C1(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	refLife, err := an.LifetimePPM(10, obdrel.MethodHybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refProb, err := an.FailureProb(1e5, obdrel.MethodStFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	const loops = 4
+
+	// Lifetime queries across four engines at once.
+	for _, m := range []obdrel.Method{
+		obdrel.MethodStFast, obdrel.MethodHybrid, obdrel.MethodGuard, obdrel.MethodMC,
+	} {
+		wg.Add(1)
+		go func(m obdrel.Method) {
+			defer wg.Done()
+			for i := 0; i < loops; i++ {
+				if _, err := an.LifetimePPM(10, m); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(m)
+	}
+	// Failure-probability + repeatability check against the
+	// single-threaded reference answers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < loops; i++ {
+			life, err := an.LifetimePPM(10, obdrel.MethodHybrid)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if life != refLife {
+				errCh <- fmt.Errorf("hybrid lifetime drifted under concurrency: %v vs %v", life, refLife)
+				return
+			}
+			p, err := an.FailureProb(1e5, obdrel.MethodStFast)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if p != refProb {
+				errCh <- fmt.Errorf("st_fast failure prob drifted under concurrency: %v vs %v", p, refProb)
+				return
+			}
+		}
+	}()
+	// Block decomposition and curve sampling exercise engine
+	// accessors beyond plain FailureProb.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < loops; i++ {
+			if _, err := an.FailureContributions(1e5); err != nil {
+				errCh <- err
+				return
+			}
+			if _, _, err := an.ReliabilityCurve(1e3, 1e6, 8, obdrel.MethodHybrid); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	// A voltage search builds sibling analyzers from the same config
+	// concurrently — the registry-backed /v1/maxvdd path in miniature.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, err := obdrel.MaxVDD(obdrel.C1(), cfg, obdrel.MethodHybrid, 10, 1000, 1.0, 1.3, 0.1)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		if !(v >= 1.0 && v <= 1.3) {
+			errCh <- fmt.Errorf("MaxVDD out of bracket: %v", v)
+		}
+	}()
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
 	}
 }

@@ -13,6 +13,17 @@
 // Run with:
 //
 //	go run ./examples/monitoring
+//
+// This example keeps its analyzers in-process. The production path
+// for the same workload is the obdreld daemon (cmd/obdreld), which
+// serves these exact queries over HTTP with analyzer caching and
+// request coalescing — the in-process loop below maps onto:
+//
+//	obdreld -addr :8080 &
+//	curl 'localhost:8080/v1/failureprob?design=C6&method=hybrid&t=8760&vdd=1.32'
+//
+// (one cached analyzer per operating mode, keyed by the canonical
+// (design, config) fingerprint; see README "Serving").
 package main
 
 import (

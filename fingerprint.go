@@ -1,0 +1,124 @@
+package obdrel
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+
+	"obdrel/internal/floorplan"
+	"obdrel/internal/obd"
+	"obdrel/internal/power"
+	"obdrel/internal/thermal"
+)
+
+// Fingerprint returns a stable, canonical identity for the
+// configuration: a hex digest over every model parameter that affects
+// analysis results. Configurations that resolve to the same analyzer
+// behaviour share a fingerprint:
+//
+//   - nil Tech/Power/Thermal and a zero PCAKeepFraction are resolved
+//     to their defaults before hashing, so an explicit DefaultConfig
+//     and a zero-value-with-defaults config collide (as they should);
+//   - performance-only knobs (Workers, DisablePCACache) are excluded
+//     — they select execution strategy, not the model. Workers ≥ 2
+//     and 0 are bit-identical by construction; Workers:1 differs only
+//     within the documented serial/parallel tolerance, which caching
+//     layers accept.
+//
+// The fingerprint is the cache key half used by serving-layer
+// analyzer registries (see internal/server); CacheKey combines it
+// with a Design fingerprint.
+func (c *Config) Fingerprint() string {
+	h := sha256.New()
+	c.writeCanonical(h)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+func (c *Config) writeCanonical(w io.Writer) {
+	tech := c.Tech
+	if tech == nil {
+		tech = obd.DefaultTech()
+	}
+	pm := c.Power
+	if pm == nil {
+		pm = power.Default()
+	}
+	ts := c.Thermal
+	if ts == nil {
+		ts = thermal.DefaultSolver()
+	}
+	keep := c.PCAKeepFraction
+	if keep == 0 {
+		keep = 1
+	}
+	qtLevels, qtDecay := 0, 0.0
+	if c.QuadTree {
+		qtLevels, qtDecay = c.QuadTreeLevels, c.QuadTreeDecay
+		if qtLevels == 0 {
+			qtLevels = 3
+		}
+		if qtDecay == 0 {
+			qtDecay = 0.5
+		}
+	}
+	fmt.Fprintf(w, "cfg|v=%g|sr=%g|fg=%g|fs=%g|fi=%g|rho=%g|grid=%dx%d|qt=%t,%d,%g|keep=%g\n",
+		c.VDD, c.SigmaRatio, c.FracGlobal, c.FracSpatial, c.FracIndependent,
+		c.RhoDist, c.GridNx, c.GridNy, c.QuadTree, qtLevels, qtDecay, keep)
+	fmt.Fprintf(w, "eng|maxT=%t|l0=%d|stmc=%d,%d|mc=%d|hyb=%dx%d|guard=%g|seed=%d\n",
+		c.UseBlockMaxTemp, c.L0, c.StMCSamples, c.StMCBins, c.MCSamples,
+		c.HybridNL, c.HybridNB, c.GuardSigmas, c.Seed)
+	fmt.Fprintf(w, "tech|%g|%g|%g|%g|%g|%g|%g|%g\n",
+		tech.U0, tech.Alpha0, tech.TRefC, tech.VRef, tech.EaEV, tech.NV, tech.B0, tech.CB)
+	if e := c.Extrinsic; e != nil {
+		fmt.Fprintf(w, "ext|%g|%g|%g|%g|%g\n",
+			e.DefectFraction, e.Alpha0E, e.BetaE, e.EaEV, e.NV)
+	} else {
+		fmt.Fprintf(w, "ext|nil\n")
+	}
+	if p := c.WaferPattern; p != nil {
+		fmt.Fprintf(w, "wafer|%g|%g|%g|%g|%g|%g\n",
+			p.DieX, p.DieY, p.DieSpan, p.Bowl, p.SlantX, p.SlantY)
+	} else {
+		fmt.Fprintf(w, "wafer|nil\n")
+	}
+	// The dynamic-density map iterates in a fixed class order so the
+	// digest does not depend on Go's map ordering.
+	classes := make([]int, 0, len(pm.DynDensity))
+	for cl := range pm.DynDensity {
+		classes = append(classes, int(cl))
+	}
+	sort.Ints(classes)
+	fmt.Fprintf(w, "power|vn=%g|lk=%g,%g,%g|", pm.VNom, pm.LeakDensity0, pm.LeakTCoeff, pm.TRef)
+	for _, cl := range classes {
+		fmt.Fprintf(w, "%d=%g;", cl, pm.DynDensity[floorplan.Class(cl)])
+	}
+	fmt.Fprintf(w, "\nthermal|%dx%d|gv=%g|gl=%g|ta=%g|om=%g|tol=%g|it=%d\n",
+		ts.Nx, ts.Ny, ts.GVertical, ts.GLateral, ts.TAmbient, ts.Omega, ts.Tol, ts.MaxIter)
+}
+
+// Fingerprint returns a stable identity for the design: a hex digest
+// of its name, die geometry, and every block's rectangle, device
+// count, class, and activity. Two designs with the same name but
+// different contents get different fingerprints.
+func (d *Design) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "design|%s|%g|%g|%d\n", d.Name, d.W, d.H, len(d.Blocks))
+	for i := range d.Blocks {
+		b := &d.Blocks[i]
+		fmt.Fprintf(h, "blk|%s|%g|%g|%g|%g|%d|%d|%g\n",
+			b.Name, b.X, b.Y, b.W, b.H, b.Devices, int(b.Class), b.Activity)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// CacheKey returns the canonical cache identity of a (design, config)
+// pair — the key under which serving layers memoize Analyzers. A nil
+// config selects DefaultConfig, matching NewAnalyzer.
+func CacheKey(d *Design, cfg *Config) string {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	return d.Fingerprint() + ":" + cfg.Fingerprint()
+}

@@ -1,0 +1,172 @@
+package obdrel_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"obdrel"
+)
+
+// TestFingerprintCanonicalization checks that the serving cache key
+// identifies configurations by resolved behaviour, not representation.
+func TestFingerprintCanonicalization(t *testing.T) {
+	base := obdrel.DefaultConfig()
+
+	t.Run("deterministic", func(t *testing.T) {
+		if base.Fingerprint() != obdrel.DefaultConfig().Fingerprint() {
+			t.Fatal("identical configs produced different fingerprints")
+		}
+	})
+	t.Run("perf knobs excluded", func(t *testing.T) {
+		cfg := obdrel.DefaultConfig()
+		cfg.Workers = 7
+		cfg.DisablePCACache = true
+		if cfg.Fingerprint() != base.Fingerprint() {
+			t.Fatal("Workers/DisablePCACache changed the fingerprint")
+		}
+	})
+	t.Run("defaults resolved", func(t *testing.T) {
+		cfg := obdrel.DefaultConfig()
+		cfg.PCAKeepFraction = 0 // resolves to 1
+		if cfg.Fingerprint() != base.Fingerprint() {
+			t.Fatal("zero PCAKeepFraction should collide with the explicit default 1")
+		}
+	})
+	t.Run("model knobs included", func(t *testing.T) {
+		distinct := map[string]string{"base": base.Fingerprint()}
+		mutations := map[string]func(*obdrel.Config){
+			"vdd":   func(c *obdrel.Config) { c.VDD = 1.1 },
+			"grid":  func(c *obdrel.Config) { c.GridNx = 16 },
+			"seed":  func(c *obdrel.Config) { c.Seed = 2 },
+			"rho":   func(c *obdrel.Config) { c.RhoDist = 0.3 },
+			"maxT":  func(c *obdrel.Config) { c.UseBlockMaxTemp = false },
+			"mc":    func(c *obdrel.Config) { c.MCSamples = 77 },
+			"quadT": func(c *obdrel.Config) { c.QuadTree = true },
+		}
+		for name, mutate := range mutations {
+			cfg := obdrel.DefaultConfig()
+			mutate(cfg)
+			fp := cfg.Fingerprint()
+			if prev, ok := distinct[name]; ok && prev == fp {
+				t.Fatalf("mutation %q did not change the fingerprint", name)
+			}
+			for other, otherFP := range distinct {
+				if otherFP == fp {
+					t.Fatalf("mutations %q and %q collided", name, other)
+				}
+			}
+			distinct[name] = fp
+		}
+	})
+	t.Run("quadtree defaults resolved", func(t *testing.T) {
+		a := obdrel.DefaultConfig()
+		a.QuadTree = true
+		b := obdrel.DefaultConfig()
+		b.QuadTree = true
+		b.QuadTreeLevels, b.QuadTreeDecay = 3, 0.5 // the documented defaults
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Fatal("implicit and explicit quad-tree defaults should collide")
+		}
+	})
+}
+
+func TestDesignFingerprint(t *testing.T) {
+	if obdrel.C1().Fingerprint() != obdrel.C1().Fingerprint() {
+		t.Fatal("design fingerprint not deterministic")
+	}
+	if obdrel.C1().Fingerprint() == obdrel.C2().Fingerprint() {
+		t.Fatal("distinct designs collided")
+	}
+	tweaked := obdrel.C1()
+	tweaked.Blocks[0].Devices++
+	if tweaked.Fingerprint() == obdrel.C1().Fingerprint() {
+		t.Fatal("same-name designs with different contents collided")
+	}
+}
+
+func TestCacheKey(t *testing.T) {
+	k := obdrel.CacheKey(obdrel.C1(), nil)
+	if k != obdrel.CacheKey(obdrel.C1(), obdrel.DefaultConfig()) {
+		t.Fatal("nil config must key like DefaultConfig (NewAnalyzer semantics)")
+	}
+	if k == obdrel.CacheKey(obdrel.C2(), nil) {
+		t.Fatal("designs not separated in cache key")
+	}
+}
+
+// TestConfigValidateRejectsGarbage pins the untrusted-input hardening:
+// non-finite or out-of-range knobs must fail Validate with a
+// descriptive error, never reach the engines as NaN.
+func TestConfigValidateRejectsGarbage(t *testing.T) {
+	cases := map[string]func(*obdrel.Config){
+		"nan vdd":           func(c *obdrel.Config) { c.VDD = math.NaN() },
+		"inf vdd":           func(c *obdrel.Config) { c.VDD = math.Inf(1) },
+		"zero vdd":          func(c *obdrel.Config) { c.VDD = 0 },
+		"negative vdd":      func(c *obdrel.Config) { c.VDD = -1.2 },
+		"nan sigma":         func(c *obdrel.Config) { c.SigmaRatio = math.NaN() },
+		"nan fraction":      func(c *obdrel.Config) { c.FracSpatial = math.NaN() },
+		"negative fraction": func(c *obdrel.Config) { c.FracGlobal = -0.5 },
+		"zero grid":         func(c *obdrel.Config) { c.GridNx = 0 },
+		"negative grid":     func(c *obdrel.Config) { c.GridNy = -8 },
+		"nan rho":           func(c *obdrel.Config) { c.RhoDist = math.NaN() },
+		"inf rho":           func(c *obdrel.Config) { c.RhoDist = math.Inf(1) },
+		"negative qt":       func(c *obdrel.Config) { c.QuadTreeLevels = -1 },
+		"nan qt decay":      func(c *obdrel.Config) { c.QuadTreeDecay = math.NaN() },
+		"pca keep > 1":      func(c *obdrel.Config) { c.PCAKeepFraction = 1.5 },
+		"nan pca keep":      func(c *obdrel.Config) { c.PCAKeepFraction = math.NaN() },
+		"negative l0":       func(c *obdrel.Config) { c.L0 = -1 },
+		"negative stmc":     func(c *obdrel.Config) { c.StMCSamples = -5 },
+		"negative mc":       func(c *obdrel.Config) { c.MCSamples = -5 },
+		"negative hybrid":   func(c *obdrel.Config) { c.HybridNL = -2 },
+		"nan guard":         func(c *obdrel.Config) { c.GuardSigmas = math.NaN() },
+		"inf guard":         func(c *obdrel.Config) { c.GuardSigmas = math.Inf(1) },
+		"negative workers":  func(c *obdrel.Config) { c.Workers = -1 },
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			cfg := obdrel.DefaultConfig()
+			mutate(cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("garbage config validated")
+			}
+			if !strings.Contains(err.Error(), "obdrel:") {
+				t.Fatalf("error %q lacks package context", err)
+			}
+			if _, aerr := obdrel.NewAnalyzer(obdrel.C1(), cfg); aerr == nil {
+				t.Fatal("NewAnalyzer accepted a config Validate rejects")
+			}
+		})
+	}
+}
+
+// TestQueryInputValidation pins the per-query hardening on an already
+// valid analyzer.
+func TestQueryInputValidation(t *testing.T) {
+	an, err := obdrel.NewAnalyzer(obdrel.C1(), fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := an.LifetimePPM(0, obdrel.MethodStFast); err == nil {
+		t.Error("ppm 0 accepted")
+	}
+	if _, err := an.LifetimePPM(math.NaN(), obdrel.MethodStFast); err == nil {
+		t.Error("NaN ppm accepted")
+	}
+	if _, err := an.LifetimePPM(1e6, obdrel.MethodStFast); err == nil {
+		t.Error("ppm ≥ 1e6 accepted (unreachable failure probability)")
+	}
+	if _, err := an.FailureProb(math.NaN(), obdrel.MethodStFast); err == nil {
+		t.Error("NaN time accepted")
+	}
+	if _, err := an.FailureProb(math.Inf(1), obdrel.MethodHybrid); err == nil {
+		t.Error("Inf time accepted")
+	}
+	if _, err := an.FailureContributions(math.NaN()); err == nil {
+		t.Error("NaN contribution time accepted")
+	}
+	if _, err := obdrel.MaxVDD(obdrel.C1(), fastConfig(), obdrel.MethodStFast, 10, math.Inf(1), 1.0, 1.2, 0.05); err == nil {
+		t.Error("Inf target hours accepted")
+	}
+}

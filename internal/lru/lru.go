@@ -1,0 +1,88 @@
+// Package lru is a minimal least-recently-used map used by the
+// serving layer's analyzer registry. It is intentionally not
+// goroutine-safe: the registry already holds a lock around every
+// cache operation, and pushing a second mutex down here would only
+// hide ordering bugs.
+package lru
+
+import "container/list"
+
+// Cache maps string keys to values of type V, evicting the least
+// recently used entry once Len exceeds the capacity.
+type Cache[V any] struct {
+	capacity int
+	order    *list.List // front = most recently used
+	index    map[string]*list.Element
+}
+
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// New returns an empty cache. Capacity must be positive.
+func New[V any](capacity int) *Cache[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache[V]{
+		capacity: capacity,
+		order:    list.New(),
+		index:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the value for key and marks it most recently used.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	if el, ok := c.index[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*entry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or updates key, marking it most recently used. When the
+// insert pushes the cache over capacity it evicts the LRU entry and
+// returns its key and value with evicted=true.
+func (c *Cache[V]) Put(key string, val V) (evictedKey string, evictedVal V, evicted bool) {
+	if el, ok := c.index[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*entry[V]).val = val
+		var zero V
+		return "", zero, false
+	}
+	c.index[key] = c.order.PushFront(&entry[V]{key: key, val: val})
+	if c.order.Len() <= c.capacity {
+		var zero V
+		return "", zero, false
+	}
+	oldest := c.order.Back()
+	c.order.Remove(oldest)
+	e := oldest.Value.(*entry[V])
+	delete(c.index, e.key)
+	return e.key, e.val, true
+}
+
+// Remove deletes key, reporting whether it was present.
+func (c *Cache[V]) Remove(key string) bool {
+	el, ok := c.index[key]
+	if !ok {
+		return false
+	}
+	c.order.Remove(el)
+	delete(c.index, key)
+	return true
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[V]) Len() int { return c.order.Len() }
+
+// Keys returns the keys from most to least recently used.
+func (c *Cache[V]) Keys() []string {
+	out := make([]string, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*entry[V]).key)
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package lru
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestEvictionOrder(t *testing.T) {
+	c := New[int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if k, v, ev := c.Put("c", 3); !ev || k != "a" || v != 1 {
+		t.Fatalf("expected eviction of a/1, got %q/%d ev=%t", k, v, ev)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a should have been evicted")
+	}
+}
+
+func TestGetRefreshesRecency(t *testing.T) {
+	c := New[int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Get("a") // a is now MRU; next eviction hits b
+	if k, _, ev := c.Put("c", 3); !ev || k != "b" {
+		t.Fatalf("expected eviction of b, got %q ev=%t", k, ev)
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("a lost: %d %t", v, ok)
+	}
+	// The Get above made a MRU again.
+	if got := c.Keys(); !reflect.DeepEqual(got, []string{"a", "c"}) {
+		t.Fatalf("keys = %v", got)
+	}
+}
+
+func TestPutUpdatesInPlace(t *testing.T) {
+	c := New[int](2)
+	c.Put("a", 1)
+	c.Put("a", 9)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	if v, _ := c.Get("a"); v != 9 {
+		t.Fatalf("a = %d, want 9", v)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := New[int](2)
+	c.Put("a", 1)
+	if !c.Remove("a") || c.Remove("a") || c.Len() != 0 {
+		t.Fatal("remove semantics broken")
+	}
+}
+
+func TestCapacityFloor(t *testing.T) {
+	c := New[int](0)
+	c.Put("a", 1)
+	if _, _, ev := c.Put("b", 2); !ev {
+		t.Fatal("capacity floor of 1 should evict on second insert")
+	}
+}

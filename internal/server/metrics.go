@@ -1,0 +1,191 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds. The low
+// end resolves the µs-scale warm hybrid queries, the high end the
+// cold engine builds.
+var latencyBuckets = [...]float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram with atomic counters;
+// the extra slot is the +Inf overflow bucket.
+type histogram struct {
+	counts [len(latencyBuckets) + 1]atomic.Int64
+	count  atomic.Int64
+	sumNs  atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets[:], s)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(d.Nanoseconds())
+}
+
+// Metrics aggregates the service counters exposed on /metrics in
+// Prometheus text format, implemented on sync/atomic so the hot path
+// never contends on the exposition lock.
+type Metrics struct {
+	start time.Time
+
+	// InFlight is the number of requests currently being served.
+	InFlight atomic.Int64
+	// CacheHits/CacheMisses count analyzer-registry lookups;
+	// Coalesced counts requests that joined an in-flight build
+	// instead of starting their own.
+	CacheHits, CacheMisses, Coalesced atomic.Int64
+	// Builds counts analyzer (engine substrate) constructions;
+	// BuildNanos accumulates their wall time.
+	Builds     atomic.Int64
+	BuildNanos atomic.Int64
+	// Throttled counts requests rejected 429 by the concurrency
+	// limiter; TimedOut counts 504s from the per-request deadline.
+	Throttled, TimedOut atomic.Int64
+
+	// analyzersCached reports the registry's current size (gauge).
+	analyzersCached func() int
+
+	mu       sync.Mutex
+	requests map[string]map[int]int64 // route → status code → count
+	latency  map[string]*histogram    // route → histogram
+}
+
+// NewMetrics returns a zeroed metrics set.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		start:           time.Now(),
+		requests:        map[string]map[int]int64{},
+		latency:         map[string]*histogram{},
+		analyzersCached: func() int { return 0 },
+	}
+}
+
+// ObserveRequest records one finished request.
+func (m *Metrics) ObserveRequest(route string, code int, d time.Duration) {
+	m.mu.Lock()
+	byCode := m.requests[route]
+	if byCode == nil {
+		byCode = map[int]int64{}
+		m.requests[route] = byCode
+	}
+	byCode[code]++
+	h := m.latency[route]
+	if h == nil {
+		h = &histogram{}
+		m.latency[route] = h
+	}
+	m.mu.Unlock()
+	h.observe(d)
+}
+
+// ObserveBuild records one analyzer construction.
+func (m *Metrics) ObserveBuild(d time.Duration) {
+	m.Builds.Add(1)
+	m.BuildNanos.Add(d.Nanoseconds())
+}
+
+// Uptime reports time since the metrics set was created.
+func (m *Metrics) Uptime() time.Duration { return time.Since(m.start) }
+
+// WriteTo renders the Prometheus text exposition format. Output is
+// deterministically ordered so it diffs cleanly and tests can grep.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	m.mu.Lock()
+	routes := make([]string, 0, len(m.requests))
+	for r := range m.requests {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	snapshot := make(map[string]map[int]int64, len(m.requests))
+	for r, byCode := range m.requests {
+		cp := make(map[int]int64, len(byCode))
+		for c, n := range byCode {
+			cp[c] = n
+		}
+		snapshot[r] = cp
+	}
+	hists := make(map[string]*histogram, len(m.latency))
+	for r, h := range m.latency {
+		hists[r] = h
+	}
+	m.mu.Unlock()
+
+	fmt.Fprintf(cw, "# HELP obdreld_requests_total Requests served, by route and status code.\n")
+	fmt.Fprintf(cw, "# TYPE obdreld_requests_total counter\n")
+	for _, r := range routes {
+		codes := make([]int, 0, len(snapshot[r]))
+		for c := range snapshot[r] {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(cw, "obdreld_requests_total{route=%q,code=\"%d\"} %d\n", r, c, snapshot[r][c])
+		}
+	}
+
+	fmt.Fprintf(cw, "# HELP obdreld_request_seconds Request latency, by route.\n")
+	fmt.Fprintf(cw, "# TYPE obdreld_request_seconds histogram\n")
+	for _, r := range routes {
+		h := hists[r]
+		if h == nil {
+			continue
+		}
+		cum := int64(0)
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(cw, "obdreld_request_seconds_bucket{route=%q,le=\"%g\"} %d\n", r, ub, cum)
+		}
+		cum += h.counts[len(latencyBuckets)].Load()
+		fmt.Fprintf(cw, "obdreld_request_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", r, cum)
+		fmt.Fprintf(cw, "obdreld_request_seconds_sum{route=%q} %g\n", r, float64(h.sumNs.Load())/1e9)
+		fmt.Fprintf(cw, "obdreld_request_seconds_count{route=%q} %d\n", r, h.count.Load())
+	}
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(cw, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(cw, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("obdreld_analyzer_cache_hits_total", "Registry lookups served from the LRU.", m.CacheHits.Load())
+	counter("obdreld_analyzer_cache_misses_total", "Registry lookups that required a build.", m.CacheMisses.Load())
+	counter("obdreld_coalesced_requests_total", "Requests that joined an in-flight analyzer build.", m.Coalesced.Load())
+	counter("obdreld_throttled_requests_total", "Requests rejected 429 by the concurrency limiter.", m.Throttled.Load())
+	counter("obdreld_timedout_requests_total", "Requests that hit the per-request deadline.", m.TimedOut.Load())
+	counter("obdreld_engine_builds_total", "Analyzer (engine substrate) constructions.", m.Builds.Load())
+	fmt.Fprintf(cw, "# HELP obdreld_engine_build_seconds_total Wall time constructing analyzers (power-thermal fixed point; per-method tables build lazily and appear in request latency).\n")
+	fmt.Fprintf(cw, "# TYPE obdreld_engine_build_seconds_total counter\n")
+	fmt.Fprintf(cw, "obdreld_engine_build_seconds_total %g\n", float64(m.BuildNanos.Load())/1e9)
+	gauge("obdreld_in_flight_requests", "Requests currently being served.", float64(m.InFlight.Load()))
+	gauge("obdreld_analyzers_cached", "Analyzers resident in the registry.", float64(m.analyzersCached()))
+	gauge("obdreld_uptime_seconds", "Seconds since the server started.", m.Uptime().Seconds())
+	return cw.n, cw.err
+}
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}

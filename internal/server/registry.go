@@ -1,0 +1,96 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"obdrel"
+	"obdrel/internal/lru"
+)
+
+// BuildFunc constructs the analyzer for a design/config pair.
+// Production uses obdrel.NewAnalyzer; tests inject counters and
+// stalls.
+type BuildFunc func(*obdrel.Design, *obdrel.Config) (*obdrel.Analyzer, error)
+
+// Registry is the serving layer's analyzer cache: an LRU of immutable
+// Analyzers keyed by the canonical obdrel.CacheKey(design, config),
+// with singleflight coalescing so N concurrent requests for the same
+// uncached configuration trigger exactly one characterization (power,
+// thermal, PCA, BLOD — hundreds of ms each). The PR 1 process-wide
+// PCA cache sits underneath, so even a registry miss reuses the
+// eigendecomposition when only non-PCA knobs changed.
+//
+// Analyzers are safe for concurrent queries and engines are built
+// lazily inside them, so the registry hands the same instance to any
+// number of requests without copying.
+type Registry struct {
+	build   BuildFunc
+	metrics *Metrics
+
+	mu    sync.Mutex
+	cache *lru.Cache[*obdrel.Analyzer]
+
+	flights flightGroup
+}
+
+// NewRegistry returns a registry holding at most capacity analyzers.
+func NewRegistry(capacity int, build BuildFunc, m *Metrics) *Registry {
+	r := &Registry{
+		build:   build,
+		metrics: m,
+		cache:   lru.New[*obdrel.Analyzer](capacity),
+	}
+	m.analyzersCached = r.Len
+	return r
+}
+
+// Len reports the number of cached analyzers.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cache.Len()
+}
+
+// Get returns the analyzer for (design, config), building it at most
+// once per key regardless of concurrency. cached reports whether the
+// LRU already held it. A context deadline abandons the wait but not
+// the build: the characterization finishes in the background and is
+// inserted for the next request.
+func (r *Registry) Get(ctx context.Context, d *obdrel.Design, cfg *obdrel.Config) (an *obdrel.Analyzer, cached bool, err error) {
+	key := obdrel.CacheKey(d, cfg)
+	r.mu.Lock()
+	if an, ok := r.cache.Get(key); ok {
+		r.mu.Unlock()
+		r.metrics.CacheHits.Add(1)
+		return an, true, nil
+	}
+	r.mu.Unlock()
+	r.metrics.CacheMisses.Add(1)
+
+	ch := r.flights.Do(key, func() (any, error) {
+		start := time.Now()
+		built, err := r.build(d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.metrics.ObserveBuild(time.Since(start))
+		r.mu.Lock()
+		r.cache.Put(key, built)
+		r.mu.Unlock()
+		return built, nil
+	})
+	select {
+	case res := <-ch:
+		if res.shared {
+			r.metrics.Coalesced.Add(1)
+		}
+		if res.err != nil {
+			return nil, false, res.err
+		}
+		return res.val.(*obdrel.Analyzer), false, nil
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"obdrel"
+)
+
+func testConfig(seed int64) *obdrel.Config {
+	cfg := obdrel.DefaultConfig()
+	cfg.GridNx, cfg.GridNy = 6, 6
+	cfg.MCSamples = 50
+	cfg.StMCSamples = 500
+	cfg.Seed = seed
+	return cfg
+}
+
+// TestSingleflightBuild is the ISSUE 2 acceptance test: 64 concurrent
+// requests for the same uncached configuration must trigger exactly
+// one engine build, with the other 63 coalesced onto it.
+func TestSingleflightBuild(t *testing.T) {
+	var builds atomic.Int64
+	gate := make(chan struct{})
+	m := NewMetrics()
+	reg := NewRegistry(4, func(d *obdrel.Design, cfg *obdrel.Config) (*obdrel.Analyzer, error) {
+		builds.Add(1)
+		<-gate // hold every racer at the miss until all have arrived
+		return obdrel.NewAnalyzer(d, cfg)
+	}, m)
+
+	const racers = 64
+	var wg sync.WaitGroup
+	var started sync.WaitGroup
+	started.Add(racers)
+	results := make([]*obdrel.Analyzer, racers)
+	errs := make([]error, racers)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started.Done()
+			an, _, err := reg.Get(context.Background(), obdrel.C1(), testConfig(1))
+			results[i], errs[i] = an, err
+		}(i)
+	}
+	started.Wait()
+	// All 64 goroutines are launched; give the laggards a moment to
+	// reach the registry before releasing the build.
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("64 concurrent identical requests ran %d builds, want 1", n)
+	}
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("racer %d: %v", i, errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("racer %d got a different analyzer instance", i)
+		}
+	}
+	if got := m.Coalesced.Load(); got == 0 {
+		t.Fatal("no coalesced requests recorded")
+	}
+	if reg.Len() != 1 {
+		t.Fatalf("registry holds %d analyzers, want 1", reg.Len())
+	}
+}
+
+func TestRegistryHitAndEviction(t *testing.T) {
+	var builds atomic.Int64
+	m := NewMetrics()
+	reg := NewRegistry(2, func(d *obdrel.Design, cfg *obdrel.Config) (*obdrel.Analyzer, error) {
+		builds.Add(1)
+		return obdrel.NewAnalyzer(d, cfg)
+	}, m)
+	ctx := context.Background()
+	d := obdrel.C1()
+
+	if _, cached, err := reg.Get(ctx, d, testConfig(1)); err != nil || cached {
+		t.Fatalf("first get: cached=%t err=%v", cached, err)
+	}
+	if _, cached, err := reg.Get(ctx, d, testConfig(1)); err != nil || !cached {
+		t.Fatalf("second get should hit: cached=%t err=%v", cached, err)
+	}
+	if m.CacheHits.Load() != 1 || m.CacheMisses.Load() != 1 {
+		t.Fatalf("hit/miss counters %d/%d, want 1/1", m.CacheHits.Load(), m.CacheMisses.Load())
+	}
+
+	// Two more distinct configs overflow the capacity-2 LRU; the
+	// seed-1 entry (least recently used after the seed-2 insert) is
+	// evicted and must rebuild on the next request.
+	reg.Get(ctx, d, testConfig(2))
+	reg.Get(ctx, d, testConfig(3))
+	if reg.Len() != 2 {
+		t.Fatalf("registry holds %d analyzers, want 2", reg.Len())
+	}
+	before := builds.Load()
+	if _, cached, _ := reg.Get(ctx, d, testConfig(1)); cached {
+		t.Fatal("evicted entry reported as cached")
+	}
+	if builds.Load() != before+1 {
+		t.Fatal("evicted entry did not rebuild")
+	}
+}
+
+func TestRegistryBuildError(t *testing.T) {
+	boom := errors.New("boom")
+	m := NewMetrics()
+	reg := NewRegistry(2, func(d *obdrel.Design, cfg *obdrel.Config) (*obdrel.Analyzer, error) {
+		return nil, boom
+	}, m)
+	if _, _, err := reg.Get(context.Background(), obdrel.C1(), testConfig(1)); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// Failed builds are not cached.
+	if reg.Len() != 0 {
+		t.Fatalf("registry holds %d analyzers after failed build", reg.Len())
+	}
+}
+
+// TestRegistryContextTimeout verifies the deadline abandons the wait
+// but not the build: the slow characterization completes in the
+// background and serves the next request as a hit.
+func TestRegistryContextTimeout(t *testing.T) {
+	release := make(chan struct{})
+	m := NewMetrics()
+	reg := NewRegistry(2, func(d *obdrel.Design, cfg *obdrel.Config) (*obdrel.Analyzer, error) {
+		<-release
+		return obdrel.NewAnalyzer(d, cfg)
+	}, m)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, _, err := reg.Get(ctx, obdrel.C1(), testConfig(1)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	close(release)
+	// The background build finishes and lands in the LRU.
+	deadline := time.Now().Add(10 * time.Second)
+	for reg.Len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, cached, err := reg.Get(context.Background(), obdrel.C1(), testConfig(1)); err != nil || !cached {
+		t.Fatalf("abandoned build not reused: cached=%t err=%v", cached, err)
+	}
+}

@@ -1,0 +1,696 @@
+// Package server implements obdreld's JSON-over-HTTP reliability
+// query service: the /v1 API over an analyzer registry (LRU +
+// singleflight coalescing), with a bounded concurrency limiter,
+// per-request timeouts, structured request logging, and a
+// stdlib-only Prometheus-text /metrics endpoint.
+//
+// The serving model: an Analyzer is an immutable, fully characterized
+// chip that is expensive to build (power/thermal fixed point, PCA,
+// BLOD — hundreds of milliseconds) and microseconds to query (hybrid
+// tables). The registry therefore memoizes analyzers by canonical
+// (design, config) identity and coalesces concurrent builds, so a
+// traffic burst for one configuration costs one characterization and
+// N-1 cheap waits.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"obdrel"
+	"obdrel/internal/obd"
+)
+
+// Options configure the service.
+type Options struct {
+	// MaxAnalyzers bounds the registry LRU (default 32).
+	MaxAnalyzers int
+	// MaxConcurrent bounds simultaneously served /v1 requests;
+	// excess requests are rejected 429 (default 4×GOMAXPROCS).
+	MaxConcurrent int
+	// RequestTimeout is the per-request deadline (default 30s);
+	// expiry answers 504 while any in-flight analyzer build finishes
+	// in the background for the next request.
+	RequestTimeout time.Duration
+	// Workers is the Config.Workers applied to every build (0 =
+	// GOMAXPROCS).
+	Workers int
+	// AccessLog receives one JSON line per request (nil = discard).
+	AccessLog io.Writer
+	// Build overrides the analyzer factory (tests); nil uses
+	// obdrel.NewAnalyzer.
+	Build BuildFunc
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.MaxAnalyzers <= 0 {
+		out.MaxAnalyzers = 32
+	}
+	if out.MaxConcurrent <= 0 {
+		out.MaxConcurrent = 4 * runtime.GOMAXPROCS(0)
+	}
+	if out.RequestTimeout <= 0 {
+		out.RequestTimeout = 30 * time.Second
+	}
+	if out.Build == nil {
+		out.Build = obdrel.NewAnalyzer
+	}
+	if out.AccessLog == nil {
+		out.AccessLog = io.Discard
+	}
+	return out
+}
+
+// Server is the obdreld HTTP service.
+type Server struct {
+	opts    Options
+	metrics *Metrics
+	reg     *Registry
+	designs map[string]*obdrel.Design
+	order   []string
+	sem     chan struct{}
+	logger  *slog.Logger
+}
+
+// New returns a service over the built-in benchmark designs.
+func New(opts Options) *Server {
+	o := opts.withDefaults()
+	m := NewMetrics()
+	s := &Server{
+		opts:    o,
+		metrics: m,
+		reg:     NewRegistry(o.MaxAnalyzers, o.Build, m),
+		designs: map[string]*obdrel.Design{},
+		sem:     make(chan struct{}, o.MaxConcurrent),
+		logger:  slog.New(slog.NewJSONHandler(o.AccessLog, nil)),
+	}
+	for _, d := range obdrel.Benchmarks() {
+		s.designs[d.Name] = d
+		s.order = append(s.order, d.Name)
+	}
+	return s
+}
+
+// Metrics exposes the server's counters (the daemon logs a summary on
+// shutdown).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.Handle("/v1/designs", s.instrument("/v1/designs", s.handleDesigns))
+	mux.Handle("/v1/lifetime", s.instrument("/v1/lifetime", s.handleLifetime))
+	mux.Handle("/v1/failureprob", s.instrument("/v1/failureprob", s.handleFailureProb))
+	mux.Handle("/v1/maxvdd", s.instrument("/v1/maxvdd", s.handleMaxVDD))
+	mux.Handle("/v1/blocks", s.instrument("/v1/blocks", s.handleBlocks))
+	return mux
+}
+
+// apiError carries an HTTP status with a message; every other error
+// maps to 500.
+type apiError struct {
+	code int
+	msg  string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errBadRequest(format string, args ...any) error {
+	return &apiError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func errNotFound(format string, args ...any) error {
+	return &apiError{code: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+// instrument wraps a /v1 handler with the production plumbing:
+// concurrency limiting (429 on saturation), the per-request deadline,
+// the in-flight gauge, panic containment, metrics, and one structured
+// log line per request.
+func (s *Server) instrument(route string, h func(context.Context, *http.Request) (any, error)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		status := http.StatusOK
+		defer func() {
+			d := time.Since(start)
+			s.metrics.ObserveRequest(route, status, d)
+			s.logger.LogAttrs(context.Background(), slog.LevelInfo, "request",
+				slog.String("method", r.Method),
+				slog.String("route", route),
+				slog.String("query", r.URL.RawQuery),
+				slog.Int("status", status),
+				slog.Int64("dur_us", d.Microseconds()),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}()
+
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			s.metrics.Throttled.Add(1)
+			status = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, status, map[string]any{"error": "server saturated, retry later"})
+			return
+		}
+
+		s.metrics.InFlight.Add(1)
+		defer s.metrics.InFlight.Add(-1)
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+		defer cancel()
+
+		resp, err := func() (resp any, err error) {
+			defer func() {
+				if p := recover(); p != nil {
+					err = fmt.Errorf("internal panic: %v", p)
+				}
+			}()
+			return h(ctx, r)
+		}()
+		switch {
+		case err == nil:
+			writeJSON(w, status, resp)
+		case errors.Is(err, context.DeadlineExceeded):
+			s.metrics.TimedOut.Add(1)
+			status = http.StatusGatewayTimeout
+			writeJSON(w, status, map[string]any{"error": "request deadline exceeded"})
+		default:
+			var ae *apiError
+			if errors.As(err, &ae) {
+				status = ae.code
+			} else {
+				status = http.StatusInternalServerError
+			}
+			writeJSON(w, status, map[string]any{"error": err.Error()})
+		}
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// await runs f in its own goroutine and returns its result, or the
+// context error on expiry — f keeps running to completion so shared
+// state (lazy engine builds inside an analyzer) is never abandoned
+// half-made; the analyzer's own lock guarantees safety.
+func await[T any](ctx context.Context, f func() (T, error)) (T, error) {
+	type out struct {
+		v   T
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		v, err := f()
+		ch <- out{v, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.v, o.err
+	case <-ctx.Done():
+		var zero T
+		return zero, ctx.Err()
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":           "ok",
+		"uptime_s":         s.metrics.Uptime().Seconds(),
+		"analyzers_cached": s.reg.Len(),
+		"in_flight":        s.metrics.InFlight.Load(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WriteTo(w)
+}
+
+func (s *Server) handleDesigns(ctx context.Context, r *http.Request) (any, error) {
+	type designInfo struct {
+		Name    string  `json:"name"`
+		Blocks  int     `json:"blocks"`
+		Devices int     `json:"devices"`
+		DieW    float64 `json:"die_w"`
+		DieH    float64 `json:"die_h"`
+	}
+	out := make([]designInfo, 0, len(s.order))
+	for _, name := range s.order {
+		d := s.designs[name]
+		out = append(out, designInfo{
+			Name: d.Name, Blocks: len(d.Blocks), Devices: d.TotalDevices(),
+			DieW: d.W, DieH: d.H,
+		})
+	}
+	return map[string]any{"designs": out}, nil
+}
+
+func (s *Server) handleLifetime(ctx context.Context, r *http.Request) (any, error) {
+	req, err := parseRequest(r)
+	if err != nil {
+		return nil, err
+	}
+	d, cfg, m, err := s.resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	ppm := req.PPM
+	if ppm == 0 {
+		ppm = 10
+	}
+	an, cached, err := s.reg.Get(ctx, d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	life, err := await(ctx, func() (float64, error) { return an.LifetimePPM(ppm, m) })
+	if err != nil {
+		return nil, queryErr(err)
+	}
+	return map[string]any{
+		"design":         d.Name,
+		"method":         m.String(),
+		"ppm":            ppm,
+		"lifetime_hours": life,
+		"cache":          cacheLabel(cached),
+		"query_us":       time.Since(start).Microseconds(),
+	}, nil
+}
+
+func (s *Server) handleFailureProb(ctx context.Context, r *http.Request) (any, error) {
+	req, err := parseRequest(r)
+	if err != nil {
+		return nil, err
+	}
+	d, cfg, m, err := s.resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	if !(req.T > 0) {
+		return nil, errBadRequest("t (hours) must be positive, got %v", req.T)
+	}
+	an, cached, err := s.reg.Get(ctx, d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	p, err := await(ctx, func() (float64, error) { return an.FailureProb(req.T, m) })
+	if err != nil {
+		return nil, queryErr(err)
+	}
+	return map[string]any{
+		"design":       d.Name,
+		"method":       m.String(),
+		"t_hours":      req.T,
+		"failure_prob": p,
+		"reliability":  1 - p,
+		"cache":        cacheLabel(cached),
+		"query_us":     time.Since(start).Microseconds(),
+	}, nil
+}
+
+func (s *Server) handleMaxVDD(ctx context.Context, r *http.Request) (any, error) {
+	req, err := parseRequest(r)
+	if err != nil {
+		return nil, err
+	}
+	d, cfg, m, err := s.resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	ppm := req.PPM
+	if ppm == 0 {
+		ppm = 10
+	}
+	if !(req.TargetHours > 0) {
+		return nil, errBadRequest("target_hours must be positive, got %v", req.TargetHours)
+	}
+	vLo, vHi := req.VLo, req.VHi
+	if vLo == 0 {
+		vLo = 0.9
+	}
+	if vHi == 0 {
+		vHi = 1.5
+	}
+	// Probe analyzers route through the registry, so the bisection's
+	// repeat visits (and later searches over the same bracket) reuse
+	// characterized voltages.
+	probes := 0
+	factory := func(pd *obdrel.Design, pc *obdrel.Config) (*obdrel.Analyzer, error) {
+		probes++
+		an, _, err := s.reg.Get(ctx, pd, pc)
+		return an, err
+	}
+	v, err := await(ctx, func() (float64, error) {
+		return obdrel.MaxVDDFrom(factory, d, cfg, m, ppm, req.TargetHours, vLo, vHi, req.TolV)
+	})
+	if err != nil {
+		return nil, queryErr(err)
+	}
+	return map[string]any{
+		"design":       d.Name,
+		"method":       m.String(),
+		"ppm":          ppm,
+		"target_hours": req.TargetHours,
+		"vdd_bracket":  []float64{vLo, vHi},
+		"max_vdd":      v,
+		"probes":       probes,
+	}, nil
+}
+
+func (s *Server) handleBlocks(ctx context.Context, r *http.Request) (any, error) {
+	req, err := parseRequest(r)
+	if err != nil {
+		return nil, err
+	}
+	d, cfg, _, err := s.resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	an, cached, err := s.reg.Get(ctx, d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	type blockOut struct {
+		Name    string  `json:"name"`
+		MeanTC  float64 `json:"mean_temp_c"`
+		MaxTC   float64 `json:"max_temp_c"`
+		PowerW  float64 `json:"power_w"`
+		AlphaH  float64 `json:"alpha_h"`
+		BPerNm  float64 `json:"b_per_nm"`
+		Devices int     `json:"devices"`
+	}
+	blocks := an.Blocks()
+	out := make([]blockOut, len(blocks))
+	for i, b := range blocks {
+		out[i] = blockOut{
+			Name: b.Name, MeanTC: b.MeanTempC, MaxTC: b.MaxTempC,
+			PowerW: b.PowerW, AlphaH: b.Alpha, BPerNm: b.B, Devices: b.Devices,
+		}
+	}
+	tmin, tmean, tmax := an.TempSpread()
+	return map[string]any{
+		"design": d.Name,
+		"cache":  cacheLabel(cached),
+		"blocks": out,
+		"temp_c": map[string]float64{"min": tmin, "mean": tmean, "max": tmax},
+	}, nil
+}
+
+func cacheLabel(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// queryErr maps analyzer-level validation failures (bad ppm, bad
+// time) to 400; anything else stays a 500/504.
+func queryErr(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return err
+	}
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return err
+	}
+	if strings.Contains(err.Error(), "obdrel:") {
+		return &apiError{code: http.StatusBadRequest, msg: err.Error()}
+	}
+	return err
+}
+
+// apiRequest is the query envelope, accepted as URL query parameters
+// (GET) or a JSON body (POST). Config knobs are pointers so "absent"
+// and "zero" stay distinguishable; absent knobs keep DefaultConfig.
+type apiRequest struct {
+	Design      string       `json:"design"`
+	Method      string       `json:"method"`
+	PPM         float64      `json:"ppm"`
+	T           float64      `json:"t"`
+	TargetHours float64      `json:"target_hours"`
+	VLo         float64      `json:"vlo"`
+	VHi         float64      `json:"vhi"`
+	TolV        float64      `json:"tolv"`
+	Config      configParams `json:"config"`
+}
+
+type configParams struct {
+	VDD         *float64 `json:"vdd"`
+	SigmaRatio  *float64 `json:"sigma_ratio"`
+	RhoDist     *float64 `json:"rho_dist"`
+	Grid        *int     `json:"grid"`
+	MCSamples   *int     `json:"mc_samples"`
+	StMCSamples *int     `json:"stmc_samples"`
+	HybridNL    *int     `json:"hybrid_nl"`
+	HybridNB    *int     `json:"hybrid_nb"`
+	GuardSigmas *float64 `json:"guard_sigmas"`
+	PCAKeep     *float64 `json:"pca_keep"`
+	L0          *int     `json:"l0"`
+	Seed        *int64   `json:"seed"`
+	BlockMaxT   *bool    `json:"use_block_max_temp"`
+	QuadTree    *bool    `json:"quadtree"`
+	Defects     *float64 `json:"defects"`
+}
+
+// Resource caps on untrusted knobs: a request must not be able to ask
+// for an arbitrarily large eigendecomposition or sample count.
+const (
+	maxGrid        = 64
+	maxMCSamples   = 20000
+	maxStMCSamples = 200000
+	maxHybridN     = 512
+	maxL0          = 128
+)
+
+func parseRequest(r *http.Request) (*apiRequest, error) {
+	var req apiRequest
+	switch r.Method {
+	case http.MethodGet:
+		if err := parseQuery(r, &req); err != nil {
+			return nil, err
+		}
+	case http.MethodPost:
+		dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return nil, errBadRequest("bad JSON body: %v", err)
+		}
+	default:
+		return nil, &apiError{code: http.StatusMethodNotAllowed, msg: "use GET with query parameters or POST with a JSON body"}
+	}
+	return &req, nil
+}
+
+func parseQuery(r *http.Request, req *apiRequest) error {
+	q := r.URL.Query()
+	var err error
+	getF := func(key string, dst *float64) {
+		if err != nil || !q.Has(key) {
+			return
+		}
+		v, perr := strconv.ParseFloat(q.Get(key), 64)
+		if perr != nil {
+			err = errBadRequest("parameter %q: %v", key, perr)
+			return
+		}
+		*dst = v
+	}
+	getFP := func(key string, dst **float64) {
+		if err != nil || !q.Has(key) {
+			return
+		}
+		var v float64
+		getF(key, &v)
+		if err == nil {
+			*dst = &v
+		}
+	}
+	getIP := func(key string, dst **int) {
+		if err != nil || !q.Has(key) {
+			return
+		}
+		v, perr := strconv.Atoi(q.Get(key))
+		if perr != nil {
+			err = errBadRequest("parameter %q: %v", key, perr)
+			return
+		}
+		*dst = &v
+	}
+	getBP := func(key string, dst **bool) {
+		if err != nil || !q.Has(key) {
+			return
+		}
+		v, perr := strconv.ParseBool(q.Get(key))
+		if perr != nil {
+			err = errBadRequest("parameter %q: %v", key, perr)
+			return
+		}
+		*dst = &v
+	}
+	req.Design = q.Get("design")
+	req.Method = q.Get("method")
+	getF("ppm", &req.PPM)
+	getF("t", &req.T)
+	getF("target_hours", &req.TargetHours)
+	getF("vlo", &req.VLo)
+	getF("vhi", &req.VHi)
+	getF("tolv", &req.TolV)
+	getFP("vdd", &req.Config.VDD)
+	getFP("sigma_ratio", &req.Config.SigmaRatio)
+	getFP("rho_dist", &req.Config.RhoDist)
+	getIP("grid", &req.Config.Grid)
+	getIP("mc_samples", &req.Config.MCSamples)
+	getIP("stmc_samples", &req.Config.StMCSamples)
+	getIP("hybrid_nl", &req.Config.HybridNL)
+	getIP("hybrid_nb", &req.Config.HybridNB)
+	getFP("guard_sigmas", &req.Config.GuardSigmas)
+	getFP("pca_keep", &req.Config.PCAKeep)
+	getIP("l0", &req.Config.L0)
+	getBP("use_block_max_temp", &req.Config.BlockMaxT)
+	getBP("quadtree", &req.Config.QuadTree)
+	getFP("defects", &req.Config.Defects)
+	if q.Has("seed") {
+		v, perr := strconv.ParseInt(q.Get("seed"), 10, 64)
+		if perr != nil {
+			return errBadRequest("parameter %q: %v", "seed", perr)
+		}
+		req.Config.Seed = &v
+	}
+	return err
+}
+
+// resolve maps the request onto a design, a validated Config, and a
+// method. The config starts from DefaultConfig, applies only the
+// supplied knobs (under the resource caps), then runs the library's
+// full validation so untrusted garbage fails with a 400 and a
+// descriptive message.
+func (s *Server) resolve(req *apiRequest) (*obdrel.Design, *obdrel.Config, obdrel.Method, error) {
+	name := req.Design
+	if name == "" {
+		name = "C6"
+	}
+	d, ok := s.designs[strings.ToUpper(name)]
+	if !ok {
+		return nil, nil, 0, errNotFound("unknown design %q (see /v1/designs)", req.Design)
+	}
+	m, err := parseMethod(req.Method)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	cfg, err := buildConfig(&req.Config, s.opts.Workers)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return d, cfg, m, nil
+}
+
+func parseMethod(name string) (obdrel.Method, error) {
+	if name == "" {
+		return obdrel.MethodHybrid, nil
+	}
+	for _, m := range obdrel.Methods() {
+		if strings.EqualFold(m.String(), name) {
+			return m, nil
+		}
+	}
+	return 0, errBadRequest("unknown method %q (want one of %v)", name, obdrel.Methods())
+}
+
+func buildConfig(p *configParams, workers int) (*obdrel.Config, error) {
+	cfg := obdrel.DefaultConfig()
+	cfg.Workers = workers
+	if p.VDD != nil {
+		cfg.VDD = *p.VDD
+	}
+	if p.SigmaRatio != nil {
+		cfg.SigmaRatio = *p.SigmaRatio
+	}
+	if p.RhoDist != nil {
+		cfg.RhoDist = *p.RhoDist
+	}
+	if p.Grid != nil {
+		if *p.Grid > maxGrid {
+			return nil, errBadRequest("grid %d exceeds the service cap %d", *p.Grid, maxGrid)
+		}
+		cfg.GridNx, cfg.GridNy = *p.Grid, *p.Grid
+	}
+	if p.MCSamples != nil {
+		if *p.MCSamples > maxMCSamples {
+			return nil, errBadRequest("mc_samples %d exceeds the service cap %d", *p.MCSamples, maxMCSamples)
+		}
+		cfg.MCSamples = *p.MCSamples
+	}
+	if p.StMCSamples != nil {
+		if *p.StMCSamples > maxStMCSamples {
+			return nil, errBadRequest("stmc_samples %d exceeds the service cap %d", *p.StMCSamples, maxStMCSamples)
+		}
+		cfg.StMCSamples = *p.StMCSamples
+	}
+	if p.HybridNL != nil {
+		if *p.HybridNL > maxHybridN {
+			return nil, errBadRequest("hybrid_nl %d exceeds the service cap %d", *p.HybridNL, maxHybridN)
+		}
+		cfg.HybridNL = *p.HybridNL
+	}
+	if p.HybridNB != nil {
+		if *p.HybridNB > maxHybridN {
+			return nil, errBadRequest("hybrid_nb %d exceeds the service cap %d", *p.HybridNB, maxHybridN)
+		}
+		cfg.HybridNB = *p.HybridNB
+	}
+	if p.GuardSigmas != nil {
+		cfg.GuardSigmas = *p.GuardSigmas
+	}
+	if p.PCAKeep != nil {
+		cfg.PCAKeepFraction = *p.PCAKeep
+	}
+	if p.L0 != nil {
+		if *p.L0 > maxL0 {
+			return nil, errBadRequest("l0 %d exceeds the service cap %d", *p.L0, maxL0)
+		}
+		cfg.L0 = *p.L0
+	}
+	if p.Seed != nil {
+		cfg.Seed = *p.Seed
+	}
+	if p.BlockMaxT != nil {
+		cfg.UseBlockMaxTemp = *p.BlockMaxT
+	}
+	if p.QuadTree != nil {
+		cfg.QuadTree = *p.QuadTree
+	}
+	if p.Defects != nil && *p.Defects != 0 {
+		ext := *obd.DefaultExtrinsic()
+		ext.DefectFraction = *p.Defects
+		cfg.Extrinsic = &ext
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, errBadRequest("%v", err)
+	}
+	if cfg.Extrinsic != nil {
+		if err := cfg.Extrinsic.Validate(); err != nil {
+			return nil, errBadRequest("%v", err)
+		}
+	}
+	return cfg, nil
+}

@@ -1,0 +1,62 @@
+package server
+
+import "sync"
+
+// flightResult is what a coalesced call delivers to every waiter.
+type flightResult struct {
+	val    any
+	err    error
+	shared bool // true when this waiter joined an in-flight call
+}
+
+// flightGroup coalesces concurrent calls for the same key into one
+// execution — the classic singleflight pattern, reimplemented on the
+// standard library because the service must not add dependencies. The
+// function runs in its own goroutine, so waiters that abandon the
+// result (request timeout, client gone) do not cancel the work: the
+// next request for the key finds it finished and cached.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+	dups int
+}
+
+// Do returns a channel that delivers fn's result for key. Concurrent
+// callers with an equal key share a single execution of fn; the
+// channel is buffered so an abandoned waiter leaks nothing.
+func (g *flightGroup) Do(key string, fn func() (any, error)) <-chan flightResult {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		c.dups++
+		g.mu.Unlock()
+		ch := make(chan flightResult, 1)
+		go func() {
+			<-c.done
+			ch <- flightResult{val: c.val, err: c.err, shared: true}
+		}()
+		return ch
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	ch := make(chan flightResult, 1)
+	go func() {
+		c.val, c.err = fn()
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+		ch <- flightResult{val: c.val, err: c.err, shared: false}
+	}()
+	return ch
+}

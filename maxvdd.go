@@ -19,22 +19,38 @@ import (
 // volts (default 5 mV when 0). It returns an error when even vLo
 // fails the requirement; if vHi already meets it, vHi is returned.
 func MaxVDD(d *Design, cfg *Config, method Method, ppm, targetHours, vLo, vHi, tolV float64) (float64, error) {
+	return MaxVDDFrom(NewAnalyzer, d, cfg, method, ppm, targetHours, vLo, vHi, tolV)
+}
+
+// AnalyzerFactory builds (or retrieves — e.g. from a serving-layer
+// registry) the Analyzer for a design/config pair. NewAnalyzer is the
+// plain factory.
+type AnalyzerFactory func(*Design, *Config) (*Analyzer, error)
+
+// MaxVDDFrom is MaxVDD with an explicit analyzer factory. Long-running
+// services pass a caching factory so repeated voltage searches — whose
+// bisections revisit the same probe voltages — reuse characterized
+// analyzers instead of rebuilding them.
+func MaxVDDFrom(build AnalyzerFactory, d *Design, cfg *Config, method Method, ppm, targetHours, vLo, vHi, tolV float64) (float64, error) {
 	if cfg == nil {
 		cfg = DefaultConfig()
 	}
-	if !(vLo > 0) || !(vHi > vLo) {
+	if !(vLo > 0) || !(vHi > vLo) || math.IsInf(vHi, 0) {
 		return 0, fmt.Errorf("obdrel: invalid voltage bracket [%v, %v]", vLo, vHi)
 	}
-	if !(targetHours > 0) || !(ppm > 0) {
-		return 0, fmt.Errorf("obdrel: invalid requirement %v ppm at %v h", ppm, targetHours)
+	if !(targetHours > 0) || math.IsInf(targetHours, 0) {
+		return 0, fmt.Errorf("obdrel: invalid lifetime requirement %v h", targetHours)
 	}
-	if tolV <= 0 {
+	if err := validPPM(ppm); err != nil {
+		return 0, err
+	}
+	if tolV <= 0 || math.IsNaN(tolV) {
 		tolV = 0.005
 	}
 	meets := func(v float64) (bool, error) {
 		probe := *cfg
 		probe.VDD = v
-		an, err := NewAnalyzer(d, &probe)
+		an, err := build(d, &probe)
 		if err != nil {
 			return false, fmt.Errorf("obdrel: at %v V: %w", v, err)
 		}

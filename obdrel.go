@@ -41,6 +41,7 @@ package obdrel
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"obdrel/internal/floorplan"
 	"obdrel/internal/grid"
@@ -304,21 +305,44 @@ func DefaultConfig() *Config {
 	}
 }
 
-// Validate checks the configuration.
+// Validate checks the configuration. Every numeric knob is checked
+// for finiteness and range so that garbage input — in particular
+// untrusted values arriving over the obdreld HTTP API — fails here
+// with a descriptive error instead of NaN-poisoning the analysis.
 func (c *Config) Validate() error {
 	switch {
 	case c == nil:
 		return errors.New("obdrel: nil config")
-	case !(c.VDD > 0):
-		return fmt.Errorf("obdrel: VDD must be positive, got %v", c.VDD)
+	case !(c.VDD > 0) || math.IsInf(c.VDD, 0):
+		return fmt.Errorf("obdrel: VDD must be positive and finite, got %v", c.VDD)
 	case !(c.SigmaRatio > 0) || c.SigmaRatio >= 1:
 		return fmt.Errorf("obdrel: SigmaRatio must be in (0,1), got %v", c.SigmaRatio)
+	case !(c.FracGlobal >= 0) || !(c.FracSpatial >= 0) || !(c.FracIndependent >= 0) ||
+		math.IsInf(c.FracGlobal, 0) || math.IsInf(c.FracSpatial, 0) || math.IsInf(c.FracIndependent, 0):
+		return fmt.Errorf("obdrel: variance fractions must be non-negative and finite, got %v/%v/%v",
+			c.FracGlobal, c.FracSpatial, c.FracIndependent)
 	case c.GridNx <= 0 || c.GridNy <= 0:
-		return fmt.Errorf("obdrel: invalid correlation grid %d×%d", c.GridNx, c.GridNy)
-	case !(c.RhoDist > 0):
-		return fmt.Errorf("obdrel: RhoDist must be positive, got %v", c.RhoDist)
-	case c.GuardSigmas < 0:
-		return fmt.Errorf("obdrel: GuardSigmas must be non-negative, got %v", c.GuardSigmas)
+		return fmt.Errorf("obdrel: correlation grid must be positive, got %d×%d", c.GridNx, c.GridNy)
+	case !(c.RhoDist > 0) || math.IsInf(c.RhoDist, 0):
+		return fmt.Errorf("obdrel: RhoDist must be positive and finite, got %v", c.RhoDist)
+	case c.QuadTreeLevels < 0:
+		return fmt.Errorf("obdrel: QuadTreeLevels must be non-negative, got %d", c.QuadTreeLevels)
+	case c.QuadTreeDecay < 0 || math.IsInf(c.QuadTreeDecay, 0) || math.IsNaN(c.QuadTreeDecay):
+		return fmt.Errorf("obdrel: QuadTreeDecay must be non-negative and finite, got %v", c.QuadTreeDecay)
+	case c.PCAKeepFraction < 0 || c.PCAKeepFraction > 1 || math.IsNaN(c.PCAKeepFraction):
+		return fmt.Errorf("obdrel: PCAKeepFraction must be in [0,1], got %v", c.PCAKeepFraction)
+	case c.L0 < 0:
+		return fmt.Errorf("obdrel: L0 must be non-negative, got %d", c.L0)
+	case c.StMCSamples < 0 || c.StMCBins < 0:
+		return fmt.Errorf("obdrel: st_MC sampling must be non-negative, got %d samples × %d bins",
+			c.StMCSamples, c.StMCBins)
+	case c.MCSamples < 0:
+		return fmt.Errorf("obdrel: MCSamples must be non-negative, got %d", c.MCSamples)
+	case c.HybridNL < 0 || c.HybridNB < 0:
+		return fmt.Errorf("obdrel: hybrid table resolution must be non-negative, got %d×%d",
+			c.HybridNL, c.HybridNB)
+	case !(c.GuardSigmas >= 0) || math.IsInf(c.GuardSigmas, 0):
+		return fmt.Errorf("obdrel: GuardSigmas must be non-negative and finite, got %v", c.GuardSigmas)
 	case c.Workers < 0:
 		return fmt.Errorf("obdrel: Workers must be non-negative, got %v", c.Workers)
 	}
