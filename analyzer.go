@@ -1,17 +1,16 @@
 package obdrel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sync"
 
-	"obdrel/internal/blod"
 	"obdrel/internal/core"
 	"obdrel/internal/floorplan"
 	"obdrel/internal/grid"
 	"obdrel/internal/obd"
-	"obdrel/internal/power"
 	"obdrel/internal/stats"
 	"obdrel/internal/thermal"
 )
@@ -78,10 +77,12 @@ type BlockInfo struct {
 }
 
 // Analyzer is a fully characterized chip ready for reliability
-// queries. Construction runs the whole substrate pipeline — power
-// model, thermal solve, spatial-correlation PCA, and BLOD
-// characterization; engines are then built lazily per method and
-// cached.
+// queries. It is a thin facade over the stage graph (see stages.go):
+// construction resolves the floorplan, power-map, thermal,
+// covariance/PCA, BLOD, Weibull-parameter and chip stages — each
+// served from the process-wide stage cache when a prior construction
+// already built the identical artifact; engines are then built lazily
+// per method and cached per analyzer.
 type Analyzer struct {
 	cfg    *Config
 	design *floorplan.Design
@@ -100,133 +101,27 @@ type Analyzer struct {
 // NewAnalyzer characterizes a design under a configuration. A nil
 // config selects DefaultConfig.
 func NewAnalyzer(d *Design, cfg *Config) (*Analyzer, error) {
-	if cfg == nil {
-		cfg = DefaultConfig()
-	}
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	fd, err := d.internal()
-	if err != nil {
-		return nil, err
-	}
-	tech := cfg.Tech
-	if tech == nil {
-		tech = obd.DefaultTech()
-	}
-	if err := tech.Validate(); err != nil {
-		return nil, err
-	}
+	return NewAnalyzerCtx(context.Background(), d, cfg)
+}
 
-	// Power → thermal fixed point gives each block its operating
-	// temperature.
-	pm := cfg.Power
-	if pm == nil {
-		pm = power.Default()
+// NewAnalyzerCtx is NewAnalyzer with cancellation support: ctx is
+// checked at stage-cache lookups and inside every stage build (thermal
+// SOR sweeps, covariance rows, eigensolver loops, per-block
+// characterization), so a cancelled context stops the substrate
+// computation promptly instead of abandoning it.
+//
+// Stage artifacts are served from the process-wide stage cache unless
+// Config.DisableStageCache is set. Artifacts are immutable and their
+// builds deterministic for a fixed Workers value, so cache reuse never
+// changes results; mixing Workers values across processes' requests
+// shares artifacts across the documented serial/parallel tolerance
+// (Workers is a perf knob, excluded from stage fingerprints).
+func NewAnalyzerCtx(ctx context.Context, d *Design, cfg *Config) (*Analyzer, error) {
+	cache := sharedStages
+	if cfg != nil && cfg.DisableStageCache {
+		cache = nil
 	}
-	if err := pm.Validate(); err != nil {
-		return nil, err
-	}
-	ts := cfg.Thermal
-	if ts == nil {
-		ts = thermal.DefaultSolver()
-	}
-	if ts.Workers == 0 && cfg.Workers != 0 {
-		// Propagate the config's worker knob without mutating a
-		// caller-owned solver.
-		tsCopy := *ts
-		tsCopy.Workers = cfg.Workers
-		ts = &tsCopy
-	}
-	coupled, err := ts.SolveCoupled(fd, func(temps []float64) ([]float64, error) {
-		return pm.DesignPowers(fd, cfg.VDD, temps)
-	}, 0, 0)
-	if err != nil {
-		return nil, fmt.Errorf("obdrel: thermal analysis: %w", err)
-	}
-
-	// Thickness-variation model and its PCA.
-	model, err := cfg.variationModel(fd.W, fd.H)
-	if err != nil {
-		return nil, err
-	}
-	keep := cfg.PCAKeepFraction
-	if keep == 0 {
-		keep = 1
-	}
-	// The covariance eigendecomposition is the dominant setup cost and
-	// depends only on (geometry, sigmas, ρ_dist, structure), so sweeps
-	// over other parameters — and repeated analyzers in one process —
-	// share it through the process-wide cache.
-	var pca *grid.PCA
-	if cfg.DisablePCACache {
-		pca, err = model.ComputePCAWorkers(keep, cfg.Workers)
-	} else {
-		pca, err = grid.SharedPCACache.Get(model, keep, cfg.Workers)
-	}
-	if err != nil {
-		return nil, err
-	}
-
-	// BLOD characterization and per-block device parameters at the
-	// block-level worst-case (or mean) temperature.
-	char, err := blod.Characterize(fd, model)
-	if err != nil {
-		return nil, err
-	}
-	params := make([]obd.Params, len(fd.Blocks))
-	info := make([]BlockInfo, len(fd.Blocks))
-	for i := range fd.Blocks {
-		tBlock := coupled.BlockMean[i]
-		if cfg.UseBlockMaxTemp {
-			tBlock = coupled.BlockMax[i]
-		}
-		p, err := tech.Characterize(tBlock, cfg.VDD)
-		if err != nil {
-			return nil, fmt.Errorf("obdrel: block %q: %w", fd.Blocks[i].Name, err)
-		}
-		params[i] = p
-		info[i] = BlockInfo{
-			Name:      fd.Blocks[i].Name,
-			MeanTempC: coupled.BlockMean[i],
-			MaxTempC:  coupled.BlockMax[i],
-			PowerW:    coupled.Powers[i],
-			Alpha:     p.Alpha,
-			B:         p.B,
-			Devices:   fd.Blocks[i].Devices,
-		}
-	}
-	chip, err := core.NewChip(fd, model, char, params)
-	if err != nil {
-		return nil, err
-	}
-	if cfg.Extrinsic != nil {
-		ext := make([]obd.ExtrinsicParams, len(fd.Blocks))
-		for i := range fd.Blocks {
-			tBlock := coupled.BlockMean[i]
-			if cfg.UseBlockMaxTemp {
-				tBlock = coupled.BlockMax[i]
-			}
-			ext[i], err = tech.CharacterizeExtrinsic(cfg.Extrinsic, tBlock, cfg.VDD)
-			if err != nil {
-				return nil, fmt.Errorf("obdrel: block %q extrinsic: %w", fd.Blocks[i].Name, err)
-			}
-		}
-		if err := chip.SetExtrinsic(ext); err != nil {
-			return nil, err
-		}
-	}
-	return &Analyzer{
-		cfg:       cfg,
-		design:    fd,
-		model:     model,
-		pca:       pca,
-		chip:      chip,
-		tech:      tech,
-		blockInfo: info,
-		field:     coupled.Field,
-		engines:   make(map[Method]core.Engine),
-	}, nil
+	return newAnalyzerWith(ctx, cache, d, cfg)
 }
 
 // engine returns (building on first use) the engine for a method.

@@ -1,12 +1,16 @@
 // Command bench times the Table III workloads — the hot query paths
 // of every engine plus the full sweep — and emits a machine-readable
 // JSON report (BENCH_pr1.json) comparing the serial (Workers:1) and
-// parallel (Workers:0 ⇒ GOMAXPROCS) code paths.
+// parallel (Workers:0 ⇒ GOMAXPROCS) code paths. With -stages (the
+// default) it additionally times a MaxVDD voltage bisection cold
+// versus warm through the stage-graph cache and appends the per-stage
+// hit/miss/build counters (obdrel-bench/v2 schema).
 //
 //	bench                         # full run, writes BENCH_pr<pr>.json (see -pr)
 //	bench -pr 3                   # full run, writes BENCH_pr3.json
 //	bench -o custom.json          # explicit output path
 //	bench -quick                  # CI-sized run (C1, 100 MC samples, 8×8 grid)
+//	bench -stages=false           # legacy v1 report without stage sections
 //	bench -validate BENCH_pr1.json  # schema check an existing report, no benchmarking
 //
 // The per-engine numbers are steady-state query costs (engines are
@@ -19,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,8 +38,13 @@ import (
 	"obdrel/internal/par"
 )
 
-// Schema is the report format identifier checked by -validate.
-const Schema = "obdrel-bench/v1"
+// Schema identifies the original report format; SchemaV2 adds the
+// stage-cache sections. -validate accepts both; new reports emit v2
+// unless -stages=false.
+const (
+	Schema   = "obdrel-bench/v1"
+	SchemaV2 = "obdrel-bench/v2"
+)
 
 // Report is the top-level BENCH_pr1.json document.
 type Report struct {
@@ -48,6 +58,41 @@ type Report struct {
 	Designs     []DesignReport `json:"designs"`
 	Table3Sweep SerialParallel `json:"table3_sweep"`
 	PCACache    CacheReport    `json:"pca_cache"`
+	// v2 (stage-graph) sections, present when -stages is on.
+	MaxVDDReuse *MaxVDDReport `json:"maxvdd_reuse,omitempty"`
+	Stages      []StageReport `json:"stages,omitempty"`
+}
+
+// StageReport is one analysis stage's cache counters after the MaxVDD
+// workload: how many artifact lookups hit, how many builds ran, and
+// what the builds cost.
+type StageReport struct {
+	Stage           string  `json:"stage"`
+	Hits            int64   `json:"hits"`
+	Misses          int64   `json:"misses"`
+	Builds          int64   `json:"builds"`
+	CancelledBuilds int64   `json:"cancelled_builds"`
+	BuildSeconds    float64 `json:"build_seconds"`
+	Entries         int     `json:"entries"`
+}
+
+// MaxVDDReport times one voltage bisection three ways: cold through
+// the stage cache (voltage-independent stages build once, the thermal
+// tail once per probe), warm (everything cached), and cold with
+// Config.PinThermalVDD (the DRM approximation that collapses the
+// whole search to ONE thermal solve).
+type MaxVDDReport struct {
+	Design              string  `json:"design"`
+	Probes              int     `json:"probes"`
+	ColdNs              int64   `json:"cold_ns"`
+	WarmNs              int64   `json:"warm_ns"`
+	Speedup             float64 `json:"speedup"`
+	ColdThermalBuilds   int64   `json:"cold_thermal_builds"`
+	ColdPCABuilds       int64   `json:"cold_pca_builds"`
+	WarmThermalBuilds   int64   `json:"warm_thermal_builds"`
+	WarmPCABuilds       int64   `json:"warm_pca_builds"`
+	PinnedNs            int64   `json:"pinned_ns"`
+	PinnedThermalBuilds int64   `json:"pinned_thermal_builds"`
 }
 
 // DesignReport carries one design's per-engine query costs and the
@@ -97,6 +142,7 @@ func main() {
 		gridN     = flag.Int("grid", 25, "spatial-correlation grid resolution")
 		seed      = flag.Int64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS)")
+		stages    = flag.Bool("stages", true, "bench the stage-graph cache (MaxVDD cold/warm/pinned) and report per-stage counters")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -106,10 +152,11 @@ func main() {
 	}
 
 	if *validate != "" {
-		if err := validateReport(*validate); err != nil {
+		schema, err := validateReport(*validate)
+		if err != nil {
 			log.Fatalf("validate %s: %v", *validate, err)
 		}
-		fmt.Printf("bench: %s conforms to %s\n", *validate, Schema)
+		fmt.Printf("bench: %s conforms to %s\n", *validate, schema)
 		return
 	}
 
@@ -127,7 +174,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	rep := run(designs, *mcSamples, *gridN, *seed, *workers, *quick)
+	rep := run(designs, *mcSamples, *gridN, *seed, *workers, *quick, *stages)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -153,6 +200,12 @@ func main() {
 		float64(rep.Table3Sweep.SerialNs)/1e9,
 		float64(rep.Table3Sweep.ParallelNs)/1e9,
 		rep.Table3Sweep.Speedup)
+	if r := rep.MaxVDDReuse; r != nil {
+		log.Printf("maxvdd %s: %d probes, cold %.2fms warm %.2fms (%.2fx); thermal builds cold=%d warm=%d pinned=%d",
+			r.Design, r.Probes,
+			float64(r.ColdNs)/1e6, float64(r.WarmNs)/1e6, r.Speedup,
+			r.ColdThermalBuilds, r.WarmThermalBuilds, r.PinnedThermalBuilds)
+	}
 }
 
 func pickDesigns(csv string) ([]*obdrel.Design, error) {
@@ -177,10 +230,16 @@ func config(mcSamples, gridN int, seed int64, workers int) *obdrel.Config {
 	cfg.GridNx, cfg.GridNy = gridN, gridN
 	cfg.Seed = seed
 	cfg.Workers = workers
+	// The serial-vs-parallel comparisons must rebuild their substrate
+	// per run: stage artifacts are keyed without Workers, so the shared
+	// stage cache would hand the parallel leg the serial leg's work and
+	// inflate every speedup. The stage cache gets its own benchmark
+	// (benchMaxVDD) where reuse is the thing being measured.
+	cfg.DisableStageCache = true
 	return cfg
 }
 
-func run(designs []*obdrel.Design, mcSamples, gridN int, seed int64, workers int, quick bool) *Report {
+func run(designs []*obdrel.Design, mcSamples, gridN int, seed int64, workers int, quick, stages bool) *Report {
 	rep := &Report{
 		Schema:      Schema,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -199,7 +258,71 @@ func run(designs []*obdrel.Design, mcSamples, gridN int, seed int64, workers int
 		Hits:     grid.SharedPCACache.Hits(),
 		Entries:  grid.SharedPCACache.Len(),
 	}
+	if stages {
+		rep.Schema = SchemaV2
+		mv, st := benchMaxVDD(designs[0], mcSamples, gridN, seed, workers)
+		rep.MaxVDDReuse, rep.Stages = &mv, st
+	}
 	return rep
+}
+
+// benchMaxVDD times the tentpole workload: a voltage bisection whose
+// probes share the voltage-independent stages. Three phases on a
+// reset stage cache — pinned (PinThermalVDD collapses the search to
+// one thermal solve), then cold and warm searches whose cumulative
+// stage counters become the report's stages section.
+func benchMaxVDD(d *obdrel.Design, mcSamples, gridN int, seed int64, workers int) (MaxVDDReport, []StageReport) {
+	const (
+		ppm    = 10.0
+		target = 5 * 8760.0
+	)
+	sc := obdrel.Stages()
+	cfg := config(mcSamples, gridN, seed, workers)
+	cfg.DisableStageCache = false // reuse is the subject here
+	search := func(c *obdrel.Config) (int, int64) {
+		probes := 0
+		factory := func(ctx context.Context, pd *obdrel.Design, pc *obdrel.Config) (*obdrel.Analyzer, error) {
+			probes++
+			return obdrel.NewAnalyzerCtx(ctx, pd, pc)
+		}
+		start := time.Now()
+		if _, err := obdrel.MaxVDDFromCtx(context.Background(), factory, d, c,
+			obdrel.MethodStFast, ppm, target, 1.0, 1.5, 0.005); err != nil {
+			log.Fatal(err)
+		}
+		return probes, time.Since(start).Nanoseconds()
+	}
+	builds := func(stage string) int64 { return sc.Stat(stage).Builds }
+
+	r := MaxVDDReport{Design: d.Name}
+	pinned := *cfg
+	pinned.PinThermalVDD = pinned.VDD
+	sc.Reset()
+	_, r.PinnedNs = search(&pinned)
+	r.PinnedThermalBuilds = builds(obdrel.StageThermal)
+
+	sc.Reset()
+	r.Probes, r.ColdNs = search(cfg)
+	r.ColdThermalBuilds = builds(obdrel.StageThermal)
+	r.ColdPCABuilds = builds(obdrel.StagePCA)
+	_, r.WarmNs = search(cfg)
+	r.WarmThermalBuilds = builds(obdrel.StageThermal) - r.ColdThermalBuilds
+	r.WarmPCABuilds = builds(obdrel.StagePCA) - r.ColdPCABuilds
+	r.Speedup = float64(r.ColdNs) / float64(r.WarmNs)
+
+	var st []StageReport
+	for _, s := range sc.Snapshot() {
+		st = append(st, StageReport{
+			Stage:           s.Stage,
+			Hits:            s.Hits,
+			Misses:          s.Misses,
+			Builds:          s.Builds,
+			CancelledBuilds: s.Cancels,
+			BuildSeconds:    s.BuildSeconds,
+			Entries:         s.Entries,
+		})
+	}
+	return r, st
 }
 
 // benchDesign times each engine's steady-state query and isolates the
@@ -307,39 +430,84 @@ func benchSweep(designs []*obdrel.Design, mcSamples, gridN int, seed int64, work
 
 // validateReport checks that an existing report file parses and
 // carries the required fields — the CI smoke test for the schema.
-func validateReport(path string) error {
+func validateReport(path string) (string, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return "", err
 	}
 	var rep Report
 	dec := json.NewDecoder(strings.NewReader(string(data)))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&rep); err != nil {
-		return err
+		return "", err
 	}
 	switch {
-	case rep.Schema != Schema:
-		return fmt.Errorf("schema %q, want %q", rep.Schema, Schema)
+	case rep.Schema != Schema && rep.Schema != SchemaV2:
+		return "", fmt.Errorf("schema %q, want %q or %q", rep.Schema, Schema, SchemaV2)
 	case rep.GoMaxProcs < 1:
-		return fmt.Errorf("go_max_procs %d", rep.GoMaxProcs)
+		return "", fmt.Errorf("go_max_procs %d", rep.GoMaxProcs)
 	case len(rep.Designs) == 0:
-		return fmt.Errorf("no designs")
+		return "", fmt.Errorf("no designs")
 	case rep.Table3Sweep.SerialNs <= 0 || rep.Table3Sweep.ParallelNs <= 0:
-		return fmt.Errorf("table3_sweep timings missing")
+		return "", fmt.Errorf("table3_sweep timings missing")
 	}
 	for _, d := range rep.Designs {
 		if d.Design == "" || len(d.Engines) == 0 {
-			return fmt.Errorf("design entry %+v incomplete", d)
+			return "", fmt.Errorf("design entry %+v incomplete", d)
 		}
 		for _, e := range d.Engines {
 			if e.Method == "" || e.QueryNs <= 0 {
-				return fmt.Errorf("%s: engine entry %+v incomplete", d.Design, e)
+				return "", fmt.Errorf("%s: engine entry %+v incomplete", d.Design, e)
 			}
 		}
 		if d.MCFailureProb.SerialNs <= 0 || d.MCFailureProb.ParallelNs <= 0 {
-			return fmt.Errorf("%s: mc_failure_prob timings missing", d.Design)
+			return "", fmt.Errorf("%s: mc_failure_prob timings missing", d.Design)
 		}
+	}
+	if rep.Schema == SchemaV2 {
+		return rep.Schema, validateStages(&rep)
+	}
+	return rep.Schema, nil
+}
+
+// validateStages gates the v2 stage-timing sections: the report must
+// carry per-stage counters and a MaxVDD reuse measurement whose
+// numbers prove the cache actually worked — one PCA build across the
+// whole cold bisection, zero rebuilds when warm, one thermal solve
+// when pinned.
+func validateStages(rep *Report) error {
+	r := rep.MaxVDDReuse
+	switch {
+	case len(rep.Stages) == 0:
+		return fmt.Errorf("v2 report without stages section")
+	case r == nil:
+		return fmt.Errorf("v2 report without maxvdd_reuse section")
+	case r.Probes < 8:
+		return fmt.Errorf("maxvdd_reuse ran %d probes, want ≥ 8", r.Probes)
+	case r.ColdNs <= 0 || r.WarmNs <= 0 || r.PinnedNs <= 0:
+		return fmt.Errorf("maxvdd_reuse timings missing")
+	case r.ColdPCABuilds != 1:
+		return fmt.Errorf("cold search ran %d PCA builds, want 1", r.ColdPCABuilds)
+	case r.WarmThermalBuilds != 0 || r.WarmPCABuilds != 0:
+		return fmt.Errorf("warm search rebuilt stages (thermal=%d pca=%d), want 0",
+			r.WarmThermalBuilds, r.WarmPCABuilds)
+	case r.PinnedThermalBuilds != 1:
+		return fmt.Errorf("pinned search ran %d thermal solves, want exactly 1", r.PinnedThermalBuilds)
+	case !rep.Quick && r.Speedup <= 1:
+		return fmt.Errorf("warm search not faster than cold (speedup %.3f)", r.Speedup)
+	}
+	need := map[string]bool{}
+	for _, s := range obdrel.StageNames() {
+		need[s] = true
+	}
+	for _, s := range rep.Stages {
+		if s.Stage == "" || s.Builds < 0 || s.Misses < s.Builds {
+			return fmt.Errorf("stage entry %+v implausible", s)
+		}
+		delete(need, s.Stage)
+	}
+	if len(need) > 0 {
+		return fmt.Errorf("stages section missing %d analysis stages", len(need))
 	}
 	return nil
 }

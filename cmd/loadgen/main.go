@@ -8,7 +8,15 @@
 //	loadgen -addr http://127.0.0.1:8080           # against a running daemon
 //	loadgen -self                                 # spin up the service in-process
 //	loadgen -quick -self -o BENCH_pr2.json        # CI-sized run
+//	loadgen -self -mix maxvdd                     # DVS-style max-VDD-heavy traffic
 //	loadgen -validate BENCH_pr2.json              # schema check only
+//
+// Two traffic presets are built in: "drm" (the default — steady-state
+// reliability polling: lifetime, failure probability, block stats) and
+// "maxvdd" (a dynamic-voltage-scaling controller hammering /v1/maxvdd,
+// which exercises the stage cache's cross-probe reuse). The report
+// includes per-stage cache counters scraped from the daemon's labeled
+// obdreld_stage_* metric families.
 package main
 
 import (
@@ -40,20 +48,22 @@ const (
 
 // Report is the top-level BENCH_pr2.json document.
 type Report struct {
-	Schema        string       `json:"schema"`
-	Kind          string       `json:"kind"`
-	GeneratedAt   string       `json:"generated_at"`
-	Target        string       `json:"target"`
-	Quick         bool         `json:"quick"`
-	GoMaxProcs    int          `json:"go_max_procs"`
-	Concurrency   int          `json:"concurrency"`
-	DurationS     float64      `json:"duration_s"`
-	TotalRequests int          `json:"total_requests"`
-	Errors        int          `json:"errors"`
-	ThroughputRPS float64      `json:"throughput_rps"`
-	Routes        []RouteStats `json:"routes"`
-	Cache         CacheStats   `json:"cache"`
-	EngineBuilds  BuildStats   `json:"engine_builds"`
+	Schema        string        `json:"schema"`
+	Kind          string        `json:"kind"`
+	GeneratedAt   string        `json:"generated_at"`
+	Target        string        `json:"target"`
+	Quick         bool          `json:"quick"`
+	GoMaxProcs    int           `json:"go_max_procs"`
+	Concurrency   int           `json:"concurrency"`
+	DurationS     float64       `json:"duration_s"`
+	TotalRequests int           `json:"total_requests"`
+	Errors        int           `json:"errors"`
+	ThroughputRPS float64       `json:"throughput_rps"`
+	Mix           string        `json:"mix,omitempty"`
+	Routes        []RouteStats  `json:"routes"`
+	Cache         CacheStats    `json:"cache"`
+	EngineBuilds  BuildStats    `json:"engine_builds"`
+	Stages        []StageScrape `json:"stages,omitempty"`
 }
 
 // RouteStats carries one route's latency distribution.
@@ -82,6 +92,18 @@ type BuildStats struct {
 	TotalSeconds float64 `json:"total_seconds"`
 }
 
+// StageScrape is one stage's cache counters parsed from the labeled
+// obdreld_stage_* metric families.
+type StageScrape struct {
+	Stage           string  `json:"stage"`
+	Hits            int64   `json:"hits"`
+	Misses          int64   `json:"misses"`
+	Builds          int64   `json:"builds"`
+	CancelledBuilds int64   `json:"cancelled_builds"`
+	BuildSeconds    float64 `json:"build_seconds"`
+	Entries         int64   `json:"entries"`
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("loadgen: ")
@@ -95,6 +117,7 @@ func main() {
 		gridN       = flag.Int("grid", 8, "correlation grid resolution the queries request")
 		mcSamples   = flag.Int("mc-samples", 100, "MC samples the queries request")
 		seed        = flag.Int64("seed", 1, "traffic-mix random seed")
+		mixName     = flag.String("mix", "drm", "traffic preset: drm (steady-state polling) or maxvdd (DVS controller hammering /v1/maxvdd)")
 		quick       = flag.Bool("quick", false, "CI-sized run: 2s, 4 workers")
 		validate    = flag.String("validate", "", "validate an existing report instead of generating load")
 	)
@@ -126,7 +149,7 @@ func main() {
 		log.Printf("self-hosted service on %s", target)
 	}
 
-	rep, err := run(target, *duration, *concurrency, *design, *gridN, *mcSamples, *seed, *quick)
+	rep, err := run(target, *duration, *concurrency, *design, *gridN, *mcSamples, *seed, *mixName, *quick)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -149,6 +172,10 @@ func main() {
 		log.Printf("%-18s n=%-6d p50=%.0fµs p95=%.0fµs p99=%.0fµs",
 			r.Route, r.Count, r.P50Us, r.P95Us, r.P99Us)
 	}
+	for _, st := range rep.Stages {
+		log.Printf("stage %-10s hits=%-6d misses=%-4d builds=%-4d build_s=%.3f",
+			st.Stage, st.Hits, st.Misses, st.Builds, st.BuildSeconds)
+	}
 }
 
 // sample is one completed request.
@@ -158,30 +185,56 @@ type sample struct {
 	ok    bool
 }
 
-// trafficMix returns the weighted query URLs. All analyzer-backed
-// routes share one (design, config) so the steady state exercises the
-// warm cache; the mix mirrors a DRM deployment: mostly lifetime and
-// failure-probability polls, occasional operating-point inspection.
-func trafficMix(target, design string, gridN, mcSamples int) []struct {
+// weightedRoute is one entry of a traffic preset.
+type weightedRoute struct {
 	route, url string
 	weight     int
-} {
+}
+
+// trafficMix returns the weighted query URLs for the named preset.
+// All analyzer-backed routes share one (design, config) so the steady
+// state exercises the warm cache.
+//
+//   - "drm" mirrors a dynamic-reliability-management deployment:
+//     mostly lifetime and failure-probability polls, occasional
+//     operating-point inspection.
+//   - "maxvdd" mirrors a dynamic-voltage-scaling controller: the bulk
+//     of the traffic is /v1/maxvdd bisections over a couple of target
+//     lifetimes, which stresses the stage cache's cross-probe reuse
+//     (substrate stages build once, only the voltage-dependent tail
+//     rebuilds per probe voltage).
+func trafficMix(target, design, mixName string, gridN, mcSamples int) ([]weightedRoute, error) {
 	cfg := fmt.Sprintf("grid=%d&mc_samples=%d&stmc_samples=1000", gridN, mcSamples)
 	q := func(path, params string) string { return target + path + "?" + params }
-	return []struct {
-		route, url string
-		weight     int
-	}{
-		{"/v1/lifetime", q("/v1/lifetime", "design="+design+"&method=hybrid&ppm=10&"+cfg), 40},
-		{"/v1/lifetime", q("/v1/lifetime", "design="+design+"&method=st_fast&ppm=10&"+cfg), 15},
-		{"/v1/failureprob", q("/v1/failureprob", "design="+design+"&method=hybrid&t=1e5&"+cfg), 25},
-		{"/v1/blocks", q("/v1/blocks", "design="+design+"&"+cfg), 10},
-		{"/v1/designs", target + "/v1/designs", 5},
-		{"/healthz", target + "/healthz", 5},
+	switch mixName {
+	case "drm":
+		return []weightedRoute{
+			{"/v1/lifetime", q("/v1/lifetime", "design="+design+"&method=hybrid&ppm=10&"+cfg), 40},
+			{"/v1/lifetime", q("/v1/lifetime", "design="+design+"&method=st_fast&ppm=10&"+cfg), 15},
+			{"/v1/failureprob", q("/v1/failureprob", "design="+design+"&method=hybrid&t=1e5&"+cfg), 25},
+			{"/v1/blocks", q("/v1/blocks", "design="+design+"&"+cfg), 10},
+			{"/v1/designs", target + "/v1/designs", 5},
+			{"/healthz", target + "/healthz", 5},
+		}, nil
+	case "maxvdd":
+		mv := func(targetHours, vlo, vhi string) string {
+			return q("/v1/maxvdd", "design="+design+"&method=st_fast&ppm=10&target_hours="+targetHours+
+				"&vlo="+vlo+"&vhi="+vhi+"&tolv=0.005&"+cfg)
+		}
+		return []weightedRoute{
+			{"/v1/maxvdd", mv("43800", "1.0", "1.4"), 40}, // 5-year target
+			{"/v1/maxvdd", mv("87600", "1.0", "1.4"), 25}, // 10-year target
+			{"/v1/lifetime", q("/v1/lifetime", "design="+design+"&method=st_fast&ppm=10&"+cfg), 15},
+			{"/v1/failureprob", q("/v1/failureprob", "design="+design+"&method=st_fast&t=1e5&"+cfg), 10},
+			{"/v1/blocks", q("/v1/blocks", "design="+design+"&"+cfg), 5},
+			{"/healthz", target + "/healthz", 5},
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown traffic mix %q (want drm or maxvdd)", mixName)
 	}
 }
 
-func run(target string, duration time.Duration, concurrency int, design string, gridN, mcSamples int, seed int64, quick bool) (*Report, error) {
+func run(target string, duration time.Duration, concurrency int, design string, gridN, mcSamples int, seed int64, mixName string, quick bool) (*Report, error) {
 	client := &http.Client{
 		Timeout: 60 * time.Second,
 		Transport: &http.Transport{
@@ -193,7 +246,10 @@ func run(target string, duration time.Duration, concurrency int, design string, 
 		return nil, err
 	}
 
-	mix := trafficMix(target, design, gridN, mcSamples)
+	mix, err := trafficMix(target, design, mixName, gridN, mcSamples)
+	if err != nil {
+		return nil, err
+	}
 	totalWeight := 0
 	for _, m := range mix {
 		totalWeight += m.weight
@@ -256,6 +312,7 @@ func run(target string, duration time.Duration, concurrency int, design string, 
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Concurrency: concurrency,
 		DurationS:   elapsed.Seconds(),
+		Mix:         mixName,
 	}
 	byRoute := map[string][]sample{}
 	for _, s := range samples {
@@ -275,11 +332,11 @@ func run(target string, duration time.Duration, concurrency int, design string, 
 		rep.Routes = append(rep.Routes, routeStats(r, byRoute[r]))
 	}
 
-	cache, builds, err := scrapeMetrics(client, target)
+	cache, builds, stages, err := scrapeMetrics(client, target)
 	if err != nil {
 		return nil, fmt.Errorf("scrape metrics: %w", err)
 	}
-	rep.Cache, rep.EngineBuilds = cache, builds
+	rep.Cache, rep.EngineBuilds, rep.Stages = cache, builds, stages
 	return rep, nil
 }
 
@@ -342,26 +399,58 @@ func routeStats(route string, ss []sample) RouteStats {
 }
 
 // scrapeMetrics pulls the daemon's Prometheus text exposition and
-// extracts the registry and build counters.
-func scrapeMetrics(client *http.Client, target string) (CacheStats, BuildStats, error) {
+// extracts the registry counters, build costs, and the per-stage
+// cache families (labeled lines like
+// obdreld_stage_cache_hits_total{stage="thermal"} 12).
+func scrapeMetrics(client *http.Client, target string) (CacheStats, BuildStats, []StageScrape, error) {
 	code, body, err := hit(client, target+"/metrics")
 	if err != nil || code != http.StatusOK {
-		return CacheStats{}, BuildStats{}, fmt.Errorf("GET /metrics: code=%d err=%v", code, err)
+		return CacheStats{}, BuildStats{}, nil, fmt.Errorf("GET /metrics: code=%d err=%v", code, err)
 	}
 	vals := map[string]float64{}
+	byStage := map[string]*StageScrape{}
+	stageOf := func(s *string) *StageScrape {
+		st, ok := byStage[*s]
+		if !ok {
+			st = &StageScrape{Stage: *s}
+			byStage[*s] = st
+		}
+		return st
+	}
 	for _, line := range strings.Split(string(body), "\n") {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
 		fields := strings.Fields(line)
-		if len(fields) != 2 || strings.Contains(fields[0], "{") {
+		if len(fields) != 2 {
 			continue
 		}
 		v, err := strconv.ParseFloat(fields[1], 64)
 		if err != nil {
 			continue
 		}
-		vals[fields[0]] = v
+		name, stage, ok := splitStageLabel(fields[0])
+		if !ok {
+			if !strings.Contains(fields[0], "{") {
+				vals[fields[0]] = v
+			}
+			continue
+		}
+		st := stageOf(&stage)
+		switch name {
+		case "obdreld_stage_cache_hits_total":
+			st.Hits = int64(v)
+		case "obdreld_stage_cache_misses_total":
+			st.Misses = int64(v)
+		case "obdreld_stage_builds_total":
+			st.Builds = int64(v)
+		case "obdreld_stage_cancelled_builds_total":
+			st.CancelledBuilds = int64(v)
+		case "obdreld_stage_build_seconds_total":
+			st.BuildSeconds = v
+		case "obdreld_stage_entries":
+			st.Entries = int64(v)
+		}
 	}
 	cache := CacheStats{
 		Hits:      int64(vals["obdreld_analyzer_cache_hits_total"]),
@@ -375,7 +464,27 @@ func scrapeMetrics(client *http.Client, target string) (CacheStats, BuildStats, 
 		Count:        int64(vals["obdreld_engine_builds_total"]),
 		TotalSeconds: vals["obdreld_engine_build_seconds_total"],
 	}
-	return cache, builds, nil
+	stages := make([]StageScrape, 0, len(byStage))
+	for _, st := range byStage {
+		stages = append(stages, *st)
+	}
+	sort.Slice(stages, func(i, j int) bool { return stages[i].Stage < stages[j].Stage })
+	return cache, builds, stages, nil
+}
+
+// splitStageLabel parses `name{stage="x"}` metric identifiers; any
+// other labeled or unlabeled identifier returns ok=false.
+func splitStageLabel(ident string) (name, stage string, ok bool) {
+	open := strings.IndexByte(ident, '{')
+	if open < 0 || !strings.HasSuffix(ident, "\"}") {
+		return "", "", false
+	}
+	labels := ident[open+1 : len(ident)-2]
+	const prefix = `stage="`
+	if !strings.HasPrefix(labels, prefix) || strings.ContainsAny(labels[len(prefix):], `",`) {
+		return "", "", false
+	}
+	return ident[:open], labels[len(prefix):], true
 }
 
 // validateReport checks that an existing report parses and carries
@@ -413,6 +522,16 @@ func validateReport(path string) error {
 		}
 		if !(r.P50Us > 0) || !(r.P95Us >= r.P50Us) || !(r.P99Us >= r.P95Us) {
 			return fmt.Errorf("%s: implausible percentiles p50=%v p95=%v p99=%v", r.Route, r.P50Us, r.P95Us, r.P99Us)
+		}
+	}
+	// Stage counters are optional (reports generated before the stage
+	// cache existed lack them) but must be plausible when present.
+	for _, st := range rep.Stages {
+		if st.Stage == "" {
+			return fmt.Errorf("stage entry with empty name")
+		}
+		if st.Hits < 0 || st.Misses < st.Builds || st.BuildSeconds < 0 {
+			return fmt.Errorf("stage %s: implausible counters %+v", st.Stage, st)
 		}
 	}
 	return nil

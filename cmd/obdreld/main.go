@@ -18,9 +18,11 @@
 // body (config knobs nested under "config"). Analyzers are cached in
 // an LRU registry keyed by canonical (design, config) identity;
 // concurrent cold requests for one configuration coalesce into a
-// single build.
+// single build, and the build itself resolves through the per-stage
+// artifact cache (floorplan … chip), so configs that differ in only a
+// few knobs rebuild only the stages those knobs feed.
 //
-//	obdreld -addr :8080 -cache 32 -max-concurrent 64 -timeout 30s
+//	obdreld -addr :8080 -cache 32 -stage-cache 64 -max-concurrent 64 -timeout 30s
 package main
 
 import (
@@ -36,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"obdrel"
 	"obdrel/internal/server"
 )
 
@@ -45,6 +48,7 @@ func main() {
 	var (
 		addr          = flag.String("addr", ":8080", "listen address")
 		cache         = flag.Int("cache", 32, "analyzer registry capacity (LRU entries)")
+		stageCache    = flag.Int("stage-cache", 64, "per-stage artifact cache capacity (LRU entries per stage)")
 		maxConcurrent = flag.Int("max-concurrent", 0, "max simultaneous /v1 requests; excess get 429 (0 = 4×GOMAXPROCS)")
 		timeout       = flag.Duration("timeout", 30*time.Second, "per-request deadline")
 		workers       = flag.Int("workers", 0, "analysis worker parallelism per build (0 = GOMAXPROCS)")
@@ -57,6 +61,7 @@ func main() {
 	if *quiet {
 		accessLog = io.Discard
 	}
+	obdrel.Stages().SetDefaultCapacity(*stageCache)
 	svc := server.New(server.Options{
 		MaxAnalyzers:   *cache,
 		MaxConcurrent:  *maxConcurrent,
@@ -100,4 +105,9 @@ func main() {
 		m.CacheHits.Load(), m.CacheMisses.Load(), m.Coalesced.Load(),
 		m.Builds.Load(), float64(m.BuildNanos.Load())/1e9,
 		m.Throttled.Load(), m.TimedOut.Load())
+	for _, st := range obdrel.Stages().Snapshot() {
+		fmt.Fprintf(os.Stderr,
+			"obdreld: stage %-10s hits=%d misses=%d builds=%d cancelled=%d build_s=%.3f entries=%d\n",
+			st.Stage, st.Hits, st.Misses, st.Builds, st.Cancels, st.BuildSeconds, st.Entries)
+	}
 }

@@ -98,7 +98,11 @@ func TestWorkersEquivalence(t *testing.T) {
 		cfg := fastConfig()
 		cfg.MCSamples = 200
 		cfg.Workers = workers
-		cfg.DisablePCACache = true // isolate runs from the shared cache
+		// Isolate runs from the shared PCA and stage caches — this test
+		// must rebuild every substrate stage per worker count, or the
+		// serial/parallel comparison compares one build with itself.
+		cfg.DisablePCACache = true
+		cfg.DisableStageCache = true
 		an, err := obdrel.NewAnalyzer(obdrel.C1(), cfg)
 		if err != nil {
 			t.Fatal(err)

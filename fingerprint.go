@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"obdrel/internal/floorplan"
 	"obdrel/internal/obd"
@@ -13,89 +14,196 @@ import (
 	"obdrel/internal/thermal"
 )
 
-// Fingerprint returns a stable, canonical identity for the
-// configuration: a hex digest over every model parameter that affects
-// analysis results. Configurations that resolve to the same analyzer
-// behaviour share a fingerprint:
+// This file defines the canonical identities of the analysis: one
+// textual segment per stage input, hashed into per-stage fingerprints
+// (see stages.go) and composed into the whole-config fingerprint.
+// Because Config.Fingerprint is built FROM the stage segments, a new
+// knob added to a stage segment automatically reaches the analyzer
+// key — the two can not drift apart.
 //
-//   - nil Tech/Power/Thermal and a zero PCAKeepFraction are resolved
-//     to their defaults before hashing, so an explicit DefaultConfig
-//     and a zero-value-with-defaults config collide (as they should);
-//   - performance-only knobs (Workers, DisablePCACache) are excluded
-//     — they select execution strategy, not the model. Workers ≥ 2
-//     and 0 are bit-identical by construction; Workers:1 differs only
-//     within the documented serial/parallel tolerance, which caching
-//     layers accept.
+// Canonicalization rules shared by every segment:
 //
-// The fingerprint is the cache key half used by serving-layer
-// analyzer registries (see internal/server); CacheKey combines it
-// with a Design fingerprint.
-func (c *Config) Fingerprint() string {
+//   - nil Tech/Power/Thermal and a zero PCAKeepFraction resolve to
+//     their defaults before hashing, so an explicit DefaultConfig and
+//     a zero-value-with-defaults config collide (as they should);
+//   - performance-only knobs (Workers, DisablePCACache,
+//     DisableStageCache) are excluded — they select execution
+//     strategy, not the model. Workers ≥ 2 and 0 are bit-identical by
+//     construction; Workers:1 differs only within the documented
+//     serial/parallel tolerance, which caching layers accept.
+
+// fp16 hashes newline-joined canonical segments into the 32-hex-char
+// fingerprint format used by every cache key in the system.
+func fp16(segments ...string) string {
 	h := sha256.New()
-	c.writeCanonical(h)
+	for _, s := range segments {
+		io.WriteString(h, s)
+		io.WriteString(h, "\n")
+	}
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
-func (c *Config) writeCanonical(w io.Writer) {
-	tech := c.Tech
-	if tech == nil {
-		tech = obd.DefaultTech()
+// resolvedTech returns the configured or default technology.
+func (c *Config) resolvedTech() *obd.Tech {
+	if c.Tech != nil {
+		return c.Tech
 	}
-	pm := c.Power
-	if pm == nil {
-		pm = power.Default()
+	return obd.DefaultTech()
+}
+
+// resolvedPower returns the configured or default power model.
+func (c *Config) resolvedPower() *power.Model {
+	if c.Power != nil {
+		return c.Power
 	}
-	ts := c.Thermal
-	if ts == nil {
-		ts = thermal.DefaultSolver()
+	return power.Default()
+}
+
+// resolvedThermal returns the configured or default thermal solver.
+func (c *Config) resolvedThermal() *thermal.Solver {
+	if c.Thermal != nil {
+		return c.Thermal
 	}
-	keep := c.PCAKeepFraction
-	if keep == 0 {
-		keep = 1
+	return thermal.DefaultSolver()
+}
+
+// resolvedKeep returns the PCA keep fraction with 0 meaning 1.
+func (c *Config) resolvedKeep() float64 {
+	if c.PCAKeepFraction == 0 {
+		return 1
 	}
-	qtLevels, qtDecay := 0, 0.0
-	if c.QuadTree {
-		qtLevels, qtDecay = c.QuadTreeLevels, c.QuadTreeDecay
-		if qtLevels == 0 {
-			qtLevels = 3
-		}
-		if qtDecay == 0 {
-			qtDecay = 0.5
-		}
+	return c.PCAKeepFraction
+}
+
+// resolvedQuadTree returns the quad-tree parameters with defaults
+// applied (3 levels, decay 0.5); zeros when the structure is the
+// exponential-decay grid.
+func (c *Config) resolvedQuadTree() (levels int, decay float64) {
+	if !c.QuadTree {
+		return 0, 0
 	}
-	fmt.Fprintf(w, "cfg|v=%g|sr=%g|fg=%g|fs=%g|fi=%g|rho=%g|grid=%dx%d|qt=%t,%d,%g|keep=%g\n",
-		c.VDD, c.SigmaRatio, c.FracGlobal, c.FracSpatial, c.FracIndependent,
-		c.RhoDist, c.GridNx, c.GridNy, c.QuadTree, qtLevels, qtDecay, keep)
-	fmt.Fprintf(w, "eng|maxT=%t|l0=%d|stmc=%d,%d|mc=%d|hyb=%dx%d|guard=%g|seed=%d\n",
-		c.UseBlockMaxTemp, c.L0, c.StMCSamples, c.StMCBins, c.MCSamples,
-		c.HybridNL, c.HybridNB, c.GuardSigmas, c.Seed)
-	fmt.Fprintf(w, "tech|%g|%g|%g|%g|%g|%g|%g|%g\n",
-		tech.U0, tech.Alpha0, tech.TRefC, tech.VRef, tech.EaEV, tech.NV, tech.B0, tech.CB)
-	if e := c.Extrinsic; e != nil {
-		fmt.Fprintf(w, "ext|%g|%g|%g|%g|%g\n",
-			e.DefectFraction, e.Alpha0E, e.BetaE, e.EaEV, e.NV)
-	} else {
-		fmt.Fprintf(w, "ext|nil\n")
+	levels, decay = c.QuadTreeLevels, c.QuadTreeDecay
+	if levels == 0 {
+		levels = 3
 	}
-	if p := c.WaferPattern; p != nil {
-		fmt.Fprintf(w, "wafer|%g|%g|%g|%g|%g|%g\n",
-			p.DieX, p.DieY, p.DieSpan, p.Bowl, p.SlantX, p.SlantY)
-	} else {
-		fmt.Fprintf(w, "wafer|nil\n")
+	if decay == 0 {
+		decay = 0.5
 	}
-	// The dynamic-density map iterates in a fixed class order so the
-	// digest does not depend on Go's map ordering.
+	return levels, decay
+}
+
+// thermalVDD returns the voltage the power/thermal fixed point runs
+// at: PinThermalVDD when set, else the operating VDD.
+func (c *Config) thermalVDD() float64 {
+	if c.PinThermalVDD > 0 {
+		return c.PinThermalVDD
+	}
+	return c.VDD
+}
+
+// segPower is the power-map stage input: the resolved power model and
+// nothing else. The dynamic-density map iterates in a fixed class
+// order so the segment does not depend on Go's map ordering.
+func (c *Config) segPower() string {
+	pm := c.resolvedPower()
+	var b strings.Builder
+	fmt.Fprintf(&b, "power|vn=%g|lk=%g,%g,%g|", pm.VNom, pm.LeakDensity0, pm.LeakTCoeff, pm.TRef)
 	classes := make([]int, 0, len(pm.DynDensity))
 	for cl := range pm.DynDensity {
 		classes = append(classes, int(cl))
 	}
 	sort.Ints(classes)
-	fmt.Fprintf(w, "power|vn=%g|lk=%g,%g,%g|", pm.VNom, pm.LeakDensity0, pm.LeakTCoeff, pm.TRef)
 	for _, cl := range classes {
-		fmt.Fprintf(w, "%d=%g;", cl, pm.DynDensity[floorplan.Class(cl)])
+		fmt.Fprintf(&b, "%d=%g;", cl, pm.DynDensity[floorplan.Class(cl)])
 	}
-	fmt.Fprintf(w, "\nthermal|%dx%d|gv=%g|gl=%g|ta=%g|om=%g|tol=%g|it=%d\n",
-		ts.Nx, ts.Ny, ts.GVertical, ts.GLateral, ts.TAmbient, ts.Omega, ts.Tol, ts.MaxIter)
+	return b.String()
+}
+
+// segThermal is the thermal-solve stage input beyond the power map:
+// the resolved solver parameters and the voltage the fixed point runs
+// at. The field genuinely moves with VDD (dynamic power ∝ V², leakage
+// ∝ V), which is why the thermal stage — unlike covariance/PCA/BLOD —
+// is keyed by voltage; PinThermalVDD collapses that key across a
+// voltage sweep.
+func (c *Config) segThermal() string {
+	ts := c.resolvedThermal()
+	return fmt.Sprintf("thermal|%dx%d|gv=%g|gl=%g|ta=%g|om=%g|tol=%g|it=%d|v=%g",
+		ts.Nx, ts.Ny, ts.GVertical, ts.GLateral, ts.TAmbient, ts.Omega, ts.Tol, ts.MaxIter,
+		c.thermalVDD())
+}
+
+// segCovariance is the variation-model stage input: die geometry plus
+// every knob of Eq. 1's decomposition — nominal thickness, the σ
+// budget, the correlation structure, and the wafer-level systematic
+// pattern.
+func (c *Config) segCovariance(dieW, dieH float64) string {
+	tech := c.resolvedTech()
+	qtLevels, qtDecay := c.resolvedQuadTree()
+	wafer := "nil"
+	if p := c.WaferPattern; p != nil {
+		wafer = fmt.Sprintf("%g|%g|%g|%g|%g|%g", p.DieX, p.DieY, p.DieSpan, p.Bowl, p.SlantX, p.SlantY)
+	}
+	return fmt.Sprintf("cov|die=%gx%g|u0=%g|sr=%g|fg=%g|fs=%g|fi=%g|rho=%g|grid=%dx%d|qt=%t,%d,%g|wafer=%s",
+		dieW, dieH, tech.U0, c.SigmaRatio, c.FracGlobal, c.FracSpatial, c.FracIndependent,
+		c.RhoDist, c.GridNx, c.GridNy, c.QuadTree, qtLevels, qtDecay, wafer)
+}
+
+// segPCA is the eigendecomposition stage input. It deliberately
+// excludes FracIndependent (σ_ε never enters the correlated-component
+// covariance) and the wafer pattern (a deterministic mean shift), so
+// sweeps over those share one PCA — mirroring grid.PCACache's key.
+func (c *Config) segPCA(dieW, dieH float64) string {
+	tech := c.resolvedTech()
+	qtLevels, qtDecay := c.resolvedQuadTree()
+	return fmt.Sprintf("pca|die=%gx%g|u0=%g|sr=%g|fg=%g|fs=%g|rho=%g|grid=%dx%d|qt=%t,%d,%g|keep=%g",
+		dieW, dieH, tech.U0, c.SigmaRatio, c.FracGlobal, c.FracSpatial,
+		c.RhoDist, c.GridNx, c.GridNy, c.QuadTree, qtLevels, qtDecay, c.resolvedKeep())
+}
+
+// segWeibull is the per-block device-parameter stage input beyond the
+// thermal field: the full technology (α(T,V)/b(T,V) calibration), the
+// operating voltage, the mean-vs-max temperature choice, and the
+// extrinsic population.
+func (c *Config) segWeibull() string {
+	tech := c.resolvedTech()
+	ext := "nil"
+	if e := c.Extrinsic; e != nil {
+		ext = fmt.Sprintf("%g|%g|%g|%g|%g", e.DefectFraction, e.Alpha0E, e.BetaE, e.EaEV, e.NV)
+	}
+	return fmt.Sprintf("weib|tech=%g|%g|%g|%g|%g|%g|%g|%g|v=%g|maxT=%t|ext=%s",
+		tech.U0, tech.Alpha0, tech.TRefC, tech.VRef, tech.EaEV, tech.NV, tech.B0, tech.CB,
+		c.VDD, c.UseBlockMaxTemp, ext)
+}
+
+// segEngines covers the knobs that configure query engines but no
+// substrate stage: they shape how questions are answered, not what
+// the chip is, so they reach only the whole-analyzer fingerprint.
+func (c *Config) segEngines() string {
+	return fmt.Sprintf("eng|l0=%d|stmc=%d,%d|mc=%d|hyb=%dx%d|guard=%g|seed=%d",
+		c.L0, c.StMCSamples, c.StMCBins, c.MCSamples,
+		c.HybridNL, c.HybridNB, c.GuardSigmas, c.Seed)
+}
+
+// Fingerprint returns a stable, canonical identity for the
+// configuration: a hex digest over every model parameter that affects
+// analysis results, composed from the per-stage canonical segments
+// (die geometry, the only design-derived stage input, is contributed
+// by the Design half of CacheKey). Configurations that resolve to the
+// same analyzer behaviour share a fingerprint.
+//
+// The fingerprint is the cache key half used by serving-layer
+// analyzer registries (see internal/server); CacheKey combines it
+// with a Design fingerprint, and StageFingerprints exposes the
+// per-stage keys underneath it.
+func (c *Config) Fingerprint() string {
+	return fp16(
+		c.segPower(),
+		c.segThermal(),
+		c.segCovariance(0, 0),
+		c.segPCA(0, 0),
+		c.segWeibull(),
+		c.segEngines(),
+	)
 }
 
 // Fingerprint returns a stable identity for the design: a hex digest

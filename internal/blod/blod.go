@@ -41,6 +41,7 @@
 package blod
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -99,6 +100,12 @@ type Characterization struct {
 // thickness-variation model. The design and model must agree on die
 // dimensions.
 func Characterize(d *floorplan.Design, m *grid.Model) (*Characterization, error) {
+	return CharacterizeCtx(context.Background(), d, m)
+}
+
+// CharacterizeCtx is Characterize with cancellation checkpoints in the
+// covariance assembly and between blocks.
+func CharacterizeCtx(ctx context.Context, d *floorplan.Design, m *grid.Model) (*Characterization, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -108,9 +115,15 @@ func Characterize(d *floorplan.Design, m *grid.Model) (*Characterization, error)
 	if math.Abs(d.W-m.W) > 1e-9 || math.Abs(d.H-m.H) > 1e-9 {
 		return nil, fmt.Errorf("blod: design %v×%v does not match model die %v×%v", d.W, d.H, m.W, m.H)
 	}
-	cov := m.Covariance()
+	cov, err := m.CovarianceCtx(ctx, 1)
+	if err != nil {
+		return nil, err
+	}
 	c := &Characterization{Model: m, Blocks: make([]BlockChar, len(d.Blocks))}
 	for i := range d.Blocks {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bc, err := characterizeBlock(&d.Blocks[i], m, cov)
 		if err != nil {
 			return nil, fmt.Errorf("blod: block %q: %w", d.Blocks[i].Name, err)

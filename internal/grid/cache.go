@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -44,8 +45,10 @@ func keyOf(m *Model, keepFraction float64) pcaKey {
 // per table cell.
 //
 // Concurrent Gets for the same key collapse into a single computation
-// (per-entry sync.Once); Gets for different keys never block each
-// other on the compute.
+// (per-entry done channel); Gets for different keys never block each
+// other on the compute. A compute that fails — including one cancelled
+// through its context — is NOT memoized: the entry is removed so the
+// next Get retries instead of replaying a stale context error forever.
 type PCACache struct {
 	mu      sync.Mutex
 	entries map[pcaKey]*pcaEntry
@@ -55,7 +58,7 @@ type PCACache struct {
 }
 
 type pcaEntry struct {
-	once sync.Once
+	done chan struct{}
 	pca  *PCA
 	err  error
 }
@@ -72,24 +75,52 @@ var SharedPCACache = NewPCACache()
 // Get returns the PCA for the model's covariance, computing it (with
 // the given worker parallelism) at most once per distinct key.
 func (c *PCACache) Get(m *Model, keepFraction float64, workers int) (*PCA, error) {
+	return c.GetCtx(context.Background(), m, keepFraction, workers)
+}
+
+// GetCtx is Get with cancellation support: the compute runs under the
+// caller's ctx, a waiter whose ctx expires stops waiting, and a
+// compute that errors (cancelled or otherwise) is forgotten so the
+// next Get retries with its own context.
+func (c *PCACache) GetCtx(ctx context.Context, m *Model, keepFraction float64, workers int) (*PCA, error) {
 	key := keyOf(m, keepFraction)
-	c.mu.Lock()
-	e, ok := c.entries[key]
-	if !ok {
-		e = &pcaEntry{}
-		c.entries[key] = e
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		e, ok := c.entries[key]
+		if !ok {
+			e = &pcaEntry{done: make(chan struct{})}
+			c.entries[key] = e
+			c.mu.Unlock()
+			c.computes.Add(1)
+			e.pca, e.err = m.ComputePCACtx(ctx, keepFraction, workers)
+			if e.err != nil {
+				c.mu.Lock()
+				if c.entries[key] == e {
+					delete(c.entries, key)
+				}
+				c.mu.Unlock()
+			}
+			close(e.done)
+			return e.pca, e.err
+		}
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			if e.err != nil {
+				// The computing goroutine failed — possibly only
+				// because ITS context was cancelled. Retry under our
+				// own context rather than inheriting the failure.
+				continue
+			}
+			c.hits.Add(1)
+			return e.pca, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
-	c.mu.Unlock()
-	computed := false
-	e.once.Do(func() {
-		computed = true
-		c.computes.Add(1)
-		e.pca, e.err = m.ComputePCAWorkers(keepFraction, workers)
-	})
-	if !computed {
-		c.hits.Add(1)
-	}
-	return e.pca, e.err
 }
 
 // Computes reports how many eigendecompositions the cache has actually

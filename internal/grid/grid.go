@@ -20,6 +20,7 @@
 package grid
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -204,15 +205,26 @@ func (m *Model) Covariance() *linalg.Matrix {
 // and every entry depends only on the two grid centers, so the matrix
 // is bit-identical for every worker count.
 func (m *Model) CovarianceWorkers(workers int) *linalg.Matrix {
+	c, _ := m.CovarianceCtx(context.Background(), workers)
+	return c
+}
+
+// CovarianceCtx is CovarianceWorkers with a cancellation checkpoint at
+// every row: once ctx expires, assembly stops and ctx's error is
+// returned.
+func (m *Model) CovarianceCtx(ctx context.Context, workers int) (*linalg.Matrix, error) {
 	if m.Structure == StructQuadTree {
-		return m.quadTreeCovariance()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return m.quadTreeCovariance(), nil
 	}
 	n := m.NumGrids()
 	c := linalg.NewMatrix(n, n)
 	l := m.RhoDist * math.Max(m.W, m.H)
 	g2 := m.SigmaG * m.SigmaG
 	s2 := m.SigmaS * m.SigmaS
-	par.For(workers, n, func(i int) {
+	if err := par.ForCtx(ctx, workers, n, func(i int) {
 		xi, yi := m.GridCenter(i)
 		c.Set(i, i, g2+s2)
 		for j := i + 1; j < n; j++ {
@@ -222,8 +234,10 @@ func (m *Model) CovarianceWorkers(workers int) *linalg.Matrix {
 			c.Set(i, j, v)
 			c.Set(j, i, v)
 		}
-	})
-	return c
+	}); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // PCA is the canonical-form representation of the correlated
@@ -258,15 +272,31 @@ func (m *Model) ComputePCA(keepFraction float64) (*PCA, error) {
 // since every parallel stage here is element-independent, the PCA is
 // bit-identical for every worker count.
 func (m *Model) ComputePCAWorkers(keepFraction float64, workers int) (*PCA, error) {
+	return m.ComputePCACtx(context.Background(), keepFraction, workers)
+}
+
+// ComputePCACtx is ComputePCAWorkers with cancellation checkpoints in
+// the covariance assembly, the eigensolver's outer loops, and the
+// loading-matrix scaling.
+func (m *Model) ComputePCACtx(ctx context.Context, keepFraction float64, workers int) (*PCA, error) {
 	if !(keepFraction > 0) || keepFraction > 1 {
 		return nil, fmt.Errorf("grid: keepFraction must be in (0,1], got %v", keepFraction)
 	}
 	if m.Structure == StructQuadTree {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return m.quadTreeFactor(), nil
 	}
-	cov := m.CovarianceWorkers(workers)
-	vals, vecs, err := linalg.EigenSym(cov)
+	cov, err := m.CovarianceCtx(ctx, workers)
 	if err != nil {
+		return nil, err
+	}
+	vals, vecs, err := linalg.EigenSymCtx(ctx, cov)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("grid: covariance eigendecomposition: %w", err)
 	}
 	n := len(vals)
@@ -292,11 +322,13 @@ func (m *Model) ComputePCAWorkers(keepFraction float64, workers int) (*PCA, erro
 		return nil, errors.New("grid: covariance matrix has no positive eigenvalues")
 	}
 	loadings := linalg.NewMatrix(n, k)
-	par.For(workers, n, func(i int) {
+	if err := par.ForCtx(ctx, workers, n, func(i int) {
 		for j := 0; j < k; j++ {
 			loadings.Set(i, j, vecs.At(i, j)*math.Sqrt(vals[j]))
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	return &PCA{
 		Loadings:         loadings,
 		Eigenvalues:      append([]float64(nil), vals[:k]...),

@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sort"
@@ -16,6 +17,14 @@ import (
 // constant and handles the few-hundred-row covariance matrices of the
 // spatial-correlation model in well under a second.
 func EigenSym(a *Matrix) (values []float64, vectors *Matrix, err error) {
+	return EigenSymCtx(context.Background(), a)
+}
+
+// EigenSymCtx is EigenSym with cancellation checkpoints on the outer
+// Householder and QL loops: once ctx expires the decomposition stops
+// and returns ctx's error. Checkpoint granularity is one outer-loop
+// row, i.e. O(n²) work between checks.
+func EigenSymCtx(ctx context.Context, a *Matrix) (values []float64, vectors *Matrix, err error) {
 	if a.Rows != a.Cols {
 		return nil, nil, errors.New("linalg: EigenSym requires a square matrix")
 	}
@@ -26,8 +35,10 @@ func EigenSym(a *Matrix) (values []float64, vectors *Matrix, err error) {
 	v := a.Clone()
 	d := make([]float64, n)
 	e := make([]float64, n)
-	tred2(v, d, e)
-	if err := tql2(v, d, e); err != nil {
+	if err := tred2(ctx, v, d, e); err != nil {
+		return nil, nil, err
+	}
+	if err := tql2(ctx, v, d, e); err != nil {
 		return nil, nil, err
 	}
 	// Sort eigenpairs by descending eigenvalue.
@@ -61,12 +72,15 @@ func maxAbs(a *Matrix) float64 {
 // by Householder similarity transformations, accumulating the
 // transformations in v. On return d holds the diagonal and e the
 // subdiagonal (e[0] unused).
-func tred2(v *Matrix, d, e []float64) {
+func tred2(ctx context.Context, v *Matrix, d, e []float64) error {
 	n := v.Rows
 	for j := 0; j < n; j++ {
 		d[j] = v.At(n-1, j)
 	}
 	for i := n - 1; i > 0; i-- {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		scale, h := 0.0, 0.0
 		if i > 1 {
 			for k := 0; k < i; k++ {
@@ -128,6 +142,9 @@ func tred2(v *Matrix, d, e []float64) {
 		d[i] = h
 	}
 	for i := 0; i < n-1; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		v.Set(n-1, i, v.At(i, i))
 		v.Set(i, i, 1)
 		h := d[i+1]
@@ -155,11 +172,12 @@ func tred2(v *Matrix, d, e []float64) {
 	}
 	v.Set(n-1, n-1, 1)
 	e[0] = 0
+	return nil
 }
 
 // tql2 diagonalizes the tridiagonal matrix (d, e) by implicit-shift QL
 // iteration, accumulating eigenvectors into v.
-func tql2(v *Matrix, d, e []float64) error {
+func tql2(ctx context.Context, v *Matrix, d, e []float64) error {
 	n := v.Rows
 	for i := 1; i < n; i++ {
 		e[i-1] = e[i]
@@ -168,6 +186,9 @@ func tql2(v *Matrix, d, e []float64) error {
 	f, tst1 := 0.0, 0.0
 	const eps = 2.220446049250313e-16
 	for l := 0; l < n; l++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		tst1 = math.Max(tst1, math.Abs(d[l])+math.Abs(e[l]))
 		m := l
 		for m < n {

@@ -15,6 +15,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -68,6 +69,67 @@ func For(workers, n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// ForCtx is For with a cancellation checkpoint before every item:
+// once ctx expires, unclaimed items are skipped and ctx.Err() is
+// returned. Items already executing run to completion (fn is never
+// interrupted mid-item), so callers keep their no-torn-writes
+// invariants. With workers == 1 the loop stays inline and serial.
+func ForCtx(ctx context.Context, workers, n int, fn func(i int)) error {
+	w := Resolve(workers, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return nil
+	}
+	done := ctx.Done()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// ForChunksCtx is ForChunks with ForCtx's cancellation checkpoints
+// (one per chunk).
+func ForChunksCtx(ctx context.Context, workers, n, chunk int, fn func(lo, hi int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	numChunks := (n + chunk - 1) / chunk
+	return ForCtx(ctx, workers, numChunks, func(c int) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
 }
 
 // ForChunks splits [0, n) into ceil(n/chunk) fixed-size chunks and

@@ -1,0 +1,308 @@
+// Package pipeline is the stage-graph artifact store behind the
+// analyzer: a per-stage LRU keyed by canonical fingerprints, with
+// cancellable singleflight coalescing.
+//
+// The analysis flow is an explicit dataflow — floorplan → power map →
+// thermal solve → covariance/PCA → BLOD moments → per-block Weibull
+// parameters → chip assembly — and each stage's artifact depends on
+// only a subset of the configuration. Caching at stage granularity is
+// what lets a MaxVDD bisection rebuild only the voltage-dependent tail
+// while every probe shares one PCA, one BLOD characterization and one
+// covariance model, and what lets a Table IV/V sweep share the
+// thermal solve across rows that only vary correlation parameters.
+//
+// Cancellation contract (the part plain singleflight gets wrong):
+//
+//   - Every build runs under its own context, cancelled when the LAST
+//     interested waiter abandons the flight. A request that times out
+//     therefore stops the work it started — unless another request is
+//     still waiting on the same artifact, in which case the build
+//     continues for them.
+//   - A build that dies of cancellation is never inserted into the
+//     LRU and never delivered to a waiter: a late joiner that is still
+//     alive retries with a fresh flight instead of receiving someone
+//     else's context error ("cancelled partial results are not
+//     handed to coalesced waiters").
+//
+// The zero-cost escape hatch: Get with a nil *Cache runs the build
+// inline with the caller's context — no cache, no coalescing — which
+// keeps cold-path behaviour exactly equal to the uncached code.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"obdrel/internal/lru"
+)
+
+// Cache stores stage artifacts: one LRU and one stats block per stage
+// name, plus an in-flight table coalescing concurrent builds of the
+// same (stage, key).
+type Cache struct {
+	mu         sync.Mutex
+	defaultCap int
+	caps       map[string]int
+	stages     map[string]*stageState
+	flights    map[flightKey]*flight
+}
+
+type stageState struct {
+	lru   *lru.Cache[any]
+	stats stats
+}
+
+type stats struct {
+	hits, misses, builds, cancels atomic.Int64
+	buildNanos                    atomic.Int64
+}
+
+type flightKey struct{ stage, key string }
+
+type flight struct {
+	done     chan struct{}
+	cancel   context.CancelFunc
+	waiters  int // guarded by Cache.mu
+	val      any
+	err      error
+	canceled bool // build died because every waiter left
+}
+
+// NewCache returns an empty cache holding at most defaultCap artifacts
+// per stage (minimum 1).
+func NewCache(defaultCap int) *Cache {
+	if defaultCap < 1 {
+		defaultCap = 1
+	}
+	return &Cache{
+		defaultCap: defaultCap,
+		caps:       map[string]int{},
+		stages:     map[string]*stageState{},
+		flights:    map[flightKey]*flight{},
+	}
+}
+
+// SetCapacity overrides the LRU capacity of one stage. It only
+// affects the stage's next (re)creation, so call it before the first
+// Get for that stage (or after Reset).
+func (c *Cache) SetCapacity(stage string, capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.caps[stage] = capacity
+}
+
+// SetDefaultCapacity overrides the per-stage default capacity for
+// stages created after the call.
+func (c *Cache) SetDefaultCapacity(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.defaultCap = capacity
+}
+
+// state returns (creating if needed) the stage's LRU+stats. Caller
+// holds c.mu.
+func (c *Cache) state(stage string) *stageState {
+	st, ok := c.stages[stage]
+	if !ok {
+		capacity := c.defaultCap
+		if n, ok := c.caps[stage]; ok && n > 0 {
+			capacity = n
+		}
+		st = &stageState{lru: lru.New[any](capacity)}
+		c.stages[stage] = st
+	}
+	return st
+}
+
+// Result reports how a Get was served.
+type Result struct {
+	// Hit is true when the artifact came from the LRU.
+	Hit bool
+	// Coalesced is true when the caller joined a build another caller
+	// had already started.
+	Coalesced bool
+}
+
+// errFlightCanceled is the internal signal that a joined flight died
+// of cancellation; Get retries instead of surfacing it.
+var errFlightCanceled = errors.New("pipeline: flight canceled")
+
+// Get returns the artifact for (stage, key), building it with `build`
+// on a miss. Concurrent Gets for the same (stage, key) coalesce into
+// one build; the build's context is cancelled when its last waiter's
+// context expires. A nil cache runs build(ctx) inline.
+func Get[O any](ctx context.Context, c *Cache, stage, key string, build func(context.Context) (O, error)) (O, Result, error) {
+	var zero O
+	if c == nil {
+		v, err := build(ctx)
+		return v, Result{}, err
+	}
+	res := Result{}
+	for {
+		if err := ctx.Err(); err != nil {
+			return zero, res, err
+		}
+		v, r, err := c.getOnce(ctx, stage, key, func(bctx context.Context) (any, error) {
+			return build(bctx)
+		})
+		res.Hit = r.Hit
+		res.Coalesced = res.Coalesced || r.Coalesced
+		if errors.Is(err, errFlightCanceled) {
+			// The build we were waiting on was abandoned by everyone
+			// else and cancelled before we could use it; we are still
+			// alive, so start over (the next round creates a fresh
+			// flight with our own context attached).
+			continue
+		}
+		if err != nil {
+			return zero, res, err
+		}
+		out, ok := v.(O)
+		if !ok {
+			return zero, res, errors.New("pipeline: stage " + stage + " cached an artifact of the wrong type")
+		}
+		return out, res, nil
+	}
+}
+
+// getOnce performs one lookup-or-flight round.
+func (c *Cache) getOnce(ctx context.Context, stage, key string, build func(context.Context) (any, error)) (any, Result, error) {
+	fk := flightKey{stage, key}
+	c.mu.Lock()
+	st := c.state(stage)
+	if v, ok := st.lru.Get(key); ok {
+		st.stats.hits.Add(1)
+		c.mu.Unlock()
+		return v, Result{Hit: true}, nil
+	}
+	st.stats.misses.Add(1)
+	if f, ok := c.flights[fk]; ok {
+		f.waiters++
+		c.mu.Unlock()
+		return c.wait(ctx, f, Result{Coalesced: true})
+	}
+	bctx, cancel := context.WithCancel(context.Background())
+	f := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
+	c.flights[fk] = f
+	c.mu.Unlock()
+
+	go func() {
+		start := time.Now()
+		v, err := build(bctx)
+		canceled := bctx.Err() != nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+		c.mu.Lock()
+		delete(c.flights, fk)
+		switch {
+		case err == nil:
+			st.lru.Put(key, v)
+			st.stats.builds.Add(1)
+			st.stats.buildNanos.Add(time.Since(start).Nanoseconds())
+		case canceled:
+			st.stats.cancels.Add(1)
+		}
+		c.mu.Unlock()
+		f.val, f.err, f.canceled = v, err, canceled
+		close(f.done)
+		cancel()
+	}()
+	return c.wait(ctx, f, Result{})
+}
+
+// wait blocks until the flight completes or the waiter's own context
+// expires; the last waiter to leave cancels the build.
+func (c *Cache) wait(ctx context.Context, f *flight, res Result) (any, Result, error) {
+	select {
+	case <-f.done:
+		if f.canceled {
+			return nil, res, errFlightCanceled
+		}
+		return f.val, res, f.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		f.waiters--
+		last := f.waiters == 0
+		c.mu.Unlock()
+		if last {
+			f.cancel()
+		}
+		return nil, res, ctx.Err()
+	}
+}
+
+// StageStat is one stage's counters at a point in time.
+type StageStat struct {
+	Stage string
+	// Hits and Misses count LRU lookups; Builds successful artifact
+	// constructions; Cancels builds abandoned by every waiter.
+	Hits, Misses, Builds, Cancels int64
+	// BuildSeconds is the cumulative wall time of successful builds.
+	BuildSeconds float64
+	// Entries is the stage's current LRU occupancy.
+	Entries int
+}
+
+// Snapshot returns every stage's counters, sorted by stage name.
+func (c *Cache) Snapshot() []StageStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]StageStat, 0, len(c.stages))
+	for name, st := range c.stages {
+		out = append(out, StageStat{
+			Stage:        name,
+			Hits:         st.stats.hits.Load(),
+			Misses:       st.stats.misses.Load(),
+			Builds:       st.stats.builds.Load(),
+			Cancels:      st.stats.cancels.Load(),
+			BuildSeconds: float64(st.stats.buildNanos.Load()) / 1e9,
+			Entries:      st.lru.Len(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stage < out[j].Stage })
+	return out
+}
+
+// Stat returns one stage's counters (zero-valued if the stage has
+// never been touched).
+func (c *Cache) Stat(stage string) StageStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.stages[stage]
+	if !ok {
+		return StageStat{Stage: stage}
+	}
+	return StageStat{
+		Stage:        stage,
+		Hits:         st.stats.hits.Load(),
+		Misses:       st.stats.misses.Load(),
+		Builds:       st.stats.builds.Load(),
+		Cancels:      st.stats.cancels.Load(),
+		BuildSeconds: float64(st.stats.buildNanos.Load()) / 1e9,
+		Entries:      st.lru.Len(),
+	}
+}
+
+// Len returns one stage's current LRU occupancy.
+func (c *Cache) Len(stage string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st, ok := c.stages[stage]; ok {
+		return st.lru.Len()
+	}
+	return 0
+}
+
+// Reset drops every artifact and counter. In-flight builds complete
+// but their results land in fresh stage states.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stages = map[string]*stageState{}
+}

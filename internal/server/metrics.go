@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"obdrel/internal/pipeline"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds. The low
@@ -55,6 +57,9 @@ type Metrics struct {
 
 	// analyzersCached reports the registry's current size (gauge).
 	analyzersCached func() int
+	// stageStats reports per-stage cache counters (library stage graph
+	// plus the registry's analyzer stage), exposed as labeled families.
+	stageStats func() []pipeline.StageStat
 
 	mu       sync.Mutex
 	requests map[string]map[int]int64 // route → status code → count
@@ -68,6 +73,7 @@ func NewMetrics() *Metrics {
 		requests:        map[string]map[int]int64{},
 		latency:         map[string]*histogram{},
 		analyzersCached: func() int { return 0 },
+		stageStats:      func() []pipeline.StageStat { return nil },
 	}
 }
 
@@ -171,6 +177,27 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	gauge("obdreld_in_flight_requests", "Requests currently being served.", float64(m.InFlight.Load()))
 	gauge("obdreld_analyzers_cached", "Analyzers resident in the registry.", float64(m.analyzersCached()))
 	gauge("obdreld_uptime_seconds", "Seconds since the server started.", m.Uptime().Seconds())
+
+	stages := m.stageStats()
+	sort.Slice(stages, func(i, j int) bool { return stages[i].Stage < stages[j].Stage })
+	labeled := func(name, help, typ string, value func(pipeline.StageStat) string) {
+		fmt.Fprintf(cw, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, s := range stages {
+			fmt.Fprintf(cw, "%s{stage=%q} %s\n", name, s.Stage, value(s))
+		}
+	}
+	labeled("obdreld_stage_cache_hits_total", "Stage-cache lookups served from the LRU, by stage.", "counter",
+		func(s pipeline.StageStat) string { return fmt.Sprintf("%d", s.Hits) })
+	labeled("obdreld_stage_cache_misses_total", "Stage-cache lookups that required (or joined) a build, by stage.", "counter",
+		func(s pipeline.StageStat) string { return fmt.Sprintf("%d", s.Misses) })
+	labeled("obdreld_stage_builds_total", "Successful stage-artifact constructions, by stage.", "counter",
+		func(s pipeline.StageStat) string { return fmt.Sprintf("%d", s.Builds) })
+	labeled("obdreld_stage_cancelled_builds_total", "Stage builds cancelled because every waiter abandoned them, by stage.", "counter",
+		func(s pipeline.StageStat) string { return fmt.Sprintf("%d", s.Cancels) })
+	labeled("obdreld_stage_build_seconds_total", "Wall time of successful stage builds, by stage.", "counter",
+		func(s pipeline.StageStat) string { return fmt.Sprintf("%g", s.BuildSeconds) })
+	labeled("obdreld_stage_entries", "Artifacts resident per stage LRU.", "gauge",
+		func(s pipeline.StageStat) string { return fmt.Sprintf("%d", s.Entries) })
 	return cw.n, cw.err
 }
 

@@ -2,25 +2,30 @@ package server
 
 import (
 	"context"
-	"sync"
 	"time"
 
 	"obdrel"
-	"obdrel/internal/lru"
+	"obdrel/internal/pipeline"
 )
 
-// BuildFunc constructs the analyzer for a design/config pair.
-// Production uses obdrel.NewAnalyzer; tests inject counters and
-// stalls.
-type BuildFunc func(*obdrel.Design, *obdrel.Config) (*obdrel.Analyzer, error)
+// BuildFunc constructs the analyzer for a design/config pair under a
+// context that cancels the build. Production uses obdrel.NewAnalyzerCtx;
+// tests inject counters and stalls.
+type BuildFunc func(context.Context, *obdrel.Design, *obdrel.Config) (*obdrel.Analyzer, error)
 
-// Registry is the serving layer's analyzer cache: an LRU of immutable
-// Analyzers keyed by the canonical obdrel.CacheKey(design, config),
-// with singleflight coalescing so N concurrent requests for the same
-// uncached configuration trigger exactly one characterization (power,
-// thermal, PCA, BLOD — hundreds of ms each). The PR 1 process-wide
-// PCA cache sits underneath, so even a registry miss reuses the
-// eigendecomposition when only non-PCA knobs changed.
+// analyzerStage is the registry's stage name inside its pipeline cache:
+// assembled Analyzers keyed by the canonical obdrel.CacheKey. The
+// stage-level artifacts underneath (thermal, PCA, BLOD, …) live in the
+// process-wide obdrel.Stages() cache, so even a registry miss reuses
+// every substrate stage whose inputs did not change.
+const analyzerStage = "analyzer"
+
+// Registry is the serving layer's analyzer cache: a pipeline stage
+// holding immutable Analyzers keyed by obdrel.CacheKey(design, config),
+// with cancellable singleflight coalescing so N concurrent requests for
+// the same uncached configuration trigger exactly one characterization
+// — and so a request that times out cancels the build it started,
+// unless another request is still waiting on it.
 //
 // Analyzers are safe for concurrent queries and engines are built
 // lazily inside them, so the registry hands the same instance to any
@@ -28,11 +33,7 @@ type BuildFunc func(*obdrel.Design, *obdrel.Config) (*obdrel.Analyzer, error)
 type Registry struct {
 	build   BuildFunc
 	metrics *Metrics
-
-	mu    sync.Mutex
-	cache *lru.Cache[*obdrel.Analyzer]
-
-	flights flightGroup
+	cache   *pipeline.Cache
 }
 
 // NewRegistry returns a registry holding at most capacity analyzers.
@@ -40,57 +41,48 @@ func NewRegistry(capacity int, build BuildFunc, m *Metrics) *Registry {
 	r := &Registry{
 		build:   build,
 		metrics: m,
-		cache:   lru.New[*obdrel.Analyzer](capacity),
+		cache:   pipeline.NewCache(capacity),
 	}
 	m.analyzersCached = r.Len
 	return r
 }
 
 // Len reports the number of cached analyzers.
-func (r *Registry) Len() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.cache.Len()
-}
+func (r *Registry) Len() int { return r.cache.Len(analyzerStage) }
+
+// Stats returns the registry's own stage counters (hits, misses,
+// builds, cancelled builds) for the metrics endpoint.
+func (r *Registry) Stats() pipeline.StageStat { return r.cache.Stat(analyzerStage) }
 
 // Get returns the analyzer for (design, config), building it at most
 // once per key regardless of concurrency. cached reports whether the
-// LRU already held it. A context deadline abandons the wait but not
-// the build: the characterization finishes in the background and is
-// inserted for the next request.
+// cache already held it. When ctx expires the wait is abandoned AND —
+// if no other request is waiting on the same key — the build's context
+// is cancelled, so a 504 stops the stage computation it started
+// instead of leaking it; coalesced waiters that are still alive retry
+// with a fresh build rather than inheriting the cancellation.
 func (r *Registry) Get(ctx context.Context, d *obdrel.Design, cfg *obdrel.Config) (an *obdrel.Analyzer, cached bool, err error) {
 	key := obdrel.CacheKey(d, cfg)
-	r.mu.Lock()
-	if an, ok := r.cache.Get(key); ok {
-		r.mu.Unlock()
+	an, res, err := pipeline.Get(ctx, r.cache, analyzerStage, key,
+		func(bctx context.Context) (*obdrel.Analyzer, error) {
+			start := time.Now()
+			built, err := r.build(bctx, d, cfg)
+			if err != nil {
+				return nil, err
+			}
+			r.metrics.ObserveBuild(time.Since(start))
+			return built, nil
+		})
+	if res.Hit {
 		r.metrics.CacheHits.Add(1)
-		return an, true, nil
+	} else {
+		r.metrics.CacheMisses.Add(1)
 	}
-	r.mu.Unlock()
-	r.metrics.CacheMisses.Add(1)
-
-	ch := r.flights.Do(key, func() (any, error) {
-		start := time.Now()
-		built, err := r.build(d, cfg)
-		if err != nil {
-			return nil, err
-		}
-		r.metrics.ObserveBuild(time.Since(start))
-		r.mu.Lock()
-		r.cache.Put(key, built)
-		r.mu.Unlock()
-		return built, nil
-	})
-	select {
-	case res := <-ch:
-		if res.shared {
-			r.metrics.Coalesced.Add(1)
-		}
-		if res.err != nil {
-			return nil, false, res.err
-		}
-		return res.val.(*obdrel.Analyzer), false, nil
-	case <-ctx.Done():
-		return nil, false, ctx.Err()
+	if res.Coalesced {
+		r.metrics.Coalesced.Add(1)
 	}
+	if err != nil {
+		return nil, false, err
+	}
+	return an, res.Hit, nil
 }

@@ -27,10 +27,10 @@ func TestSingleflightBuild(t *testing.T) {
 	var builds atomic.Int64
 	gate := make(chan struct{})
 	m := NewMetrics()
-	reg := NewRegistry(4, func(d *obdrel.Design, cfg *obdrel.Config) (*obdrel.Analyzer, error) {
+	reg := NewRegistry(4, func(ctx context.Context, d *obdrel.Design, cfg *obdrel.Config) (*obdrel.Analyzer, error) {
 		builds.Add(1)
 		<-gate // hold every racer at the miss until all have arrived
-		return obdrel.NewAnalyzer(d, cfg)
+		return obdrel.NewAnalyzerCtx(ctx, d, cfg)
 	}, m)
 
 	const racers = 64
@@ -77,9 +77,9 @@ func TestSingleflightBuild(t *testing.T) {
 func TestRegistryHitAndEviction(t *testing.T) {
 	var builds atomic.Int64
 	m := NewMetrics()
-	reg := NewRegistry(2, func(d *obdrel.Design, cfg *obdrel.Config) (*obdrel.Analyzer, error) {
+	reg := NewRegistry(2, func(ctx context.Context, d *obdrel.Design, cfg *obdrel.Config) (*obdrel.Analyzer, error) {
 		builds.Add(1)
-		return obdrel.NewAnalyzer(d, cfg)
+		return obdrel.NewAnalyzerCtx(ctx, d, cfg)
 	}, m)
 	ctx := context.Background()
 	d := obdrel.C1()
@@ -114,7 +114,7 @@ func TestRegistryHitAndEviction(t *testing.T) {
 func TestRegistryBuildError(t *testing.T) {
 	boom := errors.New("boom")
 	m := NewMetrics()
-	reg := NewRegistry(2, func(d *obdrel.Design, cfg *obdrel.Config) (*obdrel.Analyzer, error) {
+	reg := NewRegistry(2, func(ctx context.Context, d *obdrel.Design, cfg *obdrel.Config) (*obdrel.Analyzer, error) {
 		return nil, boom
 	}, m)
 	if _, _, err := reg.Get(context.Background(), obdrel.C1(), testConfig(1)); !errors.Is(err, boom) {
@@ -126,28 +126,120 @@ func TestRegistryBuildError(t *testing.T) {
 	}
 }
 
-// TestRegistryContextTimeout verifies the deadline abandons the wait
-// but not the build: the slow characterization completes in the
-// background and serves the next request as a hit.
+// TestRegistryContextTimeout pins the abandoned-build contract: when
+// the only waiter's deadline expires, the registry cancels the build's
+// context — the characterization stops instead of finishing (and
+// leaking) in the background — the cancelled partial result is never
+// cached, and the next request starts a fresh build.
 func TestRegistryContextTimeout(t *testing.T) {
-	release := make(chan struct{})
+	canceled := make(chan struct{})
+	var builds atomic.Int64
 	m := NewMetrics()
-	reg := NewRegistry(2, func(d *obdrel.Design, cfg *obdrel.Config) (*obdrel.Analyzer, error) {
-		<-release
-		return obdrel.NewAnalyzer(d, cfg)
+	reg := NewRegistry(2, func(ctx context.Context, d *obdrel.Design, cfg *obdrel.Config) (*obdrel.Analyzer, error) {
+		if builds.Add(1) == 1 {
+			// A "slow" first build: block until the registry cancels
+			// us, proving the 504 propagates into the build context.
+			<-ctx.Done()
+			close(canceled)
+			return nil, ctx.Err()
+		}
+		return obdrel.NewAnalyzerCtx(ctx, d, cfg)
 	}, m)
+
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
 	if _, _, err := reg.Get(ctx, obdrel.C1(), testConfig(1)); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want deadline exceeded", err)
 	}
-	close(release)
-	// The background build finishes and lands in the LRU.
-	deadline := time.Now().Add(10 * time.Second)
-	for reg.Len() == 0 && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
+	select {
+	case <-canceled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("abandoned build was never cancelled")
 	}
-	if _, cached, err := reg.Get(context.Background(), obdrel.C1(), testConfig(1)); err != nil || !cached {
-		t.Fatalf("abandoned build not reused: cached=%t err=%v", cached, err)
+
+	// The cancellation is recorded and nothing was cached.
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Stats().Cancels == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := reg.Stats().Cancels; got != 1 {
+		t.Fatalf("cancelled-build counter %d, want 1", got)
+	}
+	if reg.Len() != 0 {
+		t.Fatalf("registry holds %d analyzers after a cancelled build", reg.Len())
+	}
+
+	// A fresh request is not poisoned by the cancelled flight: it
+	// rebuilds from scratch and succeeds.
+	if _, cached, err := reg.Get(context.Background(), obdrel.C1(), testConfig(1)); err != nil || cached {
+		t.Fatalf("rebuild after cancellation: cached=%t err=%v", cached, err)
+	}
+	if builds.Load() != 2 {
+		t.Fatalf("builds = %d, want 2 (cancelled + fresh)", builds.Load())
+	}
+}
+
+// TestRegistrySurvivorRetries pins the coalescing half of the
+// cancellation contract: a waiter that joins a flight whose
+// originator then abandons it must NOT receive the cancelled flight's
+// context error — it retries with a fresh build and gets a real
+// analyzer.
+func TestRegistrySurvivorRetries(t *testing.T) {
+	var builds atomic.Int64
+	firstStarted := make(chan struct{})
+	cancelSeen := make(chan struct{})
+	hold := make(chan struct{})
+	m := NewMetrics()
+	reg := NewRegistry(2, func(ctx context.Context, d *obdrel.Design, cfg *obdrel.Config) (*obdrel.Analyzer, error) {
+		if builds.Add(1) == 1 {
+			close(firstStarted)
+			<-ctx.Done() // the originator's departure cancels us...
+			close(cancelSeen)
+			<-hold // ...but the flight stays joinable until released
+			return nil, ctx.Err()
+		}
+		return obdrel.NewAnalyzerCtx(ctx, d, cfg)
+	}, m)
+
+	impatient, cancelImpatient := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := reg.Get(impatient, obdrel.C1(), testConfig(1))
+		done <- err
+	}()
+	<-firstStarted
+	cancelImpatient()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("impatient waiter err = %v, want context.Canceled", err)
+	}
+	<-cancelSeen // the last waiter's exit cancelled the build context
+
+	// The survivor arrives while the cancelled flight is still
+	// in-flight, joins it, sees it die of cancellation, and must
+	// transparently retry with a fresh build.
+	survivor := make(chan error, 1)
+	go func() {
+		an, _, err := reg.Get(context.Background(), obdrel.C1(), testConfig(1))
+		if err == nil && an == nil {
+			err = errors.New("nil analyzer without error")
+		}
+		survivor <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the survivor join the doomed flight
+	close(hold)
+
+	select {
+	case err := <-survivor:
+		if err != nil {
+			t.Fatalf("surviving waiter received %v, want a fresh successful build", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("surviving waiter never completed")
+	}
+	if builds.Load() != 2 {
+		t.Fatalf("builds = %d, want 2 (cancelled + survivor's retry)", builds.Load())
+	}
+	if reg.Len() != 1 {
+		t.Fatalf("registry holds %d analyzers, want 1", reg.Len())
 	}
 }

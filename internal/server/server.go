@@ -1,8 +1,9 @@
 // Package server implements obdreld's JSON-over-HTTP reliability
-// query service: the /v1 API over an analyzer registry (LRU +
-// singleflight coalescing), with a bounded concurrency limiter,
-// per-request timeouts, structured request logging, and a
-// stdlib-only Prometheus-text /metrics endpoint.
+// query service: the /v1 API over an analyzer registry (a pipeline
+// stage cache with cancellable singleflight coalescing), with a
+// bounded concurrency limiter, per-request timeouts, structured
+// request logging, and a stdlib-only Prometheus-text /metrics
+// endpoint.
 //
 // The serving model: an Analyzer is an immutable, fully characterized
 // chip that is expensive to build (power/thermal fixed point, PCA,
@@ -10,7 +11,12 @@
 // tables). The registry therefore memoizes analyzers by canonical
 // (design, config) identity and coalesces concurrent builds, so a
 // traffic burst for one configuration costs one characterization and
-// N-1 cheap waits.
+// N-1 cheap waits. Underneath, the library's stage graph caches the
+// individual artifacts (thermal solve, PCA, BLOD, …), so even a
+// registry miss rebuilds only the stages whose inputs changed; and
+// the request context threads through every stage, so a request that
+// times out cancels the computation it started unless another request
+// still wants it.
 package server
 
 import (
@@ -28,6 +34,7 @@ import (
 
 	"obdrel"
 	"obdrel/internal/obd"
+	"obdrel/internal/pipeline"
 )
 
 // Options configure the service.
@@ -47,7 +54,8 @@ type Options struct {
 	// AccessLog receives one JSON line per request (nil = discard).
 	AccessLog io.Writer
 	// Build overrides the analyzer factory (tests); nil uses
-	// obdrel.NewAnalyzer.
+	// obdrel.NewAnalyzerCtx, so request deadlines cancel in-flight
+	// stage builds.
 	Build BuildFunc
 }
 
@@ -63,7 +71,7 @@ func (o *Options) withDefaults() Options {
 		out.RequestTimeout = 30 * time.Second
 	}
 	if out.Build == nil {
-		out.Build = obdrel.NewAnalyzer
+		out.Build = obdrel.NewAnalyzerCtx
 	}
 	if out.AccessLog == nil {
 		out.AccessLog = io.Discard
@@ -93,6 +101,10 @@ func New(opts Options) *Server {
 		designs: map[string]*obdrel.Design{},
 		sem:     make(chan struct{}, o.MaxConcurrent),
 		logger:  slog.New(slog.NewJSONHandler(o.AccessLog, nil)),
+	}
+	m.stageStats = func() []pipeline.StageStat {
+		stats := obdrel.Stages().Snapshot()
+		return append(stats, s.reg.Stats())
 	}
 	for _, d := range obdrel.Benchmarks() {
 		s.designs[d.Name] = d
@@ -355,13 +367,13 @@ func (s *Server) handleMaxVDD(ctx context.Context, r *http.Request) (any, error)
 	// repeat visits (and later searches over the same bracket) reuse
 	// characterized voltages.
 	probes := 0
-	factory := func(pd *obdrel.Design, pc *obdrel.Config) (*obdrel.Analyzer, error) {
+	factory := func(fctx context.Context, pd *obdrel.Design, pc *obdrel.Config) (*obdrel.Analyzer, error) {
 		probes++
-		an, _, err := s.reg.Get(ctx, pd, pc)
+		an, _, err := s.reg.Get(fctx, pd, pc)
 		return an, err
 	}
 	v, err := await(ctx, func() (float64, error) {
-		return obdrel.MaxVDDFrom(factory, d, cfg, m, ppm, req.TargetHours, vLo, vHi, req.TolV)
+		return obdrel.MaxVDDFromCtx(ctx, factory, d, cfg, m, ppm, req.TargetHours, vLo, vHi, req.TolV)
 	})
 	if err != nil {
 		return nil, queryErr(err)

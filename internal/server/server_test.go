@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -177,9 +178,9 @@ func TestBadInputs(t *testing.T) {
 
 func TestConcurrencyLimiter(t *testing.T) {
 	block := make(chan struct{})
-	s := New(Options{MaxConcurrent: 1, Build: func(d *obdrel.Design, cfg *obdrel.Config) (*obdrel.Analyzer, error) {
+	s := New(Options{MaxConcurrent: 1, Build: func(ctx context.Context, d *obdrel.Design, cfg *obdrel.Config) (*obdrel.Analyzer, error) {
 		<-block
-		return obdrel.NewAnalyzer(d, cfg)
+		return obdrel.NewAnalyzerCtx(ctx, d, cfg)
 	}})
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
@@ -230,9 +231,13 @@ func TestConcurrencyLimiter(t *testing.T) {
 func TestRequestTimeout(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
-	s := New(Options{RequestTimeout: 50 * time.Millisecond, Build: func(d *obdrel.Design, cfg *obdrel.Config) (*obdrel.Analyzer, error) {
-		<-release
-		return obdrel.NewAnalyzer(d, cfg)
+	s := New(Options{RequestTimeout: 50 * time.Millisecond, Build: func(ctx context.Context, d *obdrel.Design, cfg *obdrel.Config) (*obdrel.Analyzer, error) {
+		select {
+		case <-release:
+			return obdrel.NewAnalyzerCtx(ctx, d, cfg)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}})
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
@@ -272,6 +277,11 @@ func TestMetricsExposition(t *testing.T) {
 		"obdreld_in_flight_requests",
 		"obdreld_analyzers_cached 1",
 		"obdreld_uptime_seconds",
+		`obdreld_stage_cache_hits_total{stage="analyzer"} 1`,
+		`obdreld_stage_builds_total{stage="analyzer"} 1`,
+		`obdreld_stage_build_seconds_total{stage="analyzer"}`,
+		`obdreld_stage_cache_misses_total{stage="thermal"}`,
+		`obdreld_stage_entries{stage="pca"}`,
 	} {
 		if !bytes.Contains(text, []byte(want)) {
 			t.Errorf("metrics missing %q", want)

@@ -1,6 +1,7 @@
 package thermal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -26,6 +27,13 @@ type CoupledResult struct {
 // the loop repeats until the largest block-temperature change falls
 // below tolK (default 0.05 K) or maxRounds (default 25) is hit.
 func (s *Solver) SolveCoupled(d *floorplan.Design, powerAt func(temps []float64) ([]float64, error), tolK float64, maxRounds int) (*CoupledResult, error) {
+	return s.SolveCoupledCtx(context.Background(), d, powerAt, tolK, maxRounds)
+}
+
+// SolveCoupledCtx is SolveCoupled with cancellation checkpoints: one
+// before each fixed-point round, plus the inner solver's per-sweep
+// checks via SolveCtx.
+func (s *Solver) SolveCoupledCtx(ctx context.Context, d *floorplan.Design, powerAt func(temps []float64) ([]float64, error), tolK float64, maxRounds int) (*CoupledResult, error) {
 	if powerAt == nil {
 		return nil, errors.New("thermal: SolveCoupled requires a power callback")
 	}
@@ -48,11 +56,14 @@ func (s *Solver) SolveCoupled(d *floorplan.Design, powerAt func(temps []float64)
 	)
 	round := 0
 	for ; round < maxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		powers, err = powerAt(temps)
 		if err != nil {
 			return nil, fmt.Errorf("thermal: power callback: %w", err)
 		}
-		field, err = s.Solve(d, powers)
+		field, err = s.SolveCtx(ctx, d, powers)
 		if err != nil {
 			return nil, err
 		}

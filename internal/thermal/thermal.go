@@ -13,6 +13,7 @@
 package thermal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -137,6 +138,14 @@ func (f *Field) Mean() float64 {
 // Solve computes the steady-state temperature field for a design with
 // the given per-block powers (one entry per design block, in watts).
 func (s *Solver) Solve(d *floorplan.Design, blockPowers []float64) (*Field, error) {
+	return s.SolveCtx(context.Background(), d, blockPowers)
+}
+
+// SolveCtx is Solve with a cancellation checkpoint at every SOR sweep:
+// once ctx expires the solve stops and returns ctx's error. The
+// checkpoint granularity is one full sweep, so cancellation latency is
+// O(Nx·Ny) cell updates — microseconds at the supported resolutions.
+func (s *Solver) SolveCtx(ctx context.Context, d *floorplan.Design, blockPowers []float64) (*Field, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -218,6 +227,9 @@ func (s *Solver) Solve(d *floorplan.Design, blockPowers []float64) (*Field, erro
 	if workers == 1 {
 		// Legacy lexicographic Gauss–Seidel-ordered SOR.
 		for ; iter < maxIter; iter++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			maxDelta := 0.0
 			for iy := 0; iy < s.Ny; iy++ {
 				for ix := 0; ix < s.Nx; ix++ {
@@ -238,6 +250,9 @@ func (s *Solver) Solve(d *floorplan.Design, blockPowers []float64) (*Field, erro
 		// changing the result.
 		rowMax := make([]float64, s.Ny)
 		for ; iter < maxIter; iter++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			for i := range rowMax {
 				rowMax[i] = 0
 			}

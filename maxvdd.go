@@ -1,6 +1,7 @@
 package obdrel
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -12,14 +13,25 @@ import (
 // in oxide reliability analysis limits the maximum operating voltage
 // and thus the maximum achievable chip-performance."
 //
-// Every probe voltage requires a fresh characterization (the thermal
-// profile moves with VDD), so the search bisects on voltage: lifetime
-// is strictly decreasing in VDD through both the power-law voltage
-// acceleration and the hotter die. The result is resolved to tolV
+// Every probe voltage requires a fresh Weibull characterization, and —
+// unless Config.PinThermalVDD fixes the thermal operating point — a
+// fresh thermal solve (the thermal profile moves with VDD); the search
+// bisects on voltage: lifetime is strictly decreasing in VDD through
+// both the power-law voltage acceleration and the hotter die. The
+// voltage-independent stages (covariance, PCA, BLOD) are shared across
+// all probes through the stage cache. The result is resolved to tolV
 // volts (default 5 mV when 0). It returns an error when even vLo
 // fails the requirement; if vHi already meets it, vHi is returned.
 func MaxVDD(d *Design, cfg *Config, method Method, ppm, targetHours, vLo, vHi, tolV float64) (float64, error) {
-	return MaxVDDFrom(NewAnalyzer, d, cfg, method, ppm, targetHours, vLo, vHi, tolV)
+	return MaxVDDCtx(context.Background(), d, cfg, method, ppm, targetHours, vLo, vHi, tolV)
+}
+
+// MaxVDDCtx is MaxVDD with cancellation support: ctx is checked before
+// every probe and threaded into each probe's stage builds, so
+// cancelling the context stops the search and its in-flight substrate
+// computation.
+func MaxVDDCtx(ctx context.Context, d *Design, cfg *Config, method Method, ppm, targetHours, vLo, vHi, tolV float64) (float64, error) {
+	return MaxVDDFromCtx(ctx, NewAnalyzerCtx, d, cfg, method, ppm, targetHours, vLo, vHi, tolV)
 }
 
 // AnalyzerFactory builds (or retrieves — e.g. from a serving-layer
@@ -27,11 +39,28 @@ func MaxVDD(d *Design, cfg *Config, method Method, ppm, targetHours, vLo, vHi, t
 // plain factory.
 type AnalyzerFactory func(*Design, *Config) (*Analyzer, error)
 
+// AnalyzerFactoryCtx is AnalyzerFactory with a context governing the
+// build. NewAnalyzerCtx is the plain factory.
+type AnalyzerFactoryCtx func(context.Context, *Design, *Config) (*Analyzer, error)
+
 // MaxVDDFrom is MaxVDD with an explicit analyzer factory. Long-running
 // services pass a caching factory so repeated voltage searches — whose
 // bisections revisit the same probe voltages — reuse characterized
 // analyzers instead of rebuilding them.
 func MaxVDDFrom(build AnalyzerFactory, d *Design, cfg *Config, method Method, ppm, targetHours, vLo, vHi, tolV float64) (float64, error) {
+	return MaxVDDFromCtx(context.Background(),
+		func(_ context.Context, d *Design, cfg *Config) (*Analyzer, error) { return build(d, cfg) },
+		d, cfg, method, ppm, targetHours, vLo, vHi, tolV)
+}
+
+// MaxVDDFromCtx is the context-aware search core: an explicit factory
+// plus a context that aborts the bisection between probes and cancels
+// the in-flight probe's stage builds (when the factory honours it).
+// Context errors abort the search; any other probe failure above vLo —
+// typically power/thermal runaway — is treated as "fails the
+// requirement", since a voltage the chip cannot even characterize at
+// certainly does not meet a lifetime target.
+func MaxVDDFromCtx(ctx context.Context, build AnalyzerFactoryCtx, d *Design, cfg *Config, method Method, ppm, targetHours, vLo, vHi, tolV float64) (float64, error) {
 	if cfg == nil {
 		cfg = DefaultConfig()
 	}
@@ -48,9 +77,12 @@ func MaxVDDFrom(build AnalyzerFactory, d *Design, cfg *Config, method Method, pp
 		tolV = 0.005
 	}
 	meets := func(v float64) (bool, error) {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		probe := *cfg
 		probe.VDD = v
-		an, err := build(d, &probe)
+		an, err := build(ctx, d, &probe)
 		if err != nil {
 			return false, fmt.Errorf("obdrel: at %v V: %w", v, err)
 		}
@@ -70,9 +102,12 @@ func MaxVDDFrom(build AnalyzerFactory, d *Design, cfg *Config, method Method, pp
 	// Above vLo, a voltage where the characterization itself fails —
 	// typically power/thermal runaway — certainly fails the
 	// reliability requirement; the search treats it as out of reach
-	// rather than aborting.
+	// rather than aborting. A cancelled context, however, aborts.
 	okHi, err := meets(vHi)
 	if err != nil {
+		if ctx.Err() != nil {
+			return 0, err
+		}
 		okHi = false
 	}
 	if okHi {
@@ -83,6 +118,9 @@ func MaxVDDFrom(build AnalyzerFactory, d *Design, cfg *Config, method Method, pp
 		mid := (lo + hi) / 2
 		ok, err := meets(mid)
 		if err != nil {
+			if ctx.Err() != nil {
+				return 0, err
+			}
 			ok = false
 		}
 		if ok {

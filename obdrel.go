@@ -135,9 +135,13 @@ func (d *Design) Validate() error {
 	return err
 }
 
+// errNilDesign is returned for a nil *Design — checked before the
+// stage graph touches the design's fingerprint.
+var errNilDesign = errors.New("obdrel: nil design")
+
 func (d *Design) internal() (*floorplan.Design, error) {
 	if d == nil {
-		return nil, errors.New("obdrel: nil design")
+		return nil, errNilDesign
 	}
 	fd := &floorplan.Design{Name: d.Name, W: d.W, H: d.H}
 	for _, b := range d.Blocks {
@@ -255,6 +259,16 @@ type Config struct {
 	// UseBlockMaxTemp selects the block-level worst-case temperature
 	// (the paper's choice) rather than the block mean.
 	UseBlockMaxTemp bool
+	// PinThermalVDD, when positive, solves the power/thermal fixed
+	// point at this reference voltage instead of VDD, while the device
+	// Weibull parameters α(T,V)/b(T,V) still use VDD. This is the
+	// dynamic-reliability-management approximation of a temperature
+	// profile fixed by the cooling design: it makes the thermal stage's
+	// fingerprint voltage-independent, so a MaxVDD bisection performs
+	// exactly one thermal solve across all probes. Zero (the default)
+	// keeps the physical coupling — the field genuinely moves with VDD
+	// through dynamic power ∝ V² and leakage ∝ V.
+	PinThermalVDD float64
 	// L0 is the st_fast integration resolution (0 → library default;
 	// the paper uses 10).
 	L0 int
@@ -282,6 +296,12 @@ type Config struct {
 	// DisablePCACache skips the process-wide covariance/PCA cache and
 	// recomputes the eigendecomposition for this analyzer.
 	DisablePCACache bool
+	// DisableStageCache bypasses the process-wide stage-artifact cache
+	// (see Stages): every substrate stage rebuilds for this analyzer.
+	// Like Workers and DisablePCACache it is a performance knob,
+	// excluded from fingerprints; tests set it (together with
+	// DisablePCACache) to isolate runs from shared state.
+	DisableStageCache bool
 }
 
 // DefaultConfig returns the paper's experimental setup.
@@ -345,6 +365,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("obdrel: GuardSigmas must be non-negative and finite, got %v", c.GuardSigmas)
 	case c.Workers < 0:
 		return fmt.Errorf("obdrel: Workers must be non-negative, got %v", c.Workers)
+	case c.PinThermalVDD < 0 || math.IsInf(c.PinThermalVDD, 0) || math.IsNaN(c.PinThermalVDD):
+		return fmt.Errorf("obdrel: PinThermalVDD must be non-negative and finite, got %v", c.PinThermalVDD)
 	}
 	return nil
 }

@@ -1,0 +1,315 @@
+package obdrel
+
+import (
+	"context"
+	"fmt"
+
+	"obdrel/internal/blod"
+	"obdrel/internal/core"
+	"obdrel/internal/floorplan"
+	"obdrel/internal/grid"
+	"obdrel/internal/obd"
+	"obdrel/internal/pipeline"
+	"obdrel/internal/power"
+	"obdrel/internal/thermal"
+)
+
+// The stage names of the analysis graph, in dependency order. Each
+// stage produces one immutable artifact, cached under a fingerprint
+// of only the inputs it depends on (see fingerprint.go for the
+// canonical segments and DESIGN.md §9 for the dependency table):
+//
+//	floorplan ──┬─────────────► thermal ──► weibull ──┐
+//	            │  powermap ──────┘                    ├─► chip
+//	            └─► covariance ─┬─► blod ──────────────┘
+//	                            └─► pca   (sampling engines only)
+const (
+	StageFloorplan  = "floorplan"
+	StagePowerMap   = "powermap"
+	StageThermal    = "thermal"
+	StageCovariance = "covariance"
+	StagePCA        = "pca"
+	StageBLOD       = "blod"
+	StageWeibull    = "weibull"
+	StageChip       = "chip"
+)
+
+// StageNames lists the analysis stages in dependency order.
+func StageNames() []string {
+	return []string{
+		StageFloorplan, StagePowerMap, StageThermal, StageCovariance,
+		StagePCA, StageBLOD, StageWeibull, StageChip,
+	}
+}
+
+// sharedStages is the process-wide stage-artifact cache used by
+// NewAnalyzer (unless Config.DisableStageCache) and by the serving
+// layer. Every artifact is immutable after its build, so sharing
+// across analyzers is safe; 64 entries per stage comfortably covers a
+// MaxVDD bisection's probe set plus a table sweep.
+var sharedStages = pipeline.NewCache(64)
+
+// Stages returns the process-wide stage cache — for observability
+// (Snapshot on /metrics and cmd/bench) and capacity tuning by daemons.
+func Stages() *pipeline.Cache { return sharedStages }
+
+// StageFingerprints returns the cache key of every analysis stage for
+// a (design, config) pair. Keys are canonical: two configs that
+// resolve to the same stage inputs share the stage's key, and a knob
+// perturbs exactly the keys of the stages depending on it. A nil
+// config selects DefaultConfig, matching NewAnalyzer.
+func StageFingerprints(d *Design, cfg *Config) map[string]string {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	return stageKeys(d.Fingerprint(), d.W, d.H, cfg)
+}
+
+// stageKeys computes all stage cache keys from the design fingerprint
+// and die geometry — everything a stage consumes from the design half.
+func stageKeys(dfp string, dieW, dieH float64, cfg *Config) map[string]string {
+	ks := map[string]string{
+		StageFloorplan:  fp16(StageFloorplan, dfp),
+		StagePowerMap:   fp16(StagePowerMap, cfg.segPower()),
+		StageThermal:    fp16(StageThermal, dfp, cfg.segPower(), cfg.segThermal()),
+		StageCovariance: fp16(StageCovariance, cfg.segCovariance(dieW, dieH)),
+		StagePCA:        fp16(StagePCA, cfg.segPCA(dieW, dieH)),
+		StageBLOD:       fp16(StageBLOD, dfp, cfg.segCovariance(dieW, dieH)),
+		StageWeibull:    fp16(StageWeibull, dfp, cfg.segPower(), cfg.segThermal(), cfg.segWeibull()),
+	}
+	ks[StageChip] = fp16(StageChip, ks[StageBLOD], ks[StageWeibull])
+	return ks
+}
+
+// weibullArtifact is the weibull stage's output: the per-block device
+// Weibull parameters α(T,V)/b(T,V) at each block's operating point,
+// the optional extrinsic-population parameters, and the operating
+// points themselves for reporting.
+type weibullArtifact struct {
+	params []obd.Params
+	ext    []obd.ExtrinsicParams
+	info   []BlockInfo
+}
+
+// stageGraph resolves one analyzer construction through the stage
+// cache. It carries the resolved config components and the
+// precomputed stage keys; artifacts flow through return values so a
+// build never reaches around the cache.
+type stageGraph struct {
+	cache *pipeline.Cache
+	d     *Design
+	cfg   *Config
+	tech  *obd.Tech
+	pm    *power.Model
+	ts    *thermal.Solver
+	keys  map[string]string
+}
+
+// stageGet adapts pipeline.Get to the graph's needs: typed artifact
+// out, cache-result bookkeeping dropped (the cache keeps its own
+// stats).
+func stageGet[O any](ctx context.Context, c *pipeline.Cache, stage, key string, build func(context.Context) (O, error)) (O, error) {
+	v, _, err := pipeline.Get(ctx, c, stage, key, build)
+	return v, err
+}
+
+func (g *stageGraph) floorplan(ctx context.Context) (*floorplan.Design, error) {
+	return stageGet(ctx, g.cache, StageFloorplan, g.keys[StageFloorplan],
+		func(context.Context) (*floorplan.Design, error) {
+			return g.d.internal()
+		})
+}
+
+func (g *stageGraph) powermap(ctx context.Context) (*power.Model, error) {
+	return stageGet(ctx, g.cache, StagePowerMap, g.keys[StagePowerMap],
+		func(context.Context) (*power.Model, error) {
+			if err := g.pm.Validate(); err != nil {
+				return nil, err
+			}
+			return g.pm, nil
+		})
+}
+
+func (g *stageGraph) thermal(ctx context.Context, fd *floorplan.Design, pm *power.Model) (*thermal.CoupledResult, error) {
+	return stageGet(ctx, g.cache, StageThermal, g.keys[StageThermal],
+		func(bctx context.Context) (*thermal.CoupledResult, error) {
+			ts := g.ts
+			if ts.Workers == 0 && g.cfg.Workers != 0 {
+				// Propagate the config's worker knob without mutating
+				// a caller-owned solver.
+				tsCopy := *ts
+				tsCopy.Workers = g.cfg.Workers
+				ts = &tsCopy
+			}
+			veff := g.cfg.thermalVDD()
+			coupled, err := ts.SolveCoupledCtx(bctx, fd, func(temps []float64) ([]float64, error) {
+				return pm.DesignPowers(fd, veff, temps)
+			}, 0, 0)
+			if err != nil {
+				return nil, fmt.Errorf("obdrel: thermal analysis: %w", err)
+			}
+			return coupled, nil
+		})
+}
+
+func (g *stageGraph) covariance(ctx context.Context) (*grid.Model, error) {
+	return stageGet(ctx, g.cache, StageCovariance, g.keys[StageCovariance],
+		func(context.Context) (*grid.Model, error) {
+			return g.cfg.variationModel(g.d.W, g.d.H)
+		})
+}
+
+func (g *stageGraph) pca(ctx context.Context, model *grid.Model) (*grid.PCA, error) {
+	return stageGet(ctx, g.cache, StagePCA, g.keys[StagePCA],
+		func(bctx context.Context) (*grid.PCA, error) {
+			keep := g.cfg.resolvedKeep()
+			if g.cfg.DisablePCACache {
+				return model.ComputePCACtx(bctx, keep, g.cfg.Workers)
+			}
+			return grid.SharedPCACache.GetCtx(bctx, model, keep, g.cfg.Workers)
+		})
+}
+
+func (g *stageGraph) blod(ctx context.Context, fd *floorplan.Design, model *grid.Model) (*blod.Characterization, error) {
+	return stageGet(ctx, g.cache, StageBLOD, g.keys[StageBLOD],
+		func(bctx context.Context) (*blod.Characterization, error) {
+			return blod.CharacterizeCtx(bctx, fd, model)
+		})
+}
+
+func (g *stageGraph) weibull(ctx context.Context, fd *floorplan.Design, coupled *thermal.CoupledResult) (*weibullArtifact, error) {
+	return stageGet(ctx, g.cache, StageWeibull, g.keys[StageWeibull],
+		func(bctx context.Context) (*weibullArtifact, error) {
+			blockTemp := func(i int) float64 {
+				if g.cfg.UseBlockMaxTemp {
+					return coupled.BlockMax[i]
+				}
+				return coupled.BlockMean[i]
+			}
+			w := &weibullArtifact{
+				params: make([]obd.Params, len(fd.Blocks)),
+				info:   make([]BlockInfo, len(fd.Blocks)),
+			}
+			for i := range fd.Blocks {
+				if err := bctx.Err(); err != nil {
+					return nil, err
+				}
+				p, err := g.tech.Characterize(blockTemp(i), g.cfg.VDD)
+				if err != nil {
+					return nil, fmt.Errorf("obdrel: block %q: %w", fd.Blocks[i].Name, err)
+				}
+				w.params[i] = p
+				w.info[i] = BlockInfo{
+					Name:      fd.Blocks[i].Name,
+					MeanTempC: coupled.BlockMean[i],
+					MaxTempC:  coupled.BlockMax[i],
+					PowerW:    coupled.Powers[i],
+					Alpha:     p.Alpha,
+					B:         p.B,
+					Devices:   fd.Blocks[i].Devices,
+				}
+			}
+			if g.cfg.Extrinsic != nil {
+				w.ext = make([]obd.ExtrinsicParams, len(fd.Blocks))
+				for i := range fd.Blocks {
+					ep, err := g.tech.CharacterizeExtrinsic(g.cfg.Extrinsic, blockTemp(i), g.cfg.VDD)
+					if err != nil {
+						return nil, fmt.Errorf("obdrel: block %q extrinsic: %w", fd.Blocks[i].Name, err)
+					}
+					w.ext[i] = ep
+				}
+			}
+			return w, nil
+		})
+}
+
+func (g *stageGraph) chip(ctx context.Context, fd *floorplan.Design, model *grid.Model, char *blod.Characterization, w *weibullArtifact) (*core.Chip, error) {
+	return stageGet(ctx, g.cache, StageChip, g.keys[StageChip],
+		func(context.Context) (*core.Chip, error) {
+			chip, err := core.NewChip(fd, model, char, w.params)
+			if err != nil {
+				return nil, err
+			}
+			if w.ext != nil {
+				// SetExtrinsic mutates the chip; it happens only here,
+				// before the artifact enters the cache, so every
+				// cached chip is immutable to its consumers.
+				if err := chip.SetExtrinsic(w.ext); err != nil {
+					return nil, err
+				}
+			}
+			return chip, nil
+		})
+}
+
+// newAnalyzerWith runs the full stage graph against an explicit cache
+// (nil disables caching entirely — every stage builds inline under
+// ctx, the exact legacy code path). Stages resolve in the same order,
+// with the same validation sequence and error wrapping, as the
+// pre-stage-graph monolithic constructor.
+func newAnalyzerWith(ctx context.Context, cache *pipeline.Cache, d *Design, cfg *Config) (*Analyzer, error) {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if d == nil {
+		return nil, errNilDesign
+	}
+	g := &stageGraph{
+		cache: cache,
+		d:     d,
+		cfg:   cfg,
+		tech:  cfg.resolvedTech(),
+		pm:    cfg.resolvedPower(),
+		ts:    cfg.resolvedThermal(),
+		keys:  stageKeys(d.Fingerprint(), d.W, d.H, cfg),
+	}
+	fd, err := g.floorplan(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.tech.Validate(); err != nil {
+		return nil, err
+	}
+	pm, err := g.powermap(ctx)
+	if err != nil {
+		return nil, err
+	}
+	coupled, err := g.thermal(ctx, fd, pm)
+	if err != nil {
+		return nil, err
+	}
+	model, err := g.covariance(ctx)
+	if err != nil {
+		return nil, err
+	}
+	pca, err := g.pca(ctx, model)
+	if err != nil {
+		return nil, err
+	}
+	char, err := g.blod(ctx, fd, model)
+	if err != nil {
+		return nil, err
+	}
+	w, err := g.weibull(ctx, fd, coupled)
+	if err != nil {
+		return nil, err
+	}
+	chip, err := g.chip(ctx, fd, model, char, w)
+	if err != nil {
+		return nil, err
+	}
+	return &Analyzer{
+		cfg:       cfg,
+		design:    fd,
+		model:     model,
+		pca:       pca,
+		chip:      chip,
+		tech:      g.tech,
+		blockInfo: w.info,
+		field:     coupled.Field,
+		engines:   make(map[Method]core.Engine),
+	}, nil
+}
