@@ -4,7 +4,10 @@
 // parallel (Workers:0 ⇒ GOMAXPROCS) code paths. With -stages (the
 // default) it additionally times a MaxVDD voltage bisection cold
 // versus warm through the stage-graph cache and appends the per-stage
-// hit/miss/build counters (obdrel-bench/v2 schema).
+// hit/miss/build counters (obdrel-bench/v2 schema). With -trace-overhead
+// (also the default) it measures what request tracing costs a warm
+// analyzer lookup enabled versus disabled and stamps run metadata —
+// go version, CPU count — into the report (obdrel-bench/v3 schema).
 //
 //	bench                         # full run, writes BENCH_pr<pr>.json (see -pr)
 //	bench -pr 3                   # full run, writes BENCH_pr3.json
@@ -31,26 +34,32 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"testing"
 	"time"
 
 	"obdrel"
 	"obdrel/internal/grid"
+	"obdrel/internal/obs"
 	"obdrel/internal/par"
 )
 
 // Schema identifies the original report format; SchemaV2 adds the
-// stage-cache sections. -validate accepts both; new reports emit v2
-// unless -stages=false.
+// stage-cache sections and SchemaV3 adds run metadata plus the
+// tracing-overhead measurement. -validate accepts all three; new
+// reports emit v3 unless -stages or -trace-overhead is turned off.
 const (
 	Schema   = "obdrel-bench/v1"
 	SchemaV2 = "obdrel-bench/v2"
+	SchemaV3 = "obdrel-bench/v3"
 )
 
 // Report is the top-level BENCH_pr1.json document.
 type Report struct {
 	Schema      string         `json:"schema"`
 	GeneratedAt string         `json:"generated_at"`
+	GoVersion   string         `json:"go_version,omitempty"`
 	GoMaxProcs  int            `json:"go_max_procs"`
+	NumCPU      int            `json:"num_cpu,omitempty"`
 	Workers     int            `json:"workers"`
 	Quick       bool           `json:"quick"`
 	MCSamples   int            `json:"mc_samples"`
@@ -61,6 +70,30 @@ type Report struct {
 	// v2 (stage-graph) sections, present when -stages is on.
 	MaxVDDReuse *MaxVDDReport `json:"maxvdd_reuse,omitempty"`
 	Stages      []StageReport `json:"stages,omitempty"`
+	// v3 section, present when -trace-overhead is on.
+	TracingOverhead *TracingOverheadReport `json:"tracing_overhead,omitempty"`
+}
+
+// TracingOverheadReport measures what request tracing costs on the
+// hottest serving-layer operation: a warm analyzer lookup resolving
+// entirely through the stage cache. "Disabled" is the production
+// default (untraced context — every instrumentation point takes the
+// nil fast path); "enabled" wraps each op in a root span the way the
+// server middleware does per request. The span micro-benchmark pins
+// down the disabled fast path itself: it must not allocate, and the
+// projected disabled overhead (spans_per_op × span cost) must stay
+// under 2% of the op — the PR's acceptance bar for leaving the
+// instrumentation compiled into every binary.
+type TracingOverheadReport struct {
+	Op                  string  `json:"op"`
+	Reps                int     `json:"reps"`
+	DisabledNs          int64   `json:"disabled_ns"`
+	EnabledNs           int64   `json:"enabled_ns"`
+	EnabledOverheadPct  float64 `json:"enabled_overhead_pct"`
+	SpansPerOp          int     `json:"spans_per_op"`
+	SpanDisabledNsOp    float64 `json:"span_disabled_ns_op"`
+	SpanDisabledAllocs  int64   `json:"span_disabled_allocs_op"`
+	DisabledOverheadPct float64 `json:"disabled_overhead_pct"`
 }
 
 // StageReport is one analysis stage's cache counters after the MaxVDD
@@ -143,6 +176,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS)")
 		stages    = flag.Bool("stages", true, "bench the stage-graph cache (MaxVDD cold/warm/pinned) and report per-stage counters")
+		traceOH   = flag.Bool("trace-overhead", true, "bench request tracing enabled vs disabled on a warm analyzer lookup")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -174,7 +208,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	rep := run(designs, *mcSamples, *gridN, *seed, *workers, *quick, *stages)
+	rep := run(designs, *mcSamples, *gridN, *seed, *workers, *quick, *stages, *traceOH)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -205,6 +239,11 @@ func main() {
 			r.Design, r.Probes,
 			float64(r.ColdNs)/1e6, float64(r.WarmNs)/1e6, r.Speedup,
 			r.ColdThermalBuilds, r.WarmThermalBuilds, r.PinnedThermalBuilds)
+	}
+	if t := rep.TracingOverhead; t != nil {
+		log.Printf("tracing: %s disabled %.1fµs enabled %.1fµs (+%.1f%%); span disabled %.1fns/op %d allocs, projected disabled overhead %.3f%%",
+			t.Op, float64(t.DisabledNs)/1e3, float64(t.EnabledNs)/1e3, t.EnabledOverheadPct,
+			t.SpanDisabledNsOp, t.SpanDisabledAllocs, t.DisabledOverheadPct)
 	}
 }
 
@@ -239,11 +278,13 @@ func config(mcSamples, gridN int, seed int64, workers int) *obdrel.Config {
 	return cfg
 }
 
-func run(designs []*obdrel.Design, mcSamples, gridN int, seed int64, workers int, quick, stages bool) *Report {
+func run(designs []*obdrel.Design, mcSamples, gridN int, seed int64, workers int, quick, stages, traceOH bool) *Report {
 	rep := &Report{
 		Schema:      Schema,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
 		Workers:     par.Resolve(workers, 1<<30),
 		Quick:       quick,
 		MCSamples:   mcSamples,
@@ -263,7 +304,69 @@ func run(designs []*obdrel.Design, mcSamples, gridN int, seed int64, workers int
 		mv, st := benchMaxVDD(designs[0], mcSamples, gridN, seed, workers)
 		rep.MaxVDDReuse, rep.Stages = &mv, st
 	}
+	if traceOH {
+		// v3 is v2 + tracing; without the stage sections the report
+		// stays at its prior schema and carries the section as extra.
+		if stages {
+			rep.Schema = SchemaV3
+		}
+		t := benchTracing(designs[0], mcSamples, gridN, seed, workers)
+		rep.TracingOverhead = &t
+	}
 	return rep
+}
+
+// benchTracing times a warm analyzer lookup (every stage a cache hit)
+// with an untraced context against the same lookup under a per-op root
+// span, then pins the disabled fast path down to ns/op and allocs/op
+// with a span micro-benchmark. disabled_overhead_pct projects what the
+// compiled-in instrumentation costs a production (untraced) request:
+// spans_per_op nil-path calls at span_disabled_ns_op each, as a
+// fraction of the op itself.
+func benchTracing(d *obdrel.Design, mcSamples, gridN int, seed int64, workers int) TracingOverheadReport {
+	cfg := config(mcSamples, gridN, seed, workers)
+	cfg.DisableStageCache = false // the op under test is the cached lookup
+	ctx := context.Background()
+	if _, err := obdrel.NewAnalyzerCtx(ctx, d, cfg); err != nil { // warm every stage
+		log.Fatal(err)
+	}
+	const reps = 500
+	t := TracingOverheadReport{Op: "warm NewAnalyzerCtx (all stages cached)", Reps: reps}
+
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err := obdrel.NewAnalyzerCtx(ctx, d, cfg); err != nil {
+			log.Fatal(err)
+		}
+	}
+	t.DisabledNs = time.Since(start).Nanoseconds() / reps
+
+	tr := obs.NewTracer(obs.Options{RingSize: 4})
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		tctx, root := tr.StartTrace(ctx, "bench", "", "")
+		if _, err := obdrel.NewAnalyzerCtx(tctx, d, cfg); err != nil {
+			log.Fatal(err)
+		}
+		if out := root.EndTrace(); out != nil {
+			t.SpansPerOp = out.SpanCount
+		}
+	}
+	t.EnabledNs = time.Since(start).Nanoseconds() / reps
+	t.EnabledOverheadPct = float64(t.EnabledNs-t.DisabledNs) / float64(t.DisabledNs) * 100
+
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		bctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			_, sp := obs.StartSpanJoin(bctx, "stage:", "bench")
+			sp.End()
+		}
+	})
+	t.SpanDisabledNsOp = float64(res.NsPerOp())
+	t.SpanDisabledAllocs = res.AllocsPerOp()
+	t.DisabledOverheadPct = float64(t.SpansPerOp) * t.SpanDisabledNsOp / float64(t.DisabledNs) * 100
+	return t
 }
 
 // benchMaxVDD times the tentpole workload: a voltage bisection whose
@@ -442,8 +545,8 @@ func validateReport(path string) (string, error) {
 		return "", err
 	}
 	switch {
-	case rep.Schema != Schema && rep.Schema != SchemaV2:
-		return "", fmt.Errorf("schema %q, want %q or %q", rep.Schema, Schema, SchemaV2)
+	case rep.Schema != Schema && rep.Schema != SchemaV2 && rep.Schema != SchemaV3:
+		return "", fmt.Errorf("schema %q, want %q, %q or %q", rep.Schema, Schema, SchemaV2, SchemaV3)
 	case rep.GoMaxProcs < 1:
 		return "", fmt.Errorf("go_max_procs %d", rep.GoMaxProcs)
 	case len(rep.Designs) == 0:
@@ -464,10 +567,44 @@ func validateReport(path string) (string, error) {
 			return "", fmt.Errorf("%s: mc_failure_prob timings missing", d.Design)
 		}
 	}
-	if rep.Schema == SchemaV2 {
-		return rep.Schema, validateStages(&rep)
+	if rep.Schema == SchemaV2 || rep.Schema == SchemaV3 {
+		if err := validateStages(&rep); err != nil {
+			return "", err
+		}
+	}
+	if rep.Schema == SchemaV3 {
+		if err := validateTracing(&rep); err != nil {
+			return "", err
+		}
 	}
 	return rep.Schema, nil
+}
+
+// validateTracing gates the v3 sections: run metadata must be stamped
+// and the tracing-overhead measurement must prove the disabled path is
+// genuinely free — zero allocations on the span fast path and a
+// projected untraced-request overhead under the 2% acceptance bar.
+func validateTracing(rep *Report) error {
+	t := rep.TracingOverhead
+	switch {
+	case rep.GoVersion == "":
+		return fmt.Errorf("v3 report without go_version")
+	case rep.NumCPU < 1:
+		return fmt.Errorf("num_cpu %d", rep.NumCPU)
+	case t == nil:
+		return fmt.Errorf("v3 report without tracing_overhead section")
+	case t.DisabledNs <= 0 || t.EnabledNs <= 0 || t.Reps <= 0:
+		return fmt.Errorf("tracing_overhead timings missing")
+	case t.SpansPerOp < 1:
+		return fmt.Errorf("enabled trace recorded %d spans per op, want ≥ 1", t.SpansPerOp)
+	case t.SpanDisabledAllocs != 0:
+		return fmt.Errorf("disabled span path allocates (%d allocs/op), want 0", t.SpanDisabledAllocs)
+	case t.SpanDisabledNsOp <= 0:
+		return fmt.Errorf("span micro-benchmark missing")
+	case t.DisabledOverheadPct >= 2:
+		return fmt.Errorf("projected disabled-tracing overhead %.3f%%, want < 2%%", t.DisabledOverheadPct)
+	}
+	return nil
 }
 
 // validateStages gates the v2 stage-timing sections: the report must

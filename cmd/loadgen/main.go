@@ -5,6 +5,13 @@
 // hit rate, and writes BENCH_pr2.json (obdrel-bench/v1 schema) — the
 // serving-path performance baseline tracked across PRs.
 //
+// Client-side latency is recorded into the same fixed-bucket histogram
+// the server exports on /metrics (internal/obs.Histogram), so the two
+// distributions are directly comparable; the reported p50/p95/p99 are
+// bucket-interpolated and max is exact. Every request carries a W3C
+// traceparent header, so the daemon's /debug/traces entries can be
+// joined back to the load generator's records by trace id.
+//
 //	loadgen -addr http://127.0.0.1:8080           # against a running daemon
 //	loadgen -self                                 # spin up the service in-process
 //	loadgen -quick -self -o BENCH_pr2.json        # CI-sized run
@@ -34,8 +41,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"obdrel/internal/obs"
 	"obdrel/internal/server"
 )
 
@@ -66,7 +75,10 @@ type Report struct {
 	Stages        []StageScrape `json:"stages,omitempty"`
 }
 
-// RouteStats carries one route's latency distribution.
+// RouteStats carries one route's latency distribution, measured
+// client-side in the server's fixed bucket shape: mean and max are
+// exact, percentiles are interpolated within the containing bucket
+// (the same estimator Prometheus applies to the server's histogram).
 type RouteStats struct {
 	Route  string  `json:"route"`
 	Count  int     `json:"count"`
@@ -178,11 +190,11 @@ func main() {
 	}
 }
 
-// sample is one completed request.
-type sample struct {
-	route string
-	dur   time.Duration
-	ok    bool
+// routeRec accumulates one route's client-side results lock-free:
+// the shared fixed-bucket latency histogram plus an error counter.
+type routeRec struct {
+	hist   obs.Histogram
+	errors atomic.Int64
 }
 
 // weightedRoute is one entry of a traffic preset.
@@ -264,10 +276,15 @@ func run(target string, duration time.Duration, concurrency int, design string, 
 		}
 	}
 
-	var (
-		mu      sync.Mutex
-		samples []sample
-	)
+	// One histogram per route, shared by all workers: Observe is
+	// atomic, so the record path takes no locks and no per-request
+	// allocations.
+	recs := map[string]*routeRec{}
+	for _, m := range mix {
+		if recs[m.route] == nil {
+			recs[m.route] = &routeRec{}
+		}
+	}
 	deadline := time.Now().Add(duration)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -276,7 +293,6 @@ func run(target string, duration time.Duration, concurrency int, design string, 
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed + int64(w)))
-			var local []sample
 			for time.Now().Before(deadline) {
 				pick := rng.Intn(totalWeight)
 				var route, url string
@@ -287,17 +303,18 @@ func run(target string, duration time.Duration, concurrency int, design string, 
 					}
 					pick -= m.weight
 				}
+				// Client-minted trace identity: the server adopts the
+				// trace id, so its /debug/traces entry and this request
+				// join on it.
+				tp := obs.Traceparent(obs.NewTraceID(), obs.NewSpanID())
 				t0 := time.Now()
-				code, _, err := hit(client, url)
-				local = append(local, sample{
-					route: route,
-					dur:   time.Since(t0),
-					ok:    err == nil && code == http.StatusOK,
-				})
+				code, _, err := hitTraced(client, url, tp)
+				rec := recs[route]
+				rec.hist.Observe(time.Since(t0))
+				if err != nil || code != http.StatusOK {
+					rec.errors.Add(1)
+				}
 			}
-			mu.Lock()
-			samples = append(samples, local...)
-			mu.Unlock()
 		}(w)
 	}
 	wg.Wait()
@@ -314,23 +331,20 @@ func run(target string, duration time.Duration, concurrency int, design string, 
 		DurationS:   elapsed.Seconds(),
 		Mix:         mixName,
 	}
-	byRoute := map[string][]sample{}
-	for _, s := range samples {
-		rep.TotalRequests++
-		if !s.ok {
-			rep.Errors++
+	routes := make([]string, 0, len(recs))
+	for r, rec := range recs {
+		if rec.hist.Count() > 0 {
+			routes = append(routes, r)
 		}
-		byRoute[s.route] = append(byRoute[s.route], s)
-	}
-	rep.ThroughputRPS = float64(rep.TotalRequests) / elapsed.Seconds()
-	routes := make([]string, 0, len(byRoute))
-	for r := range byRoute {
-		routes = append(routes, r)
 	}
 	sort.Strings(routes)
 	for _, r := range routes {
-		rep.Routes = append(rep.Routes, routeStats(r, byRoute[r]))
+		st := routeStats(r, recs[r])
+		rep.TotalRequests += st.Count
+		rep.Errors += st.Errors
+		rep.Routes = append(rep.Routes, st)
 	}
+	rep.ThroughputRPS = float64(rep.TotalRequests) / elapsed.Seconds()
 
 	cache, builds, stages, err := scrapeMetrics(client, target)
 	if err != nil {
@@ -341,7 +355,20 @@ func run(target string, duration time.Duration, concurrency int, design string, 
 }
 
 func hit(client *http.Client, url string) (int, []byte, error) {
-	resp, err := client.Get(url)
+	return hitTraced(client, url, "")
+}
+
+// hitTraced issues one GET, optionally carrying a W3C traceparent so
+// the server joins its trace to the caller's identity.
+func hitTraced(client *http.Client, url, traceparent string) (int, []byte, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -364,38 +391,18 @@ func waitHealthy(client *http.Client, target string, patience time.Duration) err
 	}
 }
 
-func routeStats(route string, ss []sample) RouteStats {
-	durs := make([]float64, 0, len(ss))
-	st := RouteStats{Route: route, Count: len(ss)}
-	sum := 0.0
-	for _, s := range ss {
-		us := float64(s.dur.Microseconds())
-		durs = append(durs, us)
-		sum += us
-		if !s.ok {
-			st.Errors++
-		}
+func routeStats(route string, rec *routeRec) RouteStats {
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	return RouteStats{
+		Route:  route,
+		Count:  int(rec.hist.Count()),
+		Errors: int(rec.errors.Load()),
+		MeanUs: us(rec.hist.Mean()),
+		P50Us:  us(rec.hist.Quantile(0.50)),
+		P95Us:  us(rec.hist.Quantile(0.95)),
+		P99Us:  us(rec.hist.Quantile(0.99)),
+		MaxUs:  us(rec.hist.Max()),
 	}
-	sort.Float64s(durs)
-	pct := func(q float64) float64 {
-		if len(durs) == 0 {
-			return 0
-		}
-		i := int(q*float64(len(durs))+0.5) - 1
-		if i < 0 {
-			i = 0
-		}
-		if i >= len(durs) {
-			i = len(durs) - 1
-		}
-		return durs[i]
-	}
-	st.MeanUs = sum / float64(len(durs))
-	st.P50Us = pct(0.50)
-	st.P95Us = pct(0.95)
-	st.P99Us = pct(0.99)
-	st.MaxUs = durs[len(durs)-1]
-	return st
 }
 
 // scrapeMetrics pulls the daemon's Prometheus text exposition and

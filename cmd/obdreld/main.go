@@ -23,6 +23,13 @@
 // few knobs rebuild only the stages those knobs feed.
 //
 //	obdreld -addr :8080 -cache 32 -stage-cache 64 -max-concurrent 64 -timeout 30s
+//
+// Every request runs under a trace (spans for stage lookups, thermal
+// sweeps, bisection probes); append ?explain=1 to any /v1 query to get
+// the span tree in the response, or start with -debug-addr to serve
+// /debug/traces and /debug/pprof on a separate (typically localhost)
+// listener. -slow-request logs a warning with the trace id for
+// requests over the threshold.
 package main
 
 import (
@@ -54,12 +61,26 @@ func main() {
 		workers       = flag.Int("workers", 0, "analysis worker parallelism per build (0 = GOMAXPROCS)")
 		drain         = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window")
 		quiet         = flag.Bool("quiet", false, "suppress per-request access log")
+		debugAddr     = flag.String("debug-addr", "", "diagnostics listener (/debug/traces + /debug/pprof); empty disables")
+		slowRequest   = flag.Duration("slow-request", 0, "log a warning with the trace id for requests slower than this (0 disables)")
+		traceBuffer   = flag.Int("trace-buffer", 128, "recent-trace ring capacity served by /debug/traces")
+		noTrace       = flag.Bool("no-trace", false, "disable per-request tracing")
+		traceJSONL    = flag.String("trace-jsonl", "", "append every finalized trace as a JSON line to this file")
 	)
 	flag.Parse()
 
 	var accessLog io.Writer = os.Stderr
 	if *quiet {
 		accessLog = io.Discard
+	}
+	var traceSink io.Writer
+	if *traceJSONL != "" {
+		f, err := os.OpenFile(*traceJSONL, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("-trace-jsonl: %v", err)
+		}
+		defer f.Close()
+		traceSink = f
 	}
 	obdrel.Stages().SetDefaultCapacity(*stageCache)
 	svc := server.New(server.Options{
@@ -68,11 +89,30 @@ func main() {
 		RequestTimeout: *timeout,
 		Workers:        *workers,
 		AccessLog:      accessLog,
+		DisableTracing: *noTrace,
+		TraceBuffer:    *traceBuffer,
+		TraceJSONL:     traceSink,
+		SlowRequest:    *slowRequest,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           svc.DebugHandler(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			log.Printf("debug listener on %s (/debug/traces, /debug/pprof)", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -98,13 +138,16 @@ func main() {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("drain incomplete: %v", err)
 	}
+	if debugSrv != nil {
+		debugSrv.Shutdown(shutdownCtx)
+	}
 	m := svc.Metrics()
 	fmt.Fprintf(os.Stderr,
-		"obdreld: served %v; cache hits=%d misses=%d coalesced=%d; builds=%d (%.2fs); throttled=%d timed_out=%d\n",
+		"obdreld: served %v; cache hits=%d misses=%d coalesced=%d; builds=%d (%.2fs); throttled=%d timed_out=%d; traces=%d\n",
 		m.Uptime().Round(time.Second),
 		m.CacheHits.Load(), m.CacheMisses.Load(), m.Coalesced.Load(),
 		m.Builds.Load(), float64(m.BuildNanos.Load())/1e9,
-		m.Throttled.Load(), m.TimedOut.Load())
+		m.Throttled.Load(), m.TimedOut.Load(), svc.Tracer().Total())
 	for _, st := range obdrel.Stages().Snapshot() {
 		fmt.Fprintf(os.Stderr,
 			"obdreld: stage %-10s hits=%d misses=%d builds=%d cancelled=%d build_s=%.3f entries=%d\n",

@@ -19,6 +19,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"obdrel/internal/obs"
 )
 
 // Resolve maps a requested worker count onto [1, n]: 0 (or negative)
@@ -81,6 +83,7 @@ func ForCtx(ctx context.Context, workers, n int, fn func(i int)) error {
 	if w == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
+				annotateSkipped(ctx, n-i)
 				return err
 			}
 			fn(i)
@@ -109,7 +112,25 @@ func ForCtx(ctx context.Context, workers, n int, fn func(i int)) error {
 		}()
 	}
 	wg.Wait()
-	return ctx.Err()
+	if err := ctx.Err(); err != nil {
+		claimed := int(next.Load())
+		if claimed > n {
+			claimed = n
+		}
+		annotateSkipped(ctx, n-claimed)
+		return err
+	}
+	return nil
+}
+
+// annotateSkipped records how many work items a cancelled ForCtx left
+// unclaimed on the active span, making cancellation latency visible in
+// traces. The FromContext nil check keeps the untraced path free of
+// interface boxing.
+func annotateSkipped(ctx context.Context, skipped int) {
+	if sp := obs.FromContext(ctx); sp != nil {
+		sp.SetAttr("par_skipped", skipped)
+	}
 }
 
 // ForChunksCtx is ForChunks with ForCtx's cancellation checkpoints

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"obdrel/internal/lru"
+	"obdrel/internal/obs"
 )
 
 // Cache stores stage artifacts: one LRU and one stats block per stage
@@ -69,7 +70,8 @@ type flight struct {
 	waiters  int // guarded by Cache.mu
 	val      any
 	err      error
-	canceled bool // build died because every waiter left
+	canceled bool  // build died because every waiter left
+	durNs    int64 // build wall time, written before done closes
 }
 
 // NewCache returns an empty cache holding at most defaultCap artifacts
@@ -128,6 +130,10 @@ type Result struct {
 	// Coalesced is true when the caller joined a build another caller
 	// had already started.
 	Coalesced bool
+
+	// buildNs is the completed flight's build wall time, carried out
+	// of wait so the per-round span can report it.
+	buildNs int64
 }
 
 // errFlightCanceled is the internal signal that a joined flight died
@@ -149,11 +155,34 @@ func Get[O any](ctx context.Context, c *Cache, stage, key string, build func(con
 		if err := ctx.Err(); err != nil {
 			return zero, res, err
 		}
-		v, r, err := c.getOnce(ctx, stage, key, func(bctx context.Context) (any, error) {
+		// One span per lookup round: a cancelled-flight retry gets a
+		// fresh span, so the trace shows every round it took. The
+		// Join variant keeps the untraced path concat- and alloc-free.
+		sctx, sp := obs.StartSpanJoin(ctx, "stage:", stage)
+		v, r, err := c.getOnce(sctx, stage, key, func(bctx context.Context) (any, error) {
 			return build(bctx)
 		})
 		res.Hit = r.Hit
 		res.Coalesced = res.Coalesced || r.Coalesced
+		if sp != nil {
+			switch {
+			case errors.Is(err, errFlightCanceled):
+				sp.SetAttr("cache", "cancelled")
+			case r.Hit:
+				sp.SetAttr("cache", "hit")
+			case r.Coalesced:
+				sp.SetAttr("cache", "coalesced")
+			default:
+				sp.SetAttr("cache", "miss")
+			}
+			if r.buildNs > 0 {
+				sp.SetAttr("build_ms", float64(r.buildNs)/1e6)
+			}
+			if err != nil && !errors.Is(err, errFlightCanceled) {
+				sp.SetAttr("error", err.Error())
+			}
+			sp.End()
+		}
 		if errors.Is(err, errFlightCanceled) {
 			// The build we were waiting on was abandoned by everyone
 			// else and cancelled before we could use it; we are still
@@ -188,7 +217,11 @@ func (c *Cache) getOnce(ctx context.Context, stage, key string, build func(conte
 		c.mu.Unlock()
 		return c.wait(ctx, f, Result{Coalesced: true})
 	}
-	bctx, cancel := context.WithCancel(context.Background())
+	// The flight's context is detached from the initiator's deadline
+	// (the last-waiter-cancels contract governs its lifetime) but
+	// keeps the initiator's span, so build-internal spans — thermal
+	// sweeps, PCA — land in the trace of whoever caused the build.
+	bctx, cancel := context.WithCancel(obs.ContextWithSpan(context.Background(), obs.FromContext(ctx)))
 	f := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
 	c.flights[fk] = f
 	c.mu.Unlock()
@@ -196,6 +229,7 @@ func (c *Cache) getOnce(ctx context.Context, stage, key string, build func(conte
 	go func() {
 		start := time.Now()
 		v, err := build(bctx)
+		durNs := time.Since(start).Nanoseconds()
 		canceled := bctx.Err() != nil &&
 			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 		c.mu.Lock()
@@ -204,12 +238,12 @@ func (c *Cache) getOnce(ctx context.Context, stage, key string, build func(conte
 		case err == nil:
 			st.lru.Put(key, v)
 			st.stats.builds.Add(1)
-			st.stats.buildNanos.Add(time.Since(start).Nanoseconds())
+			st.stats.buildNanos.Add(durNs)
 		case canceled:
 			st.stats.cancels.Add(1)
 		}
 		c.mu.Unlock()
-		f.val, f.err, f.canceled = v, err, canceled
+		f.val, f.err, f.canceled, f.durNs = v, err, canceled, durNs
 		close(f.done)
 		cancel()
 	}()
@@ -223,6 +257,9 @@ func (c *Cache) wait(ctx context.Context, f *flight, res Result) (any, Result, e
 	case <-f.done:
 		if f.canceled {
 			return nil, res, errFlightCanceled
+		}
+		if f.err == nil {
+			res.buildNs = f.durNs
 		}
 		return f.val, res, f.err
 	case <-ctx.Done():

@@ -3,37 +3,15 @@ package server
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"obdrel/internal/obs"
 	"obdrel/internal/pipeline"
 )
-
-// latencyBuckets are the histogram upper bounds in seconds. The low
-// end resolves the µs-scale warm hybrid queries, the high end the
-// cold engine builds.
-var latencyBuckets = [...]float64{
-	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
-	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
-}
-
-// histogram is a fixed-bucket latency histogram with atomic counters;
-// the extra slot is the +Inf overflow bucket.
-type histogram struct {
-	counts [len(latencyBuckets) + 1]atomic.Int64
-	count  atomic.Int64
-	sumNs  atomic.Int64
-}
-
-func (h *histogram) observe(d time.Duration) {
-	s := d.Seconds()
-	i := sort.SearchFloat64s(latencyBuckets[:], s)
-	h.counts[i].Add(1)
-	h.count.Add(1)
-	h.sumNs.Add(d.Nanoseconds())
-}
 
 // Metrics aggregates the service counters exposed on /metrics in
 // Prometheus text format, implemented on sync/atomic so the hot path
@@ -61,9 +39,15 @@ type Metrics struct {
 	// plus the registry's analyzer stage), exposed as labeled families.
 	stageStats func() []pipeline.StageStat
 
+	// knownRoutes is the closed set of route label values. Routes are
+	// registered once at handler construction; anything else (scanner
+	// noise, typos) is folded into "other" so the label maps below
+	// cannot grow without bound under hostile traffic.
+	knownRoutes map[string]bool
+
 	mu       sync.Mutex
-	requests map[string]map[int]int64 // route → status code → count
-	latency  map[string]*histogram    // route → histogram
+	requests map[string]map[int]int64  // route → status code → count
+	latency  map[string]*obs.Histogram // route → histogram
 }
 
 // NewMetrics returns a zeroed metrics set.
@@ -71,15 +55,28 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		start:           time.Now(),
 		requests:        map[string]map[int]int64{},
-		latency:         map[string]*histogram{},
+		latency:         map[string]*obs.Histogram{},
 		analyzersCached: func() int { return 0 },
 		stageStats:      func() []pipeline.StageStat { return nil },
+		knownRoutes:     map[string]bool{},
 	}
 }
 
-// ObserveRequest records one finished request.
+// RegisterRoute admits a route as a metrics label value. Call once per
+// routed path at handler construction, before traffic arrives.
+func (m *Metrics) RegisterRoute(route string) {
+	m.mu.Lock()
+	m.knownRoutes[route] = true
+	m.mu.Unlock()
+}
+
+// ObserveRequest records one finished request. Routes never registered
+// with RegisterRoute are recorded under the label "other".
 func (m *Metrics) ObserveRequest(route string, code int, d time.Duration) {
 	m.mu.Lock()
+	if !m.knownRoutes[route] {
+		route = "other"
+	}
 	byCode := m.requests[route]
 	if byCode == nil {
 		byCode = map[int]int64{}
@@ -88,11 +85,11 @@ func (m *Metrics) ObserveRequest(route string, code int, d time.Duration) {
 	byCode[code]++
 	h := m.latency[route]
 	if h == nil {
-		h = &histogram{}
+		h = &obs.Histogram{}
 		m.latency[route] = h
 	}
 	m.mu.Unlock()
-	h.observe(d)
+	h.Observe(d)
 }
 
 // ObserveBuild records one analyzer construction.
@@ -122,7 +119,7 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		}
 		snapshot[r] = cp
 	}
-	hists := make(map[string]*histogram, len(m.latency))
+	hists := make(map[string]*obs.Histogram, len(m.latency))
 	for r, h := range m.latency {
 		hists[r] = h
 	}
@@ -148,15 +145,16 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		if h == nil {
 			continue
 		}
+		counts := h.BucketCounts()
 		cum := int64(0)
-		for i, ub := range latencyBuckets {
-			cum += h.counts[i].Load()
+		for i, ub := range obs.LatencyBuckets {
+			cum += counts[i]
 			fmt.Fprintf(cw, "obdreld_request_seconds_bucket{route=%q,le=\"%g\"} %d\n", r, ub, cum)
 		}
-		cum += h.counts[len(latencyBuckets)].Load()
+		cum += counts[len(obs.LatencyBuckets)]
 		fmt.Fprintf(cw, "obdreld_request_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", r, cum)
-		fmt.Fprintf(cw, "obdreld_request_seconds_sum{route=%q} %g\n", r, float64(h.sumNs.Load())/1e9)
-		fmt.Fprintf(cw, "obdreld_request_seconds_count{route=%q} %d\n", r, h.count.Load())
+		fmt.Fprintf(cw, "obdreld_request_seconds_sum{route=%q} %g\n", r, h.Sum().Seconds())
+		fmt.Fprintf(cw, "obdreld_request_seconds_count{route=%q} %d\n", r, h.Count())
 	}
 
 	counter := func(name, help string, v int64) {
@@ -177,6 +175,19 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	gauge("obdreld_in_flight_requests", "Requests currently being served.", float64(m.InFlight.Load()))
 	gauge("obdreld_analyzers_cached", "Analyzers resident in the registry.", float64(m.analyzersCached()))
 	gauge("obdreld_uptime_seconds", "Seconds since the server started.", m.Uptime().Seconds())
+
+	// Go runtime health: enough to spot goroutine leaks, heap growth,
+	// and GC pressure from a dashboard without attaching pprof.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauge("obdreld_go_goroutines", "Live goroutines.", float64(runtime.NumGoroutine()))
+	gauge("obdreld_go_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc))
+	gauge("obdreld_go_heap_sys_bytes", "Heap memory obtained from the OS.", float64(ms.HeapSys))
+	counter("obdreld_go_gc_cycles_total", "Completed GC cycles.", int64(ms.NumGC))
+	fmt.Fprintf(cw, "# HELP obdreld_go_gc_pause_seconds_total Cumulative stop-the-world GC pause time.\n")
+	fmt.Fprintf(cw, "# TYPE obdreld_go_gc_pause_seconds_total counter\n")
+	fmt.Fprintf(cw, "obdreld_go_gc_pause_seconds_total %g\n", float64(ms.PauseTotalNs)/1e9)
+	gauge("obdreld_go_gomaxprocs", "GOMAXPROCS at scrape time.", float64(runtime.GOMAXPROCS(0)))
 
 	stages := m.stageStats()
 	sort.Slice(stages, func(i, j int) bool { return stages[i].Stage < stages[j].Stage })

@@ -27,6 +27,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"strings"
@@ -34,6 +35,7 @@ import (
 
 	"obdrel"
 	"obdrel/internal/obd"
+	"obdrel/internal/obs"
 	"obdrel/internal/pipeline"
 )
 
@@ -57,6 +59,22 @@ type Options struct {
 	// obdrel.NewAnalyzerCtx, so request deadlines cancel in-flight
 	// stage builds.
 	Build BuildFunc
+
+	// Tracer overrides the request tracer; nil constructs one with
+	// TraceBuffer capacity (unless DisableTracing).
+	Tracer *obs.Tracer
+	// DisableTracing turns per-request tracing off entirely: requests
+	// run with an untraced context and the instrumented call sites
+	// cost a nil check each.
+	DisableTracing bool
+	// TraceBuffer bounds the /debug/traces ring (default 128).
+	TraceBuffer int
+	// TraceJSONL, when non-nil, receives every finalized trace as one
+	// JSON line.
+	TraceJSONL io.Writer
+	// SlowRequest, when positive, logs a warning (with the trace id)
+	// for any request slower than the threshold.
+	SlowRequest time.Duration
 }
 
 func (o *Options) withDefaults() Options {
@@ -76,6 +94,12 @@ func (o *Options) withDefaults() Options {
 	if out.AccessLog == nil {
 		out.AccessLog = io.Discard
 	}
+	if out.Tracer == nil && !out.DisableTracing {
+		out.Tracer = obs.NewTracer(obs.Options{RingSize: out.TraceBuffer, JSONL: out.TraceJSONL})
+	}
+	if out.DisableTracing {
+		out.Tracer = nil
+	}
 	return out
 }
 
@@ -88,6 +112,7 @@ type Server struct {
 	order   []string
 	sem     chan struct{}
 	logger  *slog.Logger
+	tracer  *obs.Tracer
 }
 
 // New returns a service over the built-in benchmark designs.
@@ -101,6 +126,7 @@ func New(opts Options) *Server {
 		designs: map[string]*obdrel.Design{},
 		sem:     make(chan struct{}, o.MaxConcurrent),
 		logger:  slog.New(slog.NewJSONHandler(o.AccessLog, nil)),
+		tracer:  o.Tracer,
 	}
 	m.stageStats = func() []pipeline.StageStat {
 		stats := obdrel.Stages().Snapshot()
@@ -117,6 +143,9 @@ func New(opts Options) *Server {
 // shutdown).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
+// Tracer exposes the request tracer (nil when tracing is disabled).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
 // Handler returns the routed HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -127,7 +156,92 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/failureprob", s.instrument("/v1/failureprob", s.handleFailureProb))
 	mux.Handle("/v1/maxvdd", s.instrument("/v1/maxvdd", s.handleMaxVDD))
 	mux.Handle("/v1/blocks", s.instrument("/v1/blocks", s.handleBlocks))
+	for _, route := range []string{
+		"/healthz", "/metrics", "/v1/designs", "/v1/lifetime",
+		"/v1/failureprob", "/v1/maxvdd", "/v1/blocks",
+	} {
+		s.metrics.RegisterRoute(route)
+	}
+	// Catch-all: unknown paths answer 404 and are observed under the
+	// "other" route label, so scanners cannot grow /metrics.
+	mux.HandleFunc("/", s.handleNotFound)
 	return mux
+}
+
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	writeJSON(w, http.StatusNotFound, map[string]any{
+		"error": fmt.Sprintf("no route %s (see README: /healthz, /metrics, /v1/*)", r.URL.Path),
+	})
+	s.metrics.ObserveRequest(r.URL.Path, http.StatusNotFound, time.Since(start))
+}
+
+// DebugHandler returns the diagnostics surface served on the separate
+// -debug-addr listener: /debug/traces plus net/http/pprof. It is kept
+// off the public Handler so a production deployment can bind it to
+// localhost only.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/traces", s.handleTraces)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// handleTraces serves the recent-trace ring as JSON, newest first.
+// Query parameters: n (max traces, default 32), route (exact root-span
+// name match, e.g. /v1/maxvdd), min_dur (Go duration, e.g. 250ms —
+// only traces at least that long).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": "tracing is disabled"})
+		return
+	}
+	q := r.URL.Query()
+	n := 32
+	if q.Has("n") {
+		v, err := strconv.Atoi(q.Get("n"))
+		if err != nil || v < 1 {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": "n must be a positive integer"})
+			return
+		}
+		n = v
+	}
+	var minDur time.Duration
+	if q.Has("min_dur") {
+		v, err := time.ParseDuration(q.Get("min_dur"))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("min_dur: %v", err)})
+			return
+		}
+		minDur = v
+	}
+	route := q.Get("route")
+	all := s.tracer.Recent(0)
+	traces := make([]*obs.TraceOut, 0, n)
+	for _, t := range all {
+		if route != "" && t.Name != route {
+			continue
+		}
+		if minDur > 0 && t.DurUs < float64(minDur.Microseconds()) {
+			continue
+		}
+		traces = append(traces, t)
+		if len(traces) == n {
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total_traces":    s.tracer.Total(),
+		"late_spans":      s.tracer.LateSpans(),
+		"ring":            len(all),
+		"matched":         len(traces),
+		"traces":          traces,
+		"filters_applied": map[string]any{"route": route, "min_dur_us": minDur.Microseconds(), "n": n},
+	})
 }
 
 // apiError carries an HTTP status with a message; every other error
@@ -149,12 +263,15 @@ func errNotFound(format string, args ...any) error {
 
 // instrument wraps a /v1 handler with the production plumbing:
 // concurrency limiting (429 on saturation), the per-request deadline,
-// the in-flight gauge, panic containment, metrics, and one structured
+// the root trace span (honoring an incoming W3C traceparent and
+// emitting one on the response), the in-flight gauge, panic
+// containment, metrics, the slow-request warning, and one structured
 // log line per request.
 func (s *Server) instrument(route string, h func(context.Context, *http.Request) (any, error)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		status := http.StatusOK
+		traceID := ""
 		defer func() {
 			d := time.Since(start)
 			s.metrics.ObserveRequest(route, status, d)
@@ -165,13 +282,25 @@ func (s *Server) instrument(route string, h func(context.Context, *http.Request)
 				slog.Int("status", status),
 				slog.Int64("dur_us", d.Microseconds()),
 				slog.String("remote", r.RemoteAddr),
+				slog.String("trace_id", traceID),
 			)
+			if s.opts.SlowRequest > 0 && d >= s.opts.SlowRequest {
+				s.logger.LogAttrs(context.Background(), slog.LevelWarn, "slow request",
+					slog.String("route", route),
+					slog.String("query", r.URL.RawQuery),
+					slog.Int64("dur_us", d.Microseconds()),
+					slog.Int64("threshold_us", s.opts.SlowRequest.Microseconds()),
+					slog.String("trace_id", traceID),
+				)
+			}
 		}()
 
 		select {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
 		default:
+			// Throttled requests never start a trace: the 429 path must
+			// stay allocation-cheap precisely when the server is drowning.
 			s.metrics.Throttled.Add(1)
 			status = http.StatusTooManyRequests
 			w.Header().Set("Retry-After", "1")
@@ -185,6 +314,21 @@ func (s *Server) instrument(route string, h func(context.Context, *http.Request)
 		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 		defer cancel()
 
+		// Root span: adopt the caller's trace identity when the request
+		// carries a valid traceparent, mint one otherwise, and echo the
+		// resulting identity back so clients can join their records to
+		// /debug/traces.
+		parentTID, parentSID, _ := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		ctx, root := s.tracer.StartTrace(ctx, route, parentTID, parentSID)
+		if root != nil {
+			traceID = root.TraceID()
+			w.Header().Set("traceparent", obs.Traceparent(root.TraceID(), root.ID()))
+			root.SetAttr("http_method", r.Method)
+			if q := r.URL.RawQuery; q != "" {
+				root.SetAttr("query", q)
+			}
+		}
+
 		resp, err := func() (resp any, err error) {
 			defer func() {
 				if p := recover(); p != nil {
@@ -193,13 +337,15 @@ func (s *Server) instrument(route string, h func(context.Context, *http.Request)
 			}()
 			return h(ctx, r)
 		}()
+
+		var payload any
 		switch {
 		case err == nil:
-			writeJSON(w, status, resp)
+			payload = resp
 		case errors.Is(err, context.DeadlineExceeded):
 			s.metrics.TimedOut.Add(1)
 			status = http.StatusGatewayTimeout
-			writeJSON(w, status, map[string]any{"error": "request deadline exceeded"})
+			payload = map[string]any{"error": "request deadline exceeded"}
 		default:
 			var ae *apiError
 			if errors.As(err, &ae) {
@@ -207,9 +353,32 @@ func (s *Server) instrument(route string, h func(context.Context, *http.Request)
 			} else {
 				status = http.StatusInternalServerError
 			}
-			writeJSON(w, status, map[string]any{"error": err.Error()})
+			payload = map[string]any{"error": err.Error()}
 		}
+
+		// End the trace before writing: the finalized tree is what
+		// ?explain=1 embeds in the response body.
+		if root != nil {
+			root.SetAttr("status", status)
+			out := root.EndTrace()
+			if out != nil && explainRequested(r) {
+				if mp, ok := payload.(map[string]any); ok {
+					mp["trace"] = out
+				}
+			}
+		}
+		writeJSON(w, status, payload)
 	})
+}
+
+// explainRequested reports whether the request opted into the span
+// tree with ?explain=1 (or explain=true).
+func explainRequested(r *http.Request) bool {
+	switch r.URL.Query().Get("explain") {
+	case "1", "true":
+		return true
+	}
+	return false
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -294,7 +463,10 @@ func (s *Server) handleLifetime(ctx context.Context, r *http.Request) (any, erro
 		return nil, err
 	}
 	start := time.Now()
+	_, qsp := obs.StartSpan(ctx, "query.lifetime")
+	annotateQuery(qsp, m, cfg)
 	life, err := await(ctx, func() (float64, error) { return an.LifetimePPM(ppm, m) })
+	qsp.End()
 	if err != nil {
 		return nil, queryErr(err)
 	}
@@ -306,6 +478,25 @@ func (s *Server) handleLifetime(ctx context.Context, r *http.Request) (any, erro
 		"cache":          cacheLabel(cached),
 		"query_us":       time.Since(start).Microseconds(),
 	}, nil
+}
+
+// annotateQuery records the work a method query implies: the sample
+// counts driving MC-flavoured evaluation, the table resolution for
+// hybrid lookups. Nil spans skip the boxing entirely.
+func annotateQuery(sp *obs.Span, m obdrel.Method, cfg *obdrel.Config) {
+	if sp == nil {
+		return
+	}
+	sp.SetAttr("method", m.String())
+	switch m {
+	case obdrel.MethodMC:
+		sp.SetAttr("mc_samples", cfg.MCSamples)
+	case obdrel.MethodStMC:
+		sp.SetAttr("stmc_samples", cfg.StMCSamples)
+	case obdrel.MethodHybrid:
+		sp.SetAttr("hybrid_nl", cfg.HybridNL)
+		sp.SetAttr("hybrid_nb", cfg.HybridNB)
+	}
 }
 
 func (s *Server) handleFailureProb(ctx context.Context, r *http.Request) (any, error) {
@@ -325,7 +516,10 @@ func (s *Server) handleFailureProb(ctx context.Context, r *http.Request) (any, e
 		return nil, err
 	}
 	start := time.Now()
+	_, qsp := obs.StartSpan(ctx, "query.failureprob")
+	annotateQuery(qsp, m, cfg)
 	p, err := await(ctx, func() (float64, error) { return an.FailureProb(req.T, m) })
+	qsp.End()
 	if err != nil {
 		return nil, queryErr(err)
 	}

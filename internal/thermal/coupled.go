@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"obdrel/internal/floorplan"
+	"obdrel/internal/obs"
 )
 
 // CoupledResult is the converged output of SolveCoupled.
@@ -43,6 +44,11 @@ func (s *Solver) SolveCoupledCtx(ctx context.Context, d *floorplan.Design, power
 	if maxRounds <= 0 {
 		maxRounds = 25
 	}
+	// The coupled span parents the inner per-round thermal.sor spans,
+	// so a trace shows how many fixed-point rounds (Eq. 12–14 loop)
+	// the solve took and how each round's SOR converged.
+	ctx, sp := obs.StartSpan(ctx, "thermal.coupled")
+	defer sp.End()
 	temps := make([]float64, len(d.Blocks))
 	for i := range temps {
 		temps[i] = s.TAmbient
@@ -82,6 +88,10 @@ func (s *Solver) SolveCoupledCtx(ctx context.Context, d *floorplan.Design, power
 			round++
 			break
 		}
+	}
+	if sp != nil {
+		sp.SetAttr("rounds", round)
+		sp.SetAttr("last_change_k", lastChange)
 	}
 	if lastChange >= tolK {
 		return nil, errors.New("thermal: power/thermal fixed point did not converge")

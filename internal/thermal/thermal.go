@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"obdrel/internal/floorplan"
+	"obdrel/internal/obs"
 	"obdrel/internal/par"
 )
 
@@ -199,6 +200,16 @@ func (s *Solver) SolveCtx(ctx context.Context, d *floorplan.Design, blockPowers 
 		temps[i] = s.TAmbient
 	}
 	workers := par.Resolve(s.Workers, s.Ny)
+	// Solver telemetry: one span per SOR solve reporting convergence
+	// (sweep count + final residual). Untraced contexts get a nil span
+	// and every instrumentation line below is a pointer check.
+	_, sp := obs.StartSpan(ctx, "thermal.sor")
+	defer sp.End()
+	if sp != nil {
+		sp.SetAttr("grid", s.Nx*s.Ny)
+		sp.SetAttr("workers", workers)
+	}
+	lastDelta := math.Inf(1)
 	update := func(ix, iy int) float64 {
 		i := iy*s.Nx + ix
 		num := cellPower[i] + gv*s.TAmbient
@@ -238,6 +249,7 @@ func (s *Solver) SolveCtx(ctx context.Context, d *floorplan.Design, blockPowers 
 					}
 				}
 			}
+			lastDelta = maxDelta
 			if maxDelta < tol {
 				iter++
 				break
@@ -275,11 +287,16 @@ func (s *Solver) SolveCtx(ctx context.Context, d *floorplan.Design, blockPowers 
 					maxDelta = m
 				}
 			}
+			lastDelta = maxDelta
 			if maxDelta < tol {
 				iter++
 				break
 			}
 		}
+	}
+	if sp != nil {
+		sp.SetAttr("iterations", iter)
+		sp.SetAttr("residual", lastDelta)
 	}
 	if iter >= maxIter {
 		return nil, errors.New("thermal: SOR did not converge")

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+
+	"obdrel/internal/obs"
 )
 
 // MaxVDD finds the highest supply voltage in [vLo, vHi] at which the
@@ -76,21 +78,49 @@ func MaxVDDFromCtx(ctx context.Context, build AnalyzerFactoryCtx, d *Design, cfg
 	if tolV <= 0 || math.IsNaN(tolV) {
 		tolV = 0.005
 	}
+	// Search telemetry: a maxvdd.search span parents one maxvdd.probe
+	// span per bisection probe, each carrying the probed voltage, the
+	// lifetime it achieved, and whether it met the requirement. The
+	// probe's stage lookups (thermal, weibull, …) nest beneath it.
+	ctx, search := obs.StartSpan(ctx, "maxvdd.search")
+	probes := 0
+	if search != nil {
+		search.SetAttr("target_hours", targetHours)
+		search.SetAttr("ppm", ppm)
+		search.SetAttr("tol_v", tolV)
+		defer func() {
+			search.SetAttr("probes", probes)
+			search.End()
+		}()
+	}
 	meets := func(v float64) (bool, error) {
 		if err := ctx.Err(); err != nil {
 			return false, err
 		}
+		probes++
+		pctx, sp := obs.StartSpan(ctx, "maxvdd.probe")
+		if sp != nil {
+			sp.SetAttr("vdd_v", v)
+			defer sp.End()
+		}
 		probe := *cfg
 		probe.VDD = v
-		an, err := build(ctx, d, &probe)
+		an, err := build(pctx, d, &probe)
 		if err != nil {
+			sp.SetAttr("error", err.Error())
 			return false, fmt.Errorf("obdrel: at %v V: %w", v, err)
 		}
 		life, err := an.LifetimePPM(ppm, method)
 		if err != nil {
+			sp.SetAttr("error", err.Error())
 			return false, fmt.Errorf("obdrel: at %v V: %w", v, err)
 		}
-		return life >= targetHours, nil
+		ok := life >= targetHours
+		if sp != nil {
+			sp.SetAttr("lifetime_h", life)
+			sp.SetAttr("meets", ok)
+		}
+		return ok, nil
 	}
 	okLo, err := meets(vLo)
 	if err != nil {

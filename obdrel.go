@@ -36,6 +36,19 @@
 // All times are in hours, temperatures in °C, thicknesses in nm, and
 // chip geometry in a normalized unit where the benchmark dies are
 // 1×1.
+//
+// # Observability
+//
+// Every context-aware entry point (NewAnalyzerCtx, MaxVDDFromCtx, the
+// stage cache) is instrumented with internal/obs spans: when the
+// caller's context carries an active trace, stage lookups record
+// hit/miss/coalesced provenance and build durations, the thermal
+// solver reports SOR sweep counts and residuals, and MaxVDD searches
+// report every bisection probe. When the context is untraced — the
+// default for library use — the instrumentation is a nil check with
+// zero allocations, so batch callers pay nothing. The serving layer
+// (internal/server, cmd/obdreld) opens the traces and surfaces them
+// via /debug/traces and the ?explain=1 query flag.
 package obdrel
 
 import (

@@ -9,6 +9,7 @@ import (
 	"obdrel/internal/floorplan"
 	"obdrel/internal/grid"
 	"obdrel/internal/obd"
+	"obdrel/internal/obs"
 	"obdrel/internal/pipeline"
 	"obdrel/internal/power"
 	"obdrel/internal/thermal"
@@ -163,6 +164,9 @@ func (g *stageGraph) pca(ctx context.Context, model *grid.Model) (*grid.PCA, err
 	return stageGet(ctx, g.cache, StagePCA, g.keys[StagePCA],
 		func(bctx context.Context) (*grid.PCA, error) {
 			keep := g.cfg.resolvedKeep()
+			// Build-only annotations: this closure runs once per cache
+			// miss, so boxing the values is off the hot path.
+			obs.Annotate(bctx, "keep", keep)
 			if g.cfg.DisablePCACache {
 				return model.ComputePCACtx(bctx, keep, g.cfg.Workers)
 			}
@@ -173,6 +177,7 @@ func (g *stageGraph) pca(ctx context.Context, model *grid.Model) (*grid.PCA, err
 func (g *stageGraph) blod(ctx context.Context, fd *floorplan.Design, model *grid.Model) (*blod.Characterization, error) {
 	return stageGet(ctx, g.cache, StageBLOD, g.keys[StageBLOD],
 		func(bctx context.Context) (*blod.Characterization, error) {
+			obs.Annotate(bctx, "blocks", len(fd.Blocks))
 			return blod.CharacterizeCtx(bctx, fd, model)
 		})
 }
@@ -180,6 +185,8 @@ func (g *stageGraph) blod(ctx context.Context, fd *floorplan.Design, model *grid
 func (g *stageGraph) weibull(ctx context.Context, fd *floorplan.Design, coupled *thermal.CoupledResult) (*weibullArtifact, error) {
 	return stageGet(ctx, g.cache, StageWeibull, g.keys[StageWeibull],
 		func(bctx context.Context) (*weibullArtifact, error) {
+			obs.Annotate(bctx, "blocks", len(fd.Blocks))
+			obs.Annotate(bctx, "vdd_v", g.cfg.VDD)
 			blockTemp := func(i int) float64 {
 				if g.cfg.UseBlockMaxTemp {
 					return coupled.BlockMax[i]
