@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"obdrel"
+	"obdrel/internal/fault"
 	"obdrel/internal/grid"
 	"obdrel/internal/obs"
 	"obdrel/internal/par"
@@ -72,6 +73,19 @@ type Report struct {
 	Stages      []StageReport `json:"stages,omitempty"`
 	// v3 section, present when -trace-overhead is on.
 	TracingOverhead *TracingOverheadReport `json:"tracing_overhead,omitempty"`
+	// FaultPath measures the disarmed fault-injection point — the cost
+	// every instrumented call site pays in production. Optional: older
+	// committed reports predate the section.
+	FaultPath *FaultPathReport `json:"fault_path,omitempty"`
+}
+
+// FaultPathReport pins the disarmed fault.Inject fast path: it must
+// stay a single atomic load — zero allocations, single-digit
+// nanoseconds — or the injection points are not free to leave compiled
+// into every build.
+type FaultPathReport struct {
+	DisarmedNsOp     float64 `json:"disarmed_ns_op"`
+	DisarmedAllocsOp int64   `json:"disarmed_allocs_op"`
 }
 
 // TracingOverheadReport measures what request tracing costs on the
@@ -312,8 +326,28 @@ func run(designs []*obdrel.Design, mcSamples, gridN int, seed int64, workers int
 		}
 		t := benchTracing(designs[0], mcSamples, gridN, seed, workers)
 		rep.TracingOverhead = &t
+		fp := benchFaultPath()
+		rep.FaultPath = &fp
 	}
 	return rep
+}
+
+// benchFaultPath measures the disarmed injection point. Must run with
+// no injector armed anywhere in the process (bench never arms one).
+func benchFaultPath() FaultPathReport {
+	ctx := context.Background()
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := fault.Inject(ctx, "bench.disarmed"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return FaultPathReport{
+		DisarmedNsOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		DisarmedAllocsOp: res.AllocsPerOp(),
+	}
 }
 
 // benchTracing times a warm analyzer lookup (every stage a cache hit)
@@ -603,6 +637,16 @@ func validateTracing(rep *Report) error {
 		return fmt.Errorf("span micro-benchmark missing")
 	case t.DisabledOverheadPct >= 2:
 		return fmt.Errorf("projected disabled-tracing overhead %.3f%%, want < 2%%", t.DisabledOverheadPct)
+	}
+	// fault_path is optional (committed reports may predate it), but
+	// when present it must prove the disarmed path is free.
+	if fp := rep.FaultPath; fp != nil {
+		switch {
+		case fp.DisarmedAllocsOp != 0:
+			return fmt.Errorf("disarmed fault path allocates (%d allocs/op), want 0", fp.DisarmedAllocsOp)
+		case fp.DisarmedNsOp <= 0 || fp.DisarmedNsOp >= 15:
+			return fmt.Errorf("disarmed fault path costs %.1f ns/op, want (0, 15)", fp.DisarmedNsOp)
+		}
 	}
 	return nil
 }

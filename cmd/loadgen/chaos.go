@@ -1,0 +1,366 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"obdrel/internal/fault"
+)
+
+// ChaosSchema identifies the chaos-run report (BENCH_pr5.json); the
+// serving report stays on Schema/v1 and cmd/bench owns v2/v3.
+const (
+	ChaosSchema = "obdrel-bench/v4"
+	ChaosKind   = "chaos"
+)
+
+// ChaosReport is the BENCH_pr5.json document: four phases, each with
+// its own gate, proving the resilience stack does its job and costs
+// nothing when idle.
+type ChaosReport struct {
+	Schema      string `json:"schema"`
+	Kind        string `json:"kind"`
+	GeneratedAt string `json:"generated_at"`
+	Target      string `json:"target"`
+	Quick       bool   `json:"quick"`
+
+	// Disarmed measures the library-side injection point with no
+	// injector armed — the cost every production call site pays. Gate:
+	// zero allocations (and single-digit nanoseconds).
+	Disarmed DisarmedBench `json:"disarmed"`
+	// Churn drives cache-missing traffic while every request carries a
+	// deterministic 10% transient-error + 10% 50ms-latency profile.
+	// Gate: client-visible error rate under 1% (retries absorb it).
+	Churn ChurnPhase `json:"churn"`
+	// Breaker poisons one design until its circuit opens, checks a
+	// healthy design is unaffected, then stops the faults and measures
+	// recovery through the half-open probe.
+	Breaker BreakerPhase `json:"breaker"`
+	// DisarmedLoad re-runs clean traffic after the chaos and requires
+	// zero injected faults and zero client errors — nothing leaks once
+	// the headers stop.
+	DisarmedLoad DisarmedLoadPhase `json:"disarmed_load"`
+}
+
+// DisarmedBench is the in-process microbenchmark of fault.Inject with
+// no injector armed.
+type DisarmedBench struct {
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+// ChurnPhase summarizes the fault-under-retry phase.
+type ChurnPhase struct {
+	Requests     int     `json:"requests"`
+	Errors       int     `json:"errors"`
+	ErrorRate    float64 `json:"error_rate"`
+	RetriesDelta int64   `json:"retries_delta"`
+	ErrorProb    float64 `json:"error_prob"`
+	LatencyProb  float64 `json:"latency_prob"`
+	LatencyMs    int     `json:"latency_ms"`
+}
+
+// BreakerPhase summarizes the circuit-breaker phase.
+type BreakerPhase struct {
+	PoisonDesign  string  `json:"poison_design"`
+	FailuresSent  int     `json:"failures_sent"`
+	Opened        bool    `json:"opened"`
+	FastFails     int     `json:"fast_fails"`
+	HealthyOK     int     `json:"healthy_ok"`
+	HealthyErrors int     `json:"healthy_errors"`
+	Recovered     bool    `json:"recovered"`
+	RecoveryMs    float64 `json:"recovery_ms"`
+}
+
+// DisarmedLoadPhase summarizes the post-chaos clean-traffic phase.
+type DisarmedLoadPhase struct {
+	Requests      int   `json:"requests"`
+	Errors        int   `json:"errors"`
+	InjectedDelta int64 `json:"injected_delta"`
+}
+
+// benchDisarmed measures the disarmed fault.Inject fast path. It MUST
+// run before any traffic: the per-context injection path latches the
+// process-wide gate on first use, and this benchmark exists precisely
+// to prove the never-armed cost is one atomic load and zero
+// allocations.
+func benchDisarmed() DisarmedBench {
+	ctx := context.Background()
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := fault.Inject(ctx, "loadgen.disarmed"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return DisarmedBench{
+		NsOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsOp: res.AllocsPerOp(),
+	}
+}
+
+// chaosURL builds a cheap analyzer query; distinct seeds force
+// distinct cache keys, so every request exercises a build.
+func chaosURL(target, design string, seed int) string {
+	return fmt.Sprintf("%s/v1/lifetime?design=%s&method=st_fast&ppm=10&grid=6&mc_samples=50&stmc_samples=500&seed=%d",
+		target, design, seed)
+}
+
+// hitFault issues one GET carrying an X-Fault header.
+func hitFault(client *http.Client, url, spec string) (int, []byte, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	if spec != "" {
+		req.Header.Set("X-Fault", spec)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, nil, nil
+}
+
+// runChaos executes the four chaos phases against target and returns
+// the report. The target must honour X-Fault headers (obdreld
+// -fault-header, or loadgen -self which enables it).
+func runChaos(client *http.Client, target string, quick bool) (*ChaosReport, error) {
+	rep := &ChaosReport{
+		Schema:      ChaosSchema,
+		Kind:        ChaosKind,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Target:      target,
+		Quick:       quick,
+	}
+
+	// Phase 1: the disarmed cost, measured before anything arms the
+	// in-process gate.
+	log.Printf("chaos phase 1/4: disarmed injection-point microbenchmark")
+	rep.Disarmed = benchDisarmed()
+	log.Printf("  fault.Inject disarmed: %.1f ns/op, %d allocs/op", rep.Disarmed.NsOp, rep.Disarmed.AllocsOp)
+
+	if err := waitHealthy(client, target, 15*time.Second); err != nil {
+		return nil, err
+	}
+	// Probe that the target honours X-Fault at all: a guaranteed
+	// injected error must surface, else every later gate is vacuous.
+	if code, _, err := hitFault(client, target+"/v1/designs", "server.handler:error:1"); err != nil || code != http.StatusServiceUnavailable {
+		return nil, fmt.Errorf("target does not honour X-Fault headers (code=%d err=%v); run obdreld with -fault-header or loadgen with -self", code, err)
+	}
+
+	// Phase 2: churn under a deterministic transient fault profile.
+	// Every request misses the analyzer cache (fresh seed knob) and
+	// carries its own decision-stream seed, so the run is replayable:
+	// the same seeds produce the same injected failures every time.
+	n := 200
+	if quick {
+		n = 60
+	}
+	churn := ChurnPhase{Requests: n, ErrorProb: 0.1, LatencyProb: 0.1, LatencyMs: 50}
+	before, err := scrapeStageCounter(client, target, "obdreld_stage_retries_total")
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("chaos phase 2/4: %d cache-missing requests under %.0f%% transient error + %.0f%% %dms latency",
+		n, churn.ErrorProb*100, churn.LatencyProb*100, churn.LatencyMs)
+	for i := 0; i < n; i++ {
+		spec := fmt.Sprintf("seed=%d,registry.build:error:%g,registry.build:latency:%dms:%g",
+			i+1, churn.ErrorProb, churn.LatencyMs, churn.LatencyProb)
+		code, _, err := hitFault(client, chaosURL(target, "C1", 1000+i), spec)
+		if err != nil || code != http.StatusOK {
+			churn.Errors++
+		}
+	}
+	after, err := scrapeStageCounter(client, target, "obdreld_stage_retries_total")
+	if err != nil {
+		return nil, err
+	}
+	churn.RetriesDelta = after - before
+	churn.ErrorRate = float64(churn.Errors) / float64(churn.Requests)
+	rep.Churn = churn
+	log.Printf("  %d/%d client errors (%.2f%%), %d server-side retries",
+		churn.Errors, churn.Requests, churn.ErrorRate*100, churn.RetriesDelta)
+
+	// Phase 3: breaker. Poison one (design, config) key with permanent
+	// failures until its circuit opens (503 instead of 500), verify a
+	// healthy cached design is untouched, then stop the faults and
+	// time recovery through the half-open probe.
+	br := BreakerPhase{PoisonDesign: "C2"}
+	healthyURL := chaosURL(target, "C1", 1) // fixed key, warmed below
+	poisonURL := chaosURL(target, "C2", 999001)
+	if code, _, err := hitFault(client, healthyURL, ""); err != nil || code != http.StatusOK {
+		return nil, fmt.Errorf("healthy warmup: code=%d err=%v", code, err)
+	}
+	log.Printf("chaos phase 3/4: poisoning %s until its breaker opens", br.PoisonDesign)
+	for i := 0; i < 24 && !br.Opened; i++ {
+		code, _, err := hitFault(client, poisonURL, "registry.build(C2):perm:1")
+		if err != nil {
+			return nil, fmt.Errorf("poison request: %v", err)
+		}
+		br.FailuresSent++
+		if code == http.StatusServiceUnavailable {
+			br.Opened = true
+		}
+	}
+	// While the C2 circuit is open, the healthy design must serve
+	// normally — breaker scope is per-fingerprint, not global.
+	for i := 0; i < 10; i++ {
+		if code, _, err := hitFault(client, healthyURL, ""); err == nil && code == http.StatusOK {
+			br.HealthyOK++
+		} else {
+			br.HealthyErrors++
+		}
+	}
+	// Fast-fails: an open circuit sheds instantly.
+	for i := 0; i < 5; i++ {
+		if code, _, _ := hitFault(client, poisonURL, "registry.build(C2):perm:1"); code == http.StatusServiceUnavailable {
+			br.FastFails++
+		}
+	}
+	// Recovery: faults stop; the open TTL expires; the half-open probe
+	// runs a real (healthy) build and closes the circuit.
+	recoverStart := time.Now()
+	recoverDeadline := recoverStart.Add(30 * time.Second)
+	for time.Now().Before(recoverDeadline) {
+		code, _, err := hitFault(client, poisonURL, "")
+		if err == nil && code == http.StatusOK {
+			br.Recovered = true
+			br.RecoveryMs = float64(time.Since(recoverStart).Microseconds()) / 1e3
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	rep.Breaker = br
+	log.Printf("  opened after %d failures; healthy %d/%d ok; recovered=%t in %.0fms",
+		br.FailuresSent, br.HealthyOK, br.HealthyOK+br.HealthyErrors, br.Recovered, br.RecoveryMs)
+
+	// Phase 4: clean traffic after the storm. The injected-fault
+	// counter must not move and no client errors may appear.
+	m := 50
+	if quick {
+		m = 20
+	}
+	log.Printf("chaos phase 4/4: %d clean requests, asserting zero fault leakage", m)
+	dl := DisarmedLoadPhase{Requests: m}
+	injBefore, err := scrapeGauge(client, target, "obdreld_fault_injected_total")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < m; i++ {
+		if code, _, err := hitFault(client, healthyURL, ""); err != nil || code != http.StatusOK {
+			dl.Errors++
+		}
+	}
+	injAfter, err := scrapeGauge(client, target, "obdreld_fault_injected_total")
+	if err != nil {
+		return nil, err
+	}
+	dl.InjectedDelta = int64(injAfter - injBefore)
+	rep.DisarmedLoad = dl
+	log.Printf("  %d/%d errors, injected-fault delta %d", dl.Errors, dl.Requests, dl.InjectedDelta)
+	return rep, nil
+}
+
+// scrapeGauge pulls one unlabeled metric value from /metrics.
+func scrapeGauge(client *http.Client, target, name string) (float64, error) {
+	code, body, err := hit(client, target+"/metrics")
+	if err != nil || code != http.StatusOK {
+		return 0, fmt.Errorf("GET /metrics: code=%d err=%v", code, err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			var v float64
+			fmt.Sscanf(fields[1], "%g", &v)
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("metric %s not found", name)
+}
+
+// scrapeStageCounter sums a labeled per-stage family across stages.
+func scrapeStageCounter(client *http.Client, target, family string) (int64, error) {
+	code, body, err := hit(client, target+"/metrics")
+	if err != nil || code != http.StatusOK {
+		return 0, fmt.Errorf("GET /metrics: code=%d err=%v", code, err)
+	}
+	var total int64
+	for _, line := range strings.Split(string(body), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		name, _, ok := splitStageLabel(fields[0])
+		if !ok || name != family {
+			continue
+		}
+		var v float64
+		fmt.Sscanf(fields[1], "%g", &v)
+		total += int64(v)
+	}
+	return total, nil
+}
+
+// chaosGates applies the acceptance gates to a chaos report; the same
+// checks back -validate, so CI can gate on the committed artifact.
+func chaosGates(rep *ChaosReport) []string {
+	var fails []string
+	add := func(format string, args ...any) { fails = append(fails, fmt.Sprintf(format, args...)) }
+	if rep.Disarmed.AllocsOp != 0 {
+		add("disarmed fault.Inject allocates (%d allocs/op, want 0)", rep.Disarmed.AllocsOp)
+	}
+	if rep.Disarmed.NsOp <= 0 || rep.Disarmed.NsOp > 50 {
+		add("disarmed fault.Inject costs %.1f ns/op (want (0, 50])", rep.Disarmed.NsOp)
+	}
+	if rep.Churn.Requests <= 0 {
+		add("churn phase issued no requests")
+	}
+	if rep.Churn.ErrorRate >= 0.01 {
+		add("churn error rate %.3f%% (want < 1%% — retries must absorb transient faults)", rep.Churn.ErrorRate*100)
+	}
+	if !rep.Breaker.Opened {
+		add("breaker never opened after %d permanent failures", rep.Breaker.FailuresSent)
+	}
+	if rep.Breaker.HealthyErrors > 0 {
+		add("healthy design saw %d errors while the poisoned circuit was open", rep.Breaker.HealthyErrors)
+	}
+	if !rep.Breaker.Recovered {
+		add("breaker did not recover through its half-open probe")
+	}
+	if rep.DisarmedLoad.Errors > 0 {
+		add("clean traffic after chaos saw %d errors", rep.DisarmedLoad.Errors)
+	}
+	if rep.DisarmedLoad.InjectedDelta != 0 {
+		add("injected-fault counter moved by %d during clean traffic (want 0)", rep.DisarmedLoad.InjectedDelta)
+	}
+	return fails
+}
+
+// validateChaosReport is the -validate path for v4 chaos reports:
+// schema shape plus the same gates the live run applies.
+func validateChaosReport(data []byte) error {
+	var rep ChaosReport
+	if err := strictDecode(data, &rep); err != nil {
+		return err
+	}
+	switch {
+	case rep.Schema != ChaosSchema:
+		return fmt.Errorf("schema %q, want %q", rep.Schema, ChaosSchema)
+	case rep.Kind != ChaosKind:
+		return fmt.Errorf("kind %q, want %q", rep.Kind, ChaosKind)
+	case rep.GeneratedAt == "":
+		return fmt.Errorf("generated_at missing")
+	}
+	if fails := chaosGates(&rep); len(fails) > 0 {
+		return fmt.Errorf("%s", strings.Join(fails, "; "))
+	}
+	return nil
+}

@@ -132,19 +132,25 @@ func main() {
 		mixName     = flag.String("mix", "drm", "traffic preset: drm (steady-state polling) or maxvdd (DVS controller hammering /v1/maxvdd)")
 		quick       = flag.Bool("quick", false, "CI-sized run: 2s, 4 workers")
 		validate    = flag.String("validate", "", "validate an existing report instead of generating load")
+		chaos       = flag.Bool("chaos", false, "run the chaos scenario (fault churn, breaker open/recover, leakage check) and write a v4 report")
+		maxErrRate  = flag.Float64("max-error-rate", 0, "exit nonzero when the run's client error rate exceeds this fraction")
 	)
 	flag.Parse()
 
 	if *validate != "" {
-		if err := validateReport(*validate); err != nil {
+		kind, err := validateAnyReport(*validate)
+		if err != nil {
 			log.Fatalf("validate %s: %v", *validate, err)
 		}
-		fmt.Printf("loadgen: %s conforms to %s (%s)\n", *validate, Schema, Kind)
+		fmt.Printf("loadgen: %s conforms to %s\n", *validate, kind)
 		return
 	}
 	if *quick {
 		*duration = 2 * time.Second
 		*concurrency = 4
+	}
+	if *chaos && *out == "BENCH_pr2.json" {
+		*out = "BENCH_pr5.json"
 	}
 
 	target := strings.TrimRight(*addr, "/")
@@ -153,7 +159,16 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		svc := server.New(server.Options{MaxConcurrent: *concurrency * 2})
+		opts := server.Options{MaxConcurrent: *concurrency * 2}
+		if *chaos {
+			// The chaos scenario needs per-request X-Fault injection
+			// and a breaker that opens and recovers inside CI budgets.
+			opts.FaultHeader = true
+			opts.BreakerThreshold = 3
+			opts.BreakerOpenFor = 750 * time.Millisecond
+			opts.QueueDepth = *concurrency * 4
+		}
+		svc := server.New(opts)
 		hs := &http.Server{Handler: svc.Handler()}
 		go hs.Serve(ln)
 		defer hs.Close()
@@ -161,23 +176,29 @@ func main() {
 		log.Printf("self-hosted service on %s", target)
 	}
 
+	if *chaos {
+		client := &http.Client{Timeout: 60 * time.Second}
+		rep, err := runChaos(client, target, *quick)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeReport(*out, rep)
+		if fails := chaosGates(rep); len(fails) > 0 {
+			for _, f := range fails {
+				log.Printf("GATE FAILED: %s", f)
+			}
+			os.Exit(1)
+		}
+		log.Printf("all chaos gates passed")
+		return
+	}
+
 	rep, err := run(target, *duration, *concurrency, *design, *gridN, *mcSamples, *seed, *mixName, *quick)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		log.Fatal(err)
-	}
-	data = append(data, '\n')
-	if *out == "-" {
-		os.Stdout.Write(data)
-		return
-	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		log.Fatal(err)
-	}
+	writeReport(*out, rep)
 	log.Printf("wrote %s: %d requests, %.0f req/s, cache hit rate %.3f",
 		*out, rep.TotalRequests, rep.ThroughputRPS, rep.Cache.HitRate)
 	for _, r := range rep.Routes {
@@ -187,6 +208,35 @@ func main() {
 	for _, st := range rep.Stages {
 		log.Printf("stage %-10s hits=%-6d misses=%-4d builds=%-4d build_s=%.3f",
 			st.Stage, st.Hits, st.Misses, st.Builds, st.BuildSeconds)
+	}
+	if rate := errorRate(rep); rate > *maxErrRate {
+		log.Printf("error rate %.4f exceeds -max-error-rate %.4f (%d/%d requests failed)",
+			rate, *maxErrRate, rep.Errors, rep.TotalRequests)
+		os.Exit(1)
+	}
+}
+
+// errorRate is the run's client-visible error fraction.
+func errorRate(rep *Report) float64 {
+	if rep.TotalRequests == 0 {
+		return 0
+	}
+	return float64(rep.Errors) / float64(rep.TotalRequests)
+}
+
+// writeReport marshals any report to path ("-" for stdout).
+func writeReport(path string, rep any) {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
 	}
 }
 
@@ -494,17 +544,43 @@ func splitStageLabel(ident string) (name, stage string, ok bool) {
 	return ident[:open], labels[len(prefix):], true
 }
 
-// validateReport checks that an existing report parses and carries
-// the required fields — the CI schema gate for BENCH_pr2.json.
-func validateReport(path string) error {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	var rep Report
+// strictDecode unmarshals with unknown fields rejected — the schema
+// gates must notice accidental drift in either direction.
+func strictDecode(data []byte, v any) error {
 	dec := json.NewDecoder(strings.NewReader(string(data)))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&rep); err != nil {
+	return dec.Decode(v)
+}
+
+// validateAnyReport sniffs the schema line and dispatches to the v1
+// serving validator or the v4 chaos validator, returning a label for
+// the success message.
+func validateAnyReport(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var head struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		return "", err
+	}
+	switch head.Schema {
+	case ChaosSchema:
+		return ChaosSchema + " (" + ChaosKind + ")", validateChaosReport(data)
+	case Schema:
+		return Schema + " (" + Kind + ")", validateReport(data)
+	default:
+		return "", fmt.Errorf("schema %q: loadgen validates %q and %q", head.Schema, Schema, ChaosSchema)
+	}
+}
+
+// validateReport checks that an existing serving report parses and
+// carries the required fields — the CI schema gate for BENCH_pr2.json.
+func validateReport(data []byte) error {
+	var rep Report
+	if err := strictDecode(data, &rep); err != nil {
 		return err
 	}
 	switch {

@@ -7,6 +7,7 @@
 // Routes:
 //
 //	GET /healthz                       liveness + registry occupancy
+//	GET /readyz                        readiness (503 once draining)
 //	GET /metrics                       Prometheus text format
 //	GET /v1/designs                    the built-in benchmark designs
 //	GET /v1/lifetime?design=C6&method=hybrid&ppm=10
@@ -30,6 +31,16 @@
 // /debug/traces and /debug/pprof on a separate (typically localhost)
 // listener. -slow-request logs a warning with the trace id for
 // requests over the threshold.
+//
+// Resilience (see DESIGN.md §11): transient build failures retry with
+// jittered exponential backoff (-retries, -retry-base); repeatedly
+// failing (design, config) keys trip a per-fingerprint circuit breaker
+// (-breaker-threshold, -breaker-open); failed rebuilds younger than
+// -max-stale serve the last-good analyzer with Warning/X-Staleness
+// headers; saturated requests wait in a deadline-aware admission queue
+// (-queue) instead of an instant 429. Chaos testing arms deterministic
+// fault injection process-wide (-fault, -fault-seed) or per request
+// (-fault-header + X-Fault) — test and staging builds only.
 package main
 
 import (
@@ -42,10 +53,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"obdrel"
+	"obdrel/internal/fault"
 	"obdrel/internal/server"
 )
 
@@ -66,6 +79,17 @@ func main() {
 		traceBuffer   = flag.Int("trace-buffer", 128, "recent-trace ring capacity served by /debug/traces")
 		noTrace       = flag.Bool("no-trace", false, "disable per-request tracing")
 		traceJSONL    = flag.String("trace-jsonl", "", "append every finalized trace as a JSON line to this file")
+
+		retries     = flag.Int("retries", 3, "analyzer-build attempts on transient failures (1 disables retry)")
+		retryBase   = flag.Duration("retry-base", 25*time.Millisecond, "first retry backoff delay (doubles per attempt, jittered)")
+		breakerN    = flag.Int("breaker-threshold", 5, "consecutive build failures that open a per-design circuit (negative disables)")
+		breakerOpen = flag.Duration("breaker-open", 5*time.Second, "open-circuit TTL before a half-open probe")
+		maxStale    = flag.Duration("max-stale", 15*time.Minute, "serve-stale window: failed rebuilds answer from a last-good analyzer this old or younger (negative disables)")
+		queueDepth  = flag.Int("queue", -1, "admission queue depth for saturated requests (-1 = 2×max-concurrent, 0 = legacy instant 429)")
+		drainNotice = flag.Duration("drain-notice", 0, "pause between flipping /readyz unready and closing the listener, so load balancers stop routing first")
+		faultSpec   = flag.String("fault", "", "process-wide fault-injection profile, e.g. 'pipeline.build:error:0.1,thermal.solve:latency:50ms:0.05' (test/staging only)")
+		faultSeed   = flag.Int64("fault-seed", 1, "decision-stream seed for -fault rules without their own seed= segment")
+		faultHeader = flag.Bool("fault-header", false, "honour per-request X-Fault injection headers (never on a public listener)")
 	)
 	flag.Parse()
 
@@ -83,6 +107,29 @@ func main() {
 		traceSink = f
 	}
 	obdrel.Stages().SetDefaultCapacity(*stageCache)
+
+	// Process-wide fault profile (chaos testing): armed before serving
+	// so every injection point sees it, and logged loudly — this must
+	// never be on silently in production.
+	if *faultSpec != "" {
+		spec, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			log.Fatalf("-fault: %v", err)
+		}
+		fault.Arm(spec.Injector(*faultSeed))
+		log.Printf("FAULT INJECTION ARMED: %s (seed %d)", *faultSpec, *faultSeed)
+	}
+	if *faultHeader {
+		log.Printf("per-request X-Fault headers honoured (-fault-header)")
+	}
+
+	if *queueDepth < 0 {
+		mc := *maxConcurrent
+		if mc <= 0 {
+			mc = 4 * runtime.GOMAXPROCS(0)
+		}
+		*queueDepth = 2 * mc
+	}
 	svc := server.New(server.Options{
 		MaxAnalyzers:   *cache,
 		MaxConcurrent:  *maxConcurrent,
@@ -93,6 +140,14 @@ func main() {
 		TraceBuffer:    *traceBuffer,
 		TraceJSONL:     traceSink,
 		SlowRequest:    *slowRequest,
+
+		RetryAttempts:    *retries,
+		RetryBase:        *retryBase,
+		BreakerThreshold: *breakerN,
+		BreakerOpenFor:   *breakerOpen,
+		MaxStale:         *maxStale,
+		QueueDepth:       *queueDepth,
+		FaultHeader:      *faultHeader,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -130,8 +185,17 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: stop accepting, drain in-flight requests for
-	// up to the drain window, then report the session's counters.
+	// Graceful shutdown, in order: flip /readyz unready so load
+	// balancers stop routing here, optionally give them -drain-notice
+	// to notice, then stop accepting and drain in-flight requests for
+	// up to the drain window, then report the session's counters. New
+	// /v1 requests racing the listener close get a clean 503 with
+	// Retry-After instead of a connection reset.
+	svc.BeginDrain()
+	if *drainNotice > 0 {
+		log.Printf("readiness withdrawn, waiting %v before closing the listener", *drainNotice)
+		time.Sleep(*drainNotice)
+	}
 	log.Printf("shutting down, draining for up to %v", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
@@ -148,9 +212,13 @@ func main() {
 		m.CacheHits.Load(), m.CacheMisses.Load(), m.Coalesced.Load(),
 		m.Builds.Load(), float64(m.BuildNanos.Load())/1e9,
 		m.Throttled.Load(), m.TimedOut.Load(), svc.Tracer().Total())
+	fmt.Fprintf(os.Stderr,
+		"obdreld: resilience served_stale=%d admission_rejected=%d queue_timeouts=%d drain_rejected=%d faults_injected=%d\n",
+		m.ServeStale.Load(), m.AdmissionRejected.Load(),
+		m.QueueTimeouts.Load(), m.DrainRejected.Load(), fault.InjectedTotal())
 	for _, st := range obdrel.Stages().Snapshot() {
 		fmt.Fprintf(os.Stderr,
-			"obdreld: stage %-10s hits=%d misses=%d builds=%d cancelled=%d build_s=%.3f entries=%d\n",
-			st.Stage, st.Hits, st.Misses, st.Builds, st.Cancels, st.BuildSeconds, st.Entries)
+			"obdreld: stage %-10s hits=%d misses=%d builds=%d cancelled=%d retries=%d breaker_opens=%d build_s=%.3f entries=%d\n",
+			st.Stage, st.Hits, st.Misses, st.Builds, st.Cancels, st.Retries, st.BreakerOpens, st.BuildSeconds, st.Entries)
 	}
 }

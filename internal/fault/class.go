@@ -1,0 +1,96 @@
+// Package fault is the reliability toolkit the serving stack uses on
+// itself: a typed error taxonomy, a deterministic seedable
+// fault-injection framework, bounded retry policies, and a keyed
+// circuit breaker. The paper quantifies oxide-breakdown randomness and
+// manages it at the chip level (Eq. 4, 17–18); this package applies the
+// same discipline to the software — classify failures, bound their
+// blast radius, and keep serving.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Class partitions failures by how callers should react to them.
+type Class int
+
+const (
+	// Permanent failures are deterministic for their inputs: retrying
+	// the same build yields the same error. The default classification.
+	Permanent Class = iota
+	// Transient failures are expected to heal on retry (injected
+	// faults, resource blips). Retry policies act only on this class.
+	Transient
+	// Cancelled failures are the caller's own context dying; they are
+	// neither retried nor counted against a fingerprint's health.
+	Cancelled
+	// Overload failures are load-shedding decisions (open breakers,
+	// admission rejects); callers should back off and retry later.
+	Overload
+)
+
+func (c Class) String() string {
+	switch c {
+	case Transient:
+		return "transient"
+	case Cancelled:
+		return "cancelled"
+	case Overload:
+		return "overload"
+	default:
+		return "permanent"
+	}
+}
+
+// classer is the interface an error implements to declare its class.
+type classer interface{ FaultClass() Class }
+
+// ClassOf classifies an error: context errors are Cancelled, errors
+// declaring a class (injected faults, breaker opens, Class.Wrap) keep
+// it, everything else — including nil — is Permanent.
+func ClassOf(err error) Class {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return Cancelled
+	}
+	var fc classer
+	if errors.As(err, &fc) {
+		return fc.FaultClass()
+	}
+	return Permanent
+}
+
+// classified carries an explicit class on an arbitrary error.
+type classified struct {
+	err   error
+	class Class
+}
+
+func (e *classified) Error() string     { return e.err.Error() }
+func (e *classified) Unwrap() error     { return e.err }
+func (e *classified) FaultClass() Class { return e.class }
+
+// Wrap marks err with the class; errors.Is/As still see err.
+func (c Class) Wrap(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{err: err, class: c}
+}
+
+// StageError records where in the pipeline a failure happened: the
+// stage name and the artifact fingerprint whose build failed. It
+// classifies as its cause does, so retry/breaker decisions see through
+// the provenance wrapper.
+type StageError struct {
+	Stage       string
+	Fingerprint string
+	Err         error
+}
+
+func (e *StageError) Error() string {
+	return fmt.Sprintf("stage %s [%s]: %v", e.Stage, e.Fingerprint, e.Err)
+}
+func (e *StageError) Unwrap() error     { return e.Err }
+func (e *StageError) FaultClass() Class { return ClassOf(e.Err) }

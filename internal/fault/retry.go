@@ -1,0 +1,40 @@
+package fault
+
+import "time"
+
+// Retry bounds how a caller re-attempts Transient failures:
+// exponential backoff from Base, capped at Max, with deterministic
+// jitter derived from a caller-supplied token (never wall clock), so a
+// coordinated retry storm decorrelates without losing replayability.
+type Retry struct {
+	// Attempts is the total number of tries (1 or less disables retry).
+	Attempts int
+	// Base is the delay before the first retry; each further retry
+	// doubles it.
+	Base time.Duration
+	// Max caps a single delay (0 means 32×Base).
+	Max time.Duration
+}
+
+// Enabled reports whether the policy retries at all.
+func (r Retry) Enabled() bool { return r.Attempts > 1 && r.Base > 0 }
+
+// Delay returns the backoff before attempt+1, where attempt counts the
+// tries already made (1-based). The token seeds the jitter: the delay
+// lands uniformly in [d/2, d) for the exponential d.
+func (r Retry) Delay(attempt int, token uint64) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := r.Base << (attempt - 1)
+	maxD := r.Max
+	if maxD <= 0 {
+		maxD = r.Base << 5
+	}
+	if d <= 0 || d > maxD {
+		d = maxD
+	}
+	half := d / 2
+	jitter := time.Duration(splitmix64(token^uint64(attempt)) % uint64(half+1))
+	return half + jitter
+}

@@ -24,6 +24,21 @@
 //     else's context error ("cancelled partial results are not
 //     handed to coalesced waiters").
 //
+// Failure handling (PR5): a build failure is wrapped with stage +
+// fingerprint provenance (fault.StageError) and classified by
+// internal/fault's taxonomy. Transient failures are retried inside the
+// flight — bounded attempts, exponential backoff with deterministic
+// jitter, each retry visible as a span — while the flight's waiters
+// keep waiting on the one build. Cancelled contexts never retry: a
+// backoff interrupted by the last waiter leaving surfaces as a
+// cancellation (not a failure), so it neither trips the breaker nor
+// poisons late joiners. An optional per-(stage,key) circuit breaker
+// fast-fails builds for fingerprints that keep failing, with half-open
+// probing and the last error served as a negative-result cache. Builds
+// that panic are contained into Permanent errors instead of killing
+// the process. Both retry and breaker default OFF on a fresh Cache —
+// opt in via SetRetry/SetBreaker.
+//
 // The zero-cost escape hatch: Get with a nil *Cache runs the build
 // inline with the caller's context — no cache, no coalescing — which
 // keeps cold-path behaviour exactly equal to the uncached code.
@@ -32,11 +47,14 @@ package pipeline
 import (
 	"context"
 	"errors"
+	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"obdrel/internal/fault"
 	"obdrel/internal/lru"
 	"obdrel/internal/obs"
 )
@@ -50,6 +68,8 @@ type Cache struct {
 	caps       map[string]int
 	stages     map[string]*stageState
 	flights    map[flightKey]*flight
+	retry      fault.Retry
+	breaker    *fault.Breaker
 }
 
 type stageState struct {
@@ -60,6 +80,9 @@ type stageState struct {
 type stats struct {
 	hits, misses, builds, cancels atomic.Int64
 	buildNanos                    atomic.Int64
+	retries                       atomic.Int64
+	breakerOpens                  atomic.Int64
+	breakerFastFails              atomic.Int64
 }
 
 type flightKey struct{ stage, key string }
@@ -72,6 +95,7 @@ type flight struct {
 	err      error
 	canceled bool  // build died because every waiter left
 	durNs    int64 // build wall time, written before done closes
+	attempts int   // build attempts made, written before done closes
 }
 
 // NewCache returns an empty cache holding at most defaultCap artifacts
@@ -108,6 +132,31 @@ func (c *Cache) SetDefaultCapacity(capacity int) {
 	c.defaultCap = capacity
 }
 
+// SetRetry installs a retry policy for Transient build failures. Only
+// failures classified Transient by internal/fault retry; cancelled
+// contexts and Permanent errors never do. The zero policy disables
+// retry (the default).
+func (c *Cache) SetRetry(r fault.Retry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.retry = r
+}
+
+// SetBreaker installs a per-(stage, key) circuit breaker consulted
+// before every new flight. Nil disables (the default).
+func (c *Cache) SetBreaker(b *fault.Breaker) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.breaker = b
+}
+
+// Breaker returns the installed breaker, or nil.
+func (c *Cache) Breaker() *fault.Breaker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.breaker
+}
+
 // state returns (creating if needed) the stage's LRU+stats. Caller
 // holds c.mu.
 func (c *Cache) state(stage string) *stageState {
@@ -134,6 +183,9 @@ type Result struct {
 	// buildNs is the completed flight's build wall time, carried out
 	// of wait so the per-round span can report it.
 	buildNs int64
+	// attempts is how many build attempts the completed flight made
+	// (>1 means transient failures were retried).
+	attempts int
 }
 
 // errFlightCanceled is the internal signal that a joined flight died
@@ -165,9 +217,12 @@ func Get[O any](ctx context.Context, c *Cache, stage, key string, build func(con
 		res.Hit = r.Hit
 		res.Coalesced = res.Coalesced || r.Coalesced
 		if sp != nil {
+			var open *fault.OpenError
 			switch {
 			case errors.Is(err, errFlightCanceled):
 				sp.SetAttr("cache", "cancelled")
+			case errors.As(err, &open):
+				sp.SetAttr("cache", "breaker_open")
 			case r.Hit:
 				sp.SetAttr("cache", "hit")
 			case r.Coalesced:
@@ -177,6 +232,9 @@ func Get[O any](ctx context.Context, c *Cache, stage, key string, build func(con
 			}
 			if r.buildNs > 0 {
 				sp.SetAttr("build_ms", float64(r.buildNs)/1e6)
+			}
+			if r.attempts > 1 {
+				sp.SetAttr("attempts", r.attempts)
 			}
 			if err != nil && !errors.Is(err, errFlightCanceled) {
 				sp.SetAttr("error", err.Error())
@@ -204,6 +262,7 @@ func Get[O any](ctx context.Context, c *Cache, stage, key string, build func(con
 // getOnce performs one lookup-or-flight round.
 func (c *Cache) getOnce(ctx context.Context, stage, key string, build func(context.Context) (any, error)) (any, Result, error) {
 	fk := flightKey{stage, key}
+	bk := stage + "/" + key
 	c.mu.Lock()
 	st := c.state(stage)
 	if v, ok := st.lru.Get(key); ok {
@@ -217,21 +276,38 @@ func (c *Cache) getOnce(ctx context.Context, stage, key string, build func(conte
 		c.mu.Unlock()
 		return c.wait(ctx, f, Result{Coalesced: true})
 	}
+	// Only a NEW flight consults the breaker: joining an in-progress
+	// build is always allowed (it was admitted, possibly as the
+	// half-open probe). An open circuit fast-fails with the last
+	// observed error — the negative-result cache.
+	breaker, retry := c.breaker, c.retry
+	if breaker != nil {
+		if oe := breaker.Allow(bk); oe != nil {
+			st.stats.breakerFastFails.Add(1)
+			c.mu.Unlock()
+			return nil, Result{}, oe
+		}
+	}
 	// The flight's context is detached from the initiator's deadline
 	// (the last-waiter-cancels contract governs its lifetime) but
-	// keeps the initiator's span, so build-internal spans — thermal
-	// sweeps, PCA — land in the trace of whoever caused the build.
-	bctx, cancel := context.WithCancel(obs.ContextWithSpan(context.Background(), obs.FromContext(ctx)))
+	// keeps the initiator's span — so build-internal spans land in the
+	// trace of whoever caused the build — and the initiator's
+	// fault-injection rules, so X-Fault faults reach detached builds.
+	base := fault.Carry(obs.ContextWithSpan(context.Background(), obs.FromContext(ctx)), ctx)
+	bctx, cancel := context.WithCancel(base)
 	f := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
 	c.flights[fk] = f
 	c.mu.Unlock()
 
 	go func() {
 		start := time.Now()
-		v, err := build(bctx)
+		v, err, attempts := c.runBuild(bctx, stage, key, build, retry, st)
 		durNs := time.Since(start).Nanoseconds()
 		canceled := bctx.Err() != nil &&
 			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+		if err != nil && !canceled && fault.ClassOf(err) != fault.Cancelled {
+			err = &fault.StageError{Stage: stage, Fingerprint: key, Err: err}
+		}
 		c.mu.Lock()
 		delete(c.flights, fk)
 		switch {
@@ -239,15 +315,96 @@ func (c *Cache) getOnce(ctx context.Context, stage, key string, build func(conte
 			st.lru.Put(key, v)
 			st.stats.builds.Add(1)
 			st.stats.buildNanos.Add(durNs)
-		case canceled:
+			if breaker != nil {
+				breaker.Success(bk)
+			}
+		case canceled || fault.ClassOf(err) == fault.Cancelled:
 			st.stats.cancels.Add(1)
+			if breaker != nil {
+				// A caller giving up says nothing about the key's
+				// health: free a probe slot, count nothing.
+				breaker.Release(bk)
+			}
+		default:
+			if breaker != nil && breaker.Failure(bk, err) {
+				st.stats.breakerOpens.Add(1)
+			}
 		}
 		c.mu.Unlock()
-		f.val, f.err, f.canceled, f.durNs = v, err, canceled, durNs
+		f.val, f.err, f.canceled, f.durNs, f.attempts = v, err, canceled, durNs, attempts
 		close(f.done)
 		cancel()
 	}()
 	return c.wait(ctx, f, Result{})
+}
+
+// runBuild executes the build with panic containment, the
+// pipeline.build injection point, and bounded retry of Transient
+// failures. Cancellation wins over retry at every step: once bctx is
+// dead (the last waiter left), the transient failure is discarded and
+// the context error surfaces, so the flight dies as cancelled — it is
+// not counted against the key and late joiners start fresh.
+func (c *Cache) runBuild(bctx context.Context, stage, key string, build func(context.Context) (any, error), pol fault.Retry, st *stageState) (any, error, int) {
+	attempt := 1
+	for {
+		v, err := buildProtected(bctx, stage, key, build)
+		if err == nil {
+			return v, nil, attempt
+		}
+		if bctx.Err() != nil || !pol.Enabled() || attempt >= pol.Attempts ||
+			fault.ClassOf(err) != fault.Transient {
+			return v, err, attempt
+		}
+		st.stats.retries.Add(1)
+		delay := pol.Delay(attempt, retryToken(stage, key))
+		_, sp := obs.StartSpanJoin(bctx, "retry:", stage)
+		if sp != nil {
+			sp.SetAttr("attempt", attempt)
+			sp.SetAttr("backoff_ms", float64(delay)/1e6)
+			sp.SetAttr("cause", err.Error())
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+			if sp != nil {
+				sp.End()
+			}
+		case <-bctx.Done():
+			t.Stop()
+			if sp != nil {
+				sp.SetAttr("cancelled", true)
+				sp.End()
+			}
+			return nil, bctx.Err(), attempt
+		}
+		attempt++
+	}
+}
+
+// buildProtected runs one build attempt, converting panics into
+// Permanent errors (an injected — or real — panic in a stage build
+// must not take the process down) and giving armed fault rules their
+// pipeline.build evaluation, labelled "stage key" so rules can match
+// either.
+func buildProtected(bctx context.Context, stage, key string, build func(context.Context) (any, error)) (v any, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("pipeline: stage %s build panicked: %v", stage, p)
+		}
+	}()
+	if ferr := fault.InjectLabeled(bctx, "pipeline.build", stage+" "+key); ferr != nil {
+		return nil, ferr
+	}
+	return build(bctx)
+}
+
+// retryToken derives the deterministic jitter seed for a (stage, key).
+func retryToken(stage, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(stage))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return h.Sum64()
 }
 
 // wait blocks until the flight completes or the waiter's own context
@@ -261,6 +418,7 @@ func (c *Cache) wait(ctx context.Context, f *flight, res Result) (any, Result, e
 		if f.err == nil {
 			res.buildNs = f.durNs
 		}
+		res.attempts = f.attempts
 		return f.val, res, f.err
 	case <-ctx.Done():
 		c.mu.Lock()
@@ -280,6 +438,10 @@ type StageStat struct {
 	// Hits and Misses count LRU lookups; Builds successful artifact
 	// constructions; Cancels builds abandoned by every waiter.
 	Hits, Misses, Builds, Cancels int64
+	// Retries counts transient build failures that were re-attempted;
+	// BreakerOpens circuit-open transitions attributed to this stage;
+	// BreakerFastFails lookups shed by an open circuit.
+	Retries, BreakerOpens, BreakerFastFails int64
 	// BuildSeconds is the cumulative wall time of successful builds.
 	BuildSeconds float64
 	// Entries is the stage's current LRU occupancy.
@@ -293,13 +455,16 @@ func (c *Cache) Snapshot() []StageStat {
 	out := make([]StageStat, 0, len(c.stages))
 	for name, st := range c.stages {
 		out = append(out, StageStat{
-			Stage:        name,
-			Hits:         st.stats.hits.Load(),
-			Misses:       st.stats.misses.Load(),
-			Builds:       st.stats.builds.Load(),
-			Cancels:      st.stats.cancels.Load(),
-			BuildSeconds: float64(st.stats.buildNanos.Load()) / 1e9,
-			Entries:      st.lru.Len(),
+			Stage:            name,
+			Hits:             st.stats.hits.Load(),
+			Misses:           st.stats.misses.Load(),
+			Builds:           st.stats.builds.Load(),
+			Cancels:          st.stats.cancels.Load(),
+			Retries:          st.stats.retries.Load(),
+			BreakerOpens:     st.stats.breakerOpens.Load(),
+			BreakerFastFails: st.stats.breakerFastFails.Load(),
+			BuildSeconds:     float64(st.stats.buildNanos.Load()) / 1e9,
+			Entries:          st.lru.Len(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Stage < out[j].Stage })
@@ -316,13 +481,16 @@ func (c *Cache) Stat(stage string) StageStat {
 		return StageStat{Stage: stage}
 	}
 	return StageStat{
-		Stage:        stage,
-		Hits:         st.stats.hits.Load(),
-		Misses:       st.stats.misses.Load(),
-		Builds:       st.stats.builds.Load(),
-		Cancels:      st.stats.cancels.Load(),
-		BuildSeconds: float64(st.stats.buildNanos.Load()) / 1e9,
-		Entries:      st.lru.Len(),
+		Stage:            stage,
+		Hits:             st.stats.hits.Load(),
+		Misses:           st.stats.misses.Load(),
+		Builds:           st.stats.builds.Load(),
+		Cancels:          st.stats.cancels.Load(),
+		Retries:          st.stats.retries.Load(),
+		BreakerOpens:     st.stats.breakerOpens.Load(),
+		BreakerFastFails: st.stats.breakerFastFails.Load(),
+		BuildSeconds:     float64(st.stats.buildNanos.Load()) / 1e9,
+		Entries:          st.lru.Len(),
 	}
 }
 

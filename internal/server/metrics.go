@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"obdrel/internal/fault"
 	"obdrel/internal/obs"
 	"obdrel/internal/pipeline"
 )
@@ -32,6 +33,22 @@ type Metrics struct {
 	// Throttled counts requests rejected 429 by the concurrency
 	// limiter; TimedOut counts 504s from the per-request deadline.
 	Throttled, TimedOut atomic.Int64
+	// ServeStale counts failed rebuilds answered from the last-good
+	// analyzer store; staleAgeNanos is the age of the most recently
+	// served stale analyzer (gauge).
+	ServeStale    atomic.Int64
+	staleAgeNanos atomic.Int64
+	// AdmissionRejected counts deadline-aware 503 rejections (predicted
+	// queue wait exceeding the request deadline, plus queue-wait
+	// expiries, counted separately in QueueTimeouts). DrainRejected
+	// counts 503s issued while draining.
+	AdmissionRejected, QueueTimeouts, DrainRejected atomic.Int64
+
+	// queueDepth reports requests currently waiting for an execution
+	// slot; draining reports the shutdown gate (both gauges, wired by
+	// the server).
+	queueDepth func() int64
+	draining   func() bool
 
 	// analyzersCached reports the registry's current size (gauge).
 	analyzersCached func() int
@@ -59,6 +76,8 @@ func NewMetrics() *Metrics {
 		analyzersCached: func() int { return 0 },
 		stageStats:      func() []pipeline.StageStat { return nil },
 		knownRoutes:     map[string]bool{},
+		queueDepth:      func() int64 { return 0 },
+		draining:        func() bool { return false },
 	}
 }
 
@@ -169,12 +188,24 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	counter("obdreld_throttled_requests_total", "Requests rejected 429 by the concurrency limiter.", m.Throttled.Load())
 	counter("obdreld_timedout_requests_total", "Requests that hit the per-request deadline.", m.TimedOut.Load())
 	counter("obdreld_engine_builds_total", "Analyzer (engine substrate) constructions.", m.Builds.Load())
+	counter("obdreld_serve_stale_total", "Failed rebuilds answered from the last-good analyzer store.", m.ServeStale.Load())
+	counter("obdreld_admission_rejected_total", "Requests rejected 503 by the deadline-aware admission controller.", m.AdmissionRejected.Load())
+	counter("obdreld_queue_timeouts_total", "Admitted queue waits that expired before a slot freed.", m.QueueTimeouts.Load())
+	counter("obdreld_drain_rejected_total", "Requests rejected 503 during graceful shutdown.", m.DrainRejected.Load())
+	counter("obdreld_fault_injected_total", "Faults fired by the injection framework (zero unless armed).", fault.InjectedTotal())
 	fmt.Fprintf(cw, "# HELP obdreld_engine_build_seconds_total Wall time constructing analyzers (power-thermal fixed point; per-method tables build lazily and appear in request latency).\n")
 	fmt.Fprintf(cw, "# TYPE obdreld_engine_build_seconds_total counter\n")
 	fmt.Fprintf(cw, "obdreld_engine_build_seconds_total %g\n", float64(m.BuildNanos.Load())/1e9)
 	gauge("obdreld_in_flight_requests", "Requests currently being served.", float64(m.InFlight.Load()))
 	gauge("obdreld_analyzers_cached", "Analyzers resident in the registry.", float64(m.analyzersCached()))
 	gauge("obdreld_uptime_seconds", "Seconds since the server started.", m.Uptime().Seconds())
+	gauge("obdreld_stale_age_seconds", "Age of the most recently served stale analyzer.", float64(m.staleAgeNanos.Load())/1e9)
+	gauge("obdreld_queue_depth", "Requests waiting for an execution slot.", float64(m.queueDepth()))
+	drainGauge := 0.0
+	if m.draining() {
+		drainGauge = 1
+	}
+	gauge("obdreld_draining", "1 while the server is draining for shutdown.", drainGauge)
 
 	// Go runtime health: enough to spot goroutine leaks, heap growth,
 	// and GC pressure from a dashboard without attaching pprof.
@@ -209,6 +240,12 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		func(s pipeline.StageStat) string { return fmt.Sprintf("%g", s.BuildSeconds) })
 	labeled("obdreld_stage_entries", "Artifacts resident per stage LRU.", "gauge",
 		func(s pipeline.StageStat) string { return fmt.Sprintf("%d", s.Entries) })
+	labeled("obdreld_stage_retries_total", "Transient stage-build failures that were retried, by stage.", "counter",
+		func(s pipeline.StageStat) string { return fmt.Sprintf("%d", s.Retries) })
+	labeled("obdreld_stage_breaker_opens_total", "Circuit-breaker open transitions, by stage.", "counter",
+		func(s pipeline.StageStat) string { return fmt.Sprintf("%d", s.BreakerOpens) })
+	labeled("obdreld_stage_breaker_fastfails_total", "Lookups shed by an open circuit, by stage.", "counter",
+		func(s pipeline.StageStat) string { return fmt.Sprintf("%d", s.BreakerFastFails) })
 	return cw.n, cw.err
 }
 

@@ -84,11 +84,11 @@ func TestRegistryHitAndEviction(t *testing.T) {
 	ctx := context.Background()
 	d := obdrel.C1()
 
-	if _, cached, err := reg.Get(ctx, d, testConfig(1)); err != nil || cached {
-		t.Fatalf("first get: cached=%t err=%v", cached, err)
+	if _, src, err := reg.Get(ctx, d, testConfig(1)); err != nil || src.Hit {
+		t.Fatalf("first get: hit=%t err=%v", src.Hit, err)
 	}
-	if _, cached, err := reg.Get(ctx, d, testConfig(1)); err != nil || !cached {
-		t.Fatalf("second get should hit: cached=%t err=%v", cached, err)
+	if _, src, err := reg.Get(ctx, d, testConfig(1)); err != nil || !src.Hit {
+		t.Fatalf("second get should hit: hit=%t err=%v", src.Hit, err)
 	}
 	if m.CacheHits.Load() != 1 || m.CacheMisses.Load() != 1 {
 		t.Fatalf("hit/miss counters %d/%d, want 1/1", m.CacheHits.Load(), m.CacheMisses.Load())
@@ -103,7 +103,7 @@ func TestRegistryHitAndEviction(t *testing.T) {
 		t.Fatalf("registry holds %d analyzers, want 2", reg.Len())
 	}
 	before := builds.Load()
-	if _, cached, _ := reg.Get(ctx, d, testConfig(1)); cached {
+	if _, src, _ := reg.Get(ctx, d, testConfig(1)); src.Hit {
 		t.Fatal("evicted entry reported as cached")
 	}
 	if builds.Load() != before+1 {
@@ -171,8 +171,8 @@ func TestRegistryContextTimeout(t *testing.T) {
 
 	// A fresh request is not poisoned by the cancelled flight: it
 	// rebuilds from scratch and succeeds.
-	if _, cached, err := reg.Get(context.Background(), obdrel.C1(), testConfig(1)); err != nil || cached {
-		t.Fatalf("rebuild after cancellation: cached=%t err=%v", cached, err)
+	if _, src, err := reg.Get(context.Background(), obdrel.C1(), testConfig(1)); err != nil || src.Hit {
+		t.Fatalf("rebuild after cancellation: hit=%t err=%v", src.Hit, err)
 	}
 	if builds.Load() != 2 {
 		t.Fatalf("builds = %d, want 2 (cancelled + fresh)", builds.Load())

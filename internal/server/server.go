@@ -31,9 +31,11 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"obdrel"
+	"obdrel/internal/fault"
 	"obdrel/internal/obd"
 	"obdrel/internal/obs"
 	"obdrel/internal/pipeline"
@@ -75,6 +77,31 @@ type Options struct {
 	// SlowRequest, when positive, logs a warning (with the trace id)
 	// for any request slower than the threshold.
 	SlowRequest time.Duration
+
+	// RetryAttempts bounds analyzer-build attempts on Transient
+	// failures (default 3; 1 disables retry). RetryBase is the first
+	// backoff delay (default 25ms).
+	RetryAttempts int
+	RetryBase     time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// per-fingerprint circuit (default 5; negative disables the
+	// breaker). BreakerOpenFor is the open TTL before a half-open
+	// probe (default 5s).
+	BreakerThreshold int
+	BreakerOpenFor   time.Duration
+	// MaxStale is the serve-stale window: a failed rebuild with a
+	// last-good analyzer younger than this serves it with a staleness
+	// annotation instead of erroring (default 15m; negative disables).
+	MaxStale time.Duration
+	// QueueDepth enables the deadline-aware admission controller: up
+	// to QueueDepth saturated requests wait for a slot instead of
+	// getting an instant 429, but a request whose predicted wait
+	// exceeds its deadline is rejected 503 immediately. 0 (default)
+	// keeps the legacy instant-429 behaviour.
+	QueueDepth int
+	// FaultHeader honours per-request X-Fault injection specs — test
+	// and staging builds only; never enable it on a public listener.
+	FaultHeader bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -100,6 +127,21 @@ func (o *Options) withDefaults() Options {
 	if out.DisableTracing {
 		out.Tracer = nil
 	}
+	if out.RetryAttempts == 0 {
+		out.RetryAttempts = 3
+	}
+	if out.RetryBase <= 0 {
+		out.RetryBase = 25 * time.Millisecond
+	}
+	if out.BreakerThreshold == 0 {
+		out.BreakerThreshold = 5
+	}
+	if out.BreakerOpenFor <= 0 {
+		out.BreakerOpenFor = 5 * time.Second
+	}
+	if out.MaxStale == 0 {
+		out.MaxStale = 15 * time.Minute
+	}
 	return out
 }
 
@@ -113,6 +155,14 @@ type Server struct {
 	sem     chan struct{}
 	logger  *slog.Logger
 	tracer  *obs.Tracer
+
+	// draining gates new work during graceful shutdown; queueLen and
+	// ewmaServiceNs drive the admission controller; faultSeq seeds
+	// per-request X-Fault injectors that carry no seed of their own.
+	draining      atomic.Bool
+	queueLen      atomic.Int64
+	ewmaServiceNs atomic.Int64
+	faultSeq      atomic.Int64
 }
 
 // New returns a service over the built-in benchmark designs.
@@ -132,6 +182,17 @@ func New(opts Options) *Server {
 		stats := obdrel.Stages().Snapshot()
 		return append(stats, s.reg.Stats())
 	}
+	m.queueDepth = s.queueLen.Load
+	m.draining = s.draining.Load
+	if o.RetryAttempts > 1 {
+		s.reg.Cache().SetRetry(fault.Retry{Attempts: o.RetryAttempts, Base: o.RetryBase})
+	}
+	if o.BreakerThreshold > 0 {
+		s.reg.Cache().SetBreaker(fault.NewBreaker(o.BreakerThreshold, o.BreakerOpenFor))
+	}
+	if o.MaxStale > 0 {
+		s.reg.SetMaxStale(o.MaxStale)
+	}
 	for _, d := range obdrel.Benchmarks() {
 		s.designs[d.Name] = d
 		s.order = append(s.order, d.Name)
@@ -150,6 +211,7 @@ func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.Handle("/v1/designs", s.instrument("/v1/designs", s.handleDesigns))
 	mux.Handle("/v1/lifetime", s.instrument("/v1/lifetime", s.handleLifetime))
@@ -157,7 +219,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/maxvdd", s.instrument("/v1/maxvdd", s.handleMaxVDD))
 	mux.Handle("/v1/blocks", s.instrument("/v1/blocks", s.handleBlocks))
 	for _, route := range []string{
-		"/healthz", "/metrics", "/v1/designs", "/v1/lifetime",
+		"/healthz", "/readyz", "/metrics", "/v1/designs", "/v1/lifetime",
 		"/v1/failureprob", "/v1/maxvdd", "/v1/blocks",
 	} {
 		s.metrics.RegisterRoute(route)
@@ -200,24 +262,21 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, map[string]any{"error": "tracing is disabled"})
 		return
 	}
+	// Malformed filters fall back to their defaults instead of
+	// erroring: this is a diagnostics surface, and a dashboard link
+	// with a stale or garbled query must still render something.
 	q := r.URL.Query()
 	n := 32
 	if q.Has("n") {
-		v, err := strconv.Atoi(q.Get("n"))
-		if err != nil || v < 1 {
-			writeJSON(w, http.StatusBadRequest, map[string]any{"error": "n must be a positive integer"})
-			return
+		if v, err := strconv.Atoi(q.Get("n")); err == nil && v >= 1 {
+			n = v
 		}
-		n = v
 	}
 	var minDur time.Duration
 	if q.Has("min_dur") {
-		v, err := time.ParseDuration(q.Get("min_dur"))
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("min_dur: %v", err)})
-			return
+		if v, err := time.ParseDuration(q.Get("min_dur")); err == nil && v > 0 {
+			minDur = v
 		}
-		minDur = v
 	}
 	route := q.Get("route")
 	all := s.tracer.Recent(0)
@@ -295,24 +354,53 @@ func (s *Server) instrument(route string, h func(context.Context, *http.Request)
 			}
 		}()
 
-		select {
-		case s.sem <- struct{}{}:
-			defer func() { <-s.sem }()
-		default:
-			// Throttled requests never start a trace: the 429 path must
-			// stay allocation-cheap precisely when the server is drowning.
-			s.metrics.Throttled.Add(1)
-			status = http.StatusTooManyRequests
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, status, map[string]any{"error": "server saturated, retry later"})
+		// Draining: new requests are refused before costing anything, so
+		// the load balancer (told via /readyz) and stragglers both get a
+		// clean 503 while in-flight requests finish.
+		if s.draining.Load() {
+			s.metrics.DrainRejected.Add(1)
+			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "5")
+			writeJSON(w, status, map[string]any{"error": "server is draining for shutdown"})
 			return
 		}
+
+		// Admission: an instant slot, a bounded deadline-aware queue
+		// wait, or a rejection that has already been written. Rejected
+		// requests never start a trace: the shed path must stay
+		// allocation-cheap precisely when the server is drowning.
+		admitted, rejStatus := s.admit(w, r)
+		if !admitted {
+			status = rejStatus
+			return
+		}
+		defer func() { <-s.sem }()
+		enteredService := time.Now()
+		defer func() { s.observeServiceTime(time.Since(enteredService)) }()
 
 		s.metrics.InFlight.Add(1)
 		defer s.metrics.InFlight.Add(-1)
 
 		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 		defer cancel()
+		ctx, annot := withAnnot(ctx)
+
+		// Per-request fault rules (test/staging): an X-Fault header arms
+		// a request-scoped injector that follows the context into
+		// detached stage builds. Specs without their own seed get a
+		// per-request sequence number, so probabilistic rules vary
+		// across requests yet stay replayable via an explicit seed=N.
+		if s.opts.FaultHeader {
+			if spec := r.Header.Get("X-Fault"); spec != "" {
+				parsed, perr := fault.ParseSpec(spec)
+				if perr != nil {
+					status = http.StatusBadRequest
+					writeJSON(w, status, map[string]any{"error": perr.Error()})
+					return
+				}
+				ctx = fault.ContextWith(ctx, parsed.Injector(s.faultSeq.Add(1)))
+			}
+		}
 
 		// Root span: adopt the caller's trace identity when the request
 		// carries a valid traceparent, mint one otherwise, and echo the
@@ -335,6 +423,12 @@ func (s *Server) instrument(route string, h func(context.Context, *http.Request)
 					err = fmt.Errorf("internal panic: %v", p)
 				}
 			}()
+			// server.handler: the outermost injection point — an armed
+			// error rule here exercises the full error-mapping path, a
+			// panic rule the recovery above.
+			if ferr := fault.InjectLabeled(ctx, "server.handler", route); ferr != nil {
+				return nil, ferr
+			}
 			return h(ctx, r)
 		}()
 
@@ -348,12 +442,36 @@ func (s *Server) instrument(route string, h func(context.Context, *http.Request)
 			payload = map[string]any{"error": "request deadline exceeded"}
 		default:
 			var ae *apiError
-			if errors.As(err, &ae) {
+			var oe *fault.OpenError
+			switch {
+			case errors.As(err, &ae):
 				status = ae.code
-			} else {
-				status = http.StatusInternalServerError
+			case errors.As(err, &oe):
+				// Breaker fast-fail: shed load with an honest estimate of
+				// when the half-open probe will be admitted.
+				status = http.StatusServiceUnavailable
+				w.Header().Set("Retry-After", retryAfterSeconds(time.Until(oe.Until)))
+			default:
+				switch fault.ClassOf(err) {
+				case fault.Overload, fault.Transient:
+					// Transient failures that survived the retry budget are
+					// still worth the client retrying later.
+					status = http.StatusServiceUnavailable
+					w.Header().Set("Retry-After", "1")
+				case fault.Cancelled:
+					status = http.StatusGatewayTimeout
+				default:
+					status = http.StatusInternalServerError
+				}
 			}
-			payload = map[string]any{"error": err.Error()}
+			payload = map[string]any{"error": err.Error(), "class": fault.ClassOf(err).String()}
+		}
+
+		// Serve-stale annotation: the registry answered from the
+		// last-good store because the fresh build failed.
+		if age, stale := annot.staleness(); stale {
+			w.Header().Set("Warning", `110 obdreld "Response is Stale"`)
+			w.Header().Set("X-Staleness", strconv.FormatInt(int64(age.Seconds()), 10))
 		}
 
 		// End the trace before writing: the finalized tree is what
@@ -412,13 +530,30 @@ func await[T any](ctx context.Context, f func() (T, error)) (T, error) {
 	}
 }
 
+// handleHealthz is LIVENESS: it answers 200 as long as the process can
+// serve HTTP at all — including while draining, so an orchestrator
+// does not kill a pod that is still finishing requests. Readiness
+// (should traffic be routed here?) is /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":           "ok",
 		"uptime_s":         s.metrics.Uptime().Seconds(),
 		"analyzers_cached": s.reg.Len(),
 		"in_flight":        s.metrics.InFlight.Load(),
+		"draining":         s.draining.Load(),
 	})
+}
+
+// handleReadyz is READINESS: 200 while accepting new work, 503 once
+// BeginDrain has run — flipped before the listener closes, so load
+// balancers drain this instance gracefully.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -458,7 +593,7 @@ func (s *Server) handleLifetime(ctx context.Context, r *http.Request) (any, erro
 	if ppm == 0 {
 		ppm = 10
 	}
-	an, cached, err := s.reg.Get(ctx, d, cfg)
+	an, src, err := s.reg.Get(ctx, d, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -470,14 +605,24 @@ func (s *Server) handleLifetime(ctx context.Context, r *http.Request) (any, erro
 	if err != nil {
 		return nil, queryErr(err)
 	}
-	return map[string]any{
+	out := map[string]any{
 		"design":         d.Name,
 		"method":         m.String(),
 		"ppm":            ppm,
 		"lifetime_hours": life,
-		"cache":          cacheLabel(cached),
+		"cache":          src.Label(),
 		"query_us":       time.Since(start).Microseconds(),
-	}, nil
+	}
+	addStaleness(out, src)
+	return out, nil
+}
+
+// addStaleness surfaces serve-stale provenance in the payload (the
+// headers carry it too; the body keeps scripted clients honest).
+func addStaleness(out map[string]any, src GetResult) {
+	if src.Stale {
+		out["staleness_s"] = int64(src.StaleAge.Seconds())
+	}
 }
 
 // annotateQuery records the work a method query implies: the sample
@@ -511,7 +656,7 @@ func (s *Server) handleFailureProb(ctx context.Context, r *http.Request) (any, e
 	if !(req.T > 0) {
 		return nil, errBadRequest("t (hours) must be positive, got %v", req.T)
 	}
-	an, cached, err := s.reg.Get(ctx, d, cfg)
+	an, src, err := s.reg.Get(ctx, d, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -523,15 +668,17 @@ func (s *Server) handleFailureProb(ctx context.Context, r *http.Request) (any, e
 	if err != nil {
 		return nil, queryErr(err)
 	}
-	return map[string]any{
+	out := map[string]any{
 		"design":       d.Name,
 		"method":       m.String(),
 		"t_hours":      req.T,
 		"failure_prob": p,
 		"reliability":  1 - p,
-		"cache":        cacheLabel(cached),
+		"cache":        src.Label(),
 		"query_us":     time.Since(start).Microseconds(),
-	}, nil
+	}
+	addStaleness(out, src)
+	return out, nil
 }
 
 func (s *Server) handleMaxVDD(ctx context.Context, r *http.Request) (any, error) {
@@ -592,7 +739,7 @@ func (s *Server) handleBlocks(ctx context.Context, r *http.Request) (any, error)
 	if err != nil {
 		return nil, err
 	}
-	an, cached, err := s.reg.Get(ctx, d, cfg)
+	an, src, err := s.reg.Get(ctx, d, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -614,19 +761,14 @@ func (s *Server) handleBlocks(ctx context.Context, r *http.Request) (any, error)
 		}
 	}
 	tmin, tmean, tmax := an.TempSpread()
-	return map[string]any{
+	payload := map[string]any{
 		"design": d.Name,
-		"cache":  cacheLabel(cached),
+		"cache":  src.Label(),
 		"blocks": out,
 		"temp_c": map[string]float64{"min": tmin, "mean": tmean, "max": tmax},
-	}, nil
-}
-
-func cacheLabel(hit bool) string {
-	if hit {
-		return "hit"
 	}
-	return "miss"
+	addStaleness(payload, src)
+	return payload, nil
 }
 
 // queryErr maps analyzer-level validation failures (bad ppm, bad

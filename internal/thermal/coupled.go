@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 
+	"obdrel/internal/fault"
 	"obdrel/internal/floorplan"
 	"obdrel/internal/obs"
 )
@@ -63,6 +64,12 @@ func (s *Solver) SolveCoupledCtx(ctx context.Context, d *floorplan.Design, power
 	round := 0
 	for ; round < maxRounds; round++ {
 		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// thermal.solve: one fault evaluation per fixed-point round, so
+		// an armed latency or error rule perturbs the SOR loop exactly
+		// where a slow or failing solver backend would.
+		if err := fault.Inject(ctx, "thermal.solve"); err != nil {
 			return nil, err
 		}
 		powers, err = powerAt(temps)

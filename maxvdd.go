@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"obdrel/internal/fault"
 	"obdrel/internal/obs"
 )
 
@@ -102,6 +103,16 @@ func MaxVDDFromCtx(ctx context.Context, build AnalyzerFactoryCtx, d *Design, cfg
 		if sp != nil {
 			sp.SetAttr("vdd_v", v)
 			defer sp.End()
+		}
+		// maxvdd.probe: one fault evaluation per bisection probe. An
+		// injected failure flows through the same path as a real
+		// characterization failure: above vLo it means "fails the
+		// requirement", at vLo it aborts the search.
+		if err := fault.Inject(pctx, "maxvdd.probe"); err != nil {
+			if sp != nil {
+				sp.SetAttr("error", err.Error())
+			}
+			return false, fmt.Errorf("obdrel: at %v V: %w", v, err)
 		}
 		probe := *cfg
 		probe.VDD = v

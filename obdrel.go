@@ -49,6 +49,20 @@
 // zero allocations, so batch callers pay nothing. The serving layer
 // (internal/server, cmd/obdreld) opens the traces and surfaces them
 // via /debug/traces and the ?explain=1 query flag.
+//
+// # Robustness
+//
+// The same entry points carry internal/fault injection points
+// (pipeline.build, thermal.solve, maxvdd.probe) and a typed failure
+// taxonomy: build errors surface wrapped with stage + fingerprint
+// provenance and classified Transient, Permanent, Cancelled or
+// Overload. The stage cache can retry Transient failures with bounded
+// exponential backoff and shed deterministically failing fingerprints
+// through a per-key circuit breaker (pipeline.Cache.SetRetry /
+// SetBreaker — both off by default for library use). With nothing
+// armed, every injection point is a single atomic load and zero
+// allocations, so the fault framework is free in production. See
+// DESIGN.md §11 and the chaos harness in cmd/loadgen.
 package obdrel
 
 import (
