@@ -93,6 +93,10 @@ type Analyzer struct {
 
 	blockInfo []BlockInfo
 	field     *thermal.Field
+	// chipKey is the chip-stage fingerprint — the transitive identity
+	// of everything the query engines consume. The hybrid table file
+	// is keyed by it (see tables.go).
+	chipKey string
 
 	mu      sync.Mutex
 	engines map[Method]core.Engine
@@ -146,10 +150,9 @@ func (a *Analyzer) engine(m Method) (core.Engine, error) {
 			Workers: a.cfg.Workers,
 		})
 	case MethodHybrid:
-		e, err = core.NewHybrid(a.chip, core.HybridOptions{
-			NL: a.cfg.HybridNL, NB: a.cfg.HybridNB, L0: a.cfg.L0,
-			Workers: a.cfg.Workers,
-		})
+		// The hybrid tables can come from a spill file when
+		// Config.TableDir is set — see tables.go.
+		e, err = a.hybridEngine()
 	case MethodGuard:
 		e, err = core.NewGuardBand(a.chip, a.cfg.GuardSigmas)
 	case MethodMC:
@@ -171,6 +174,18 @@ func (a *Analyzer) engine(m Method) (core.Engine, error) {
 	}
 	a.engines[m] = e
 	return e, nil
+}
+
+// EngineReady reports whether the engine for m has already been
+// built. The serving layer uses it to pick the warm query path: a
+// built st_fast/hybrid engine answers in microseconds without
+// allocating, so wrapping the call in a cancellation goroutine would
+// cost more than the query itself.
+func (a *Analyzer) EngineReady(m Method) bool {
+	a.mu.Lock()
+	_, ok := a.engines[m]
+	a.mu.Unlock()
+	return ok
 }
 
 // validTime rejects non-finite query times before they reach an

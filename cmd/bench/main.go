@@ -31,27 +31,35 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 	"time"
 
 	"obdrel"
 	"obdrel/internal/fault"
+	"obdrel/internal/floorplan"
 	"obdrel/internal/grid"
 	"obdrel/internal/obs"
 	"obdrel/internal/par"
+	"obdrel/internal/thermal"
 )
 
 // Schema identifies the original report format; SchemaV2 adds the
-// stage-cache sections and SchemaV3 adds run metadata plus the
-// tracing-overhead measurement. -validate accepts all three; new
-// reports emit v3 unless -stages or -trace-overhead is turned off.
+// stage-cache sections, SchemaV3 adds run metadata plus the
+// tracing-overhead measurement, and SchemaV5 adds the raw-speed
+// kernel sections (thermal solver comparison, warm-query allocation
+// counts, hybrid table-file serving). -validate accepts all of them;
+// new reports emit v5 unless -stages, -trace-overhead or -solver is
+// turned off.
 const (
 	Schema   = "obdrel-bench/v1"
 	SchemaV2 = "obdrel-bench/v2"
 	SchemaV3 = "obdrel-bench/v3"
+	SchemaV5 = "obdrel-bench/v5"
 )
 
 // Report is the top-level BENCH_pr1.json document.
@@ -77,6 +85,65 @@ type Report struct {
 	// every instrumented call site pays in production. Optional: older
 	// committed reports predate the section.
 	FaultPath *FaultPathReport `json:"fault_path,omitempty"`
+	// v5 (raw-speed kernel) sections, present when -solver is on.
+	Solver      *SolverReport      `json:"solver,omitempty"`
+	QueryAllocs *QueryAllocsReport `json:"query_allocs,omitempty"`
+	TableFile   *TableFileReport   `json:"table_file,omitempty"`
+}
+
+// SolverReport compares the thermal solvers over a grid sweep. Both
+// run at Tol=1e-9 so the agreement column compares two converged
+// answers, not two different stopping rules; SOR legs stop at 100×100
+// (its O(N²) sweep count makes 200×200 pointless to wait for), while
+// multigrid continues to 200×200 in full runs.
+type SolverReport struct {
+	Legs []SolverLeg `json:"legs"`
+}
+
+// SolverLeg is one grid size: times, convergence effort, and the
+// worst per-cell disagreement between multigrid and a converged SOR
+// reference (Tol=1e-11, so the comparison is against SOR's answer,
+// not its stopping rule — at tight tolerances SOR's true error is
+// orders of magnitude above its per-sweep delta). SOR fields are zero
+// on multigrid-only legs.
+type SolverLeg struct {
+	Grid         int     `json:"grid"`
+	MultigridNs  int64   `json:"multigrid_ns"`
+	Cycles       int     `json:"multigrid_cycles"`
+	SORNs        int64   `json:"sor_ns,omitempty"`
+	SORIters     int     `json:"sor_iters,omitempty"`
+	Speedup      float64 `json:"speedup,omitempty"`
+	MaxTempDiffK float64 `json:"max_temp_diff_k,omitempty"`
+}
+
+// QueryAllocsReport re-measures the zero-allocation gate outside the
+// test binary: allocations per warm st_fast/hybrid query. The
+// validator requires every count to be exactly zero.
+type QueryAllocsReport struct {
+	Design                  string `json:"design"`
+	StFastFailureProbAllocs int64  `json:"st_fast_failure_prob_allocs"`
+	StFastLifetimeAllocs    int64  `json:"st_fast_lifetime_allocs"`
+	HybridFailureProbAllocs int64  `json:"hybrid_failure_prob_allocs"`
+	HybridLifetimeAllocs    int64  `json:"hybrid_lifetime_allocs"`
+}
+
+// TableFileReport compares warm hybrid queries through an in-process
+// table against the same tables served from a spilled file (mmap on
+// Linux). Latencies are per-query p99 over batched samples — batching
+// keeps the µs-scale measurement out of timer-resolution noise. The
+// deltas are this benchmark's own table-file traffic.
+type TableFileReport struct {
+	Design       string  `json:"design"`
+	BatchQueries int     `json:"batch_queries"`
+	Samples      int     `json:"samples"`
+	InProcP99Ns  int64   `json:"in_process_p99_ns"`
+	MmapP99Ns    int64   `json:"mmap_p99_ns"`
+	P99Ratio     float64 `json:"p99_ratio"`
+	BuildNs      int64   `json:"build_ns"`
+	LoadNs       int64   `json:"load_ns"`
+	SavesDelta   uint64  `json:"saves_delta"`
+	LoadsDelta   uint64  `json:"loads_delta"`
+	RejectsDelta uint64  `json:"rejects_delta"`
 }
 
 // FaultPathReport pins the disarmed fault.Inject fast path: it must
@@ -191,6 +258,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS)")
 		stages    = flag.Bool("stages", true, "bench the stage-graph cache (MaxVDD cold/warm/pinned) and report per-stage counters")
 		traceOH   = flag.Bool("trace-overhead", true, "bench request tracing enabled vs disabled on a warm analyzer lookup")
+		kernels   = flag.Bool("solver", true, "bench the raw-speed kernels: SOR vs multigrid grid sweep, warm-query allocations, table-file serving")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -222,7 +290,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	rep := run(designs, *mcSamples, *gridN, *seed, *workers, *quick, *stages, *traceOH)
+	rep := run(designs, *mcSamples, *gridN, *seed, *workers, *quick, *stages, *traceOH, *kernels)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -259,6 +327,29 @@ func main() {
 			t.Op, float64(t.DisabledNs)/1e3, float64(t.EnabledNs)/1e3, t.EnabledOverheadPct,
 			t.SpanDisabledNsOp, t.SpanDisabledAllocs, t.DisabledOverheadPct)
 	}
+	if s := rep.Solver; s != nil {
+		for _, l := range s.Legs {
+			if l.SORNs > 0 {
+				log.Printf("solver %3dx%-3d: multigrid %.2fms (%d cycles) sor %.2fms (%d iters) speedup %.1fx maxdiff %.2e K",
+					l.Grid, l.Grid, float64(l.MultigridNs)/1e6, l.Cycles,
+					float64(l.SORNs)/1e6, l.SORIters, l.Speedup, l.MaxTempDiffK)
+			} else {
+				log.Printf("solver %3dx%-3d: multigrid %.2fms (%d cycles)",
+					l.Grid, l.Grid, float64(l.MultigridNs)/1e6, l.Cycles)
+			}
+		}
+	}
+	if q := rep.QueryAllocs; q != nil {
+		log.Printf("query allocs (%s, warm): st_fast %d/%d hybrid %d/%d (FailureProb/LifetimePPM)",
+			q.Design, q.StFastFailureProbAllocs, q.StFastLifetimeAllocs,
+			q.HybridFailureProbAllocs, q.HybridLifetimeAllocs)
+	}
+	if tf := rep.TableFile; tf != nil {
+		log.Printf("table file (%s): in-process p99 %.2fµs mmap p99 %.2fµs (ratio %.3f); build %.1fms load %.1fms; saves=%d loads=%d rejects=%d",
+			tf.Design, float64(tf.InProcP99Ns)/1e3, float64(tf.MmapP99Ns)/1e3, tf.P99Ratio,
+			float64(tf.BuildNs)/1e6, float64(tf.LoadNs)/1e6,
+			tf.SavesDelta, tf.LoadsDelta, tf.RejectsDelta)
+	}
 }
 
 func pickDesigns(csv string) ([]*obdrel.Design, error) {
@@ -292,7 +383,7 @@ func config(mcSamples, gridN int, seed int64, workers int) *obdrel.Config {
 	return cfg
 }
 
-func run(designs []*obdrel.Design, mcSamples, gridN int, seed int64, workers int, quick, stages, traceOH bool) *Report {
+func run(designs []*obdrel.Design, mcSamples, gridN int, seed int64, workers int, quick, stages, traceOH, kernels bool) *Report {
 	rep := &Report{
 		Schema:      Schema,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -329,6 +420,199 @@ func run(designs []*obdrel.Design, mcSamples, gridN int, seed int64, workers int
 		fp := benchFaultPath()
 		rep.FaultPath = &fp
 	}
+	if kernels {
+		// v5 is v3 + the kernel sections; with earlier sections off the
+		// report keeps its prior schema and carries these as extras.
+		if stages && traceOH {
+			rep.Schema = SchemaV5
+		}
+		sv := benchSolver(quick, workers)
+		rep.Solver = &sv
+		qa := benchQueryAllocs(designs[0], mcSamples, gridN, seed, workers)
+		rep.QueryAllocs = &qa
+		tf := benchTableFile(designs[0], mcSamples, gridN, seed, workers, quick)
+		rep.TableFile = &tf
+	}
+	return rep
+}
+
+// benchSolver sweeps the thermal grid, timing multigrid against SOR on
+// the C6 floorplan with a fixed power vector. Both solvers run at
+// Tol=1e-9 so the per-cell disagreement column compares converged
+// fields; SOR gets the iteration headroom its O(N²) convergence needs
+// and is skipped beyond 100×100.
+func benchSolver(quick bool, workers int) SolverReport {
+	fd := floorplan.C6()
+	powers := make([]float64, len(fd.Blocks))
+	for i := range powers {
+		powers[i] = 0.4 + 0.15*float64(i%5)
+	}
+	grids := []int{25, 50, 100}
+	if !quick {
+		grids = append(grids, 200)
+	}
+	const reps = 3
+	timeSolve := func(s *thermal.Solver) (int64, *thermal.Field) {
+		best := int64(1 << 62)
+		var f *thermal.Field
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			out, err := s.Solve(fd, powers)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if ns := time.Since(start).Nanoseconds(); ns < best {
+				best = ns
+			}
+			f = out
+		}
+		return best, f
+	}
+	var rep SolverReport
+	for _, n := range grids {
+		mg := *thermal.DefaultSolver()
+		mg.Nx, mg.Ny = n, n
+		mg.Method = thermal.MethodMultigrid
+		mg.Tol = 1e-9
+		mg.Workers = workers
+		leg := SolverLeg{Grid: n}
+		var mgField *thermal.Field
+		leg.MultigridNs, mgField = timeSolve(&mg)
+		leg.Cycles = mgField.Iterations
+		if n <= 100 {
+			sor := mg
+			sor.Method = thermal.MethodSOR
+			sor.MaxIter = 500000
+			var sorField *thermal.Field
+			leg.SORNs, sorField = timeSolve(&sor)
+			leg.SORIters = sorField.Iterations
+			leg.Speedup = float64(leg.SORNs) / float64(leg.MultigridNs)
+			// Agreement is judged against a converged SOR reference, not
+			// the timed run: at Tol=1e-9 SOR's remaining true error
+			// dominates any multigrid/SOR difference.
+			ref := sor
+			ref.Tol = 1e-11
+			refField, err := ref.Solve(fd, powers)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for i := range mgField.Temps {
+				if d := math.Abs(mgField.Temps[i] - refField.Temps[i]); d > leg.MaxTempDiffK {
+					leg.MaxTempDiffK = d
+				}
+			}
+		}
+		rep.Legs = append(rep.Legs, leg)
+	}
+	return rep
+}
+
+// benchQueryAllocs re-measures the warm-query allocation counts the
+// way alloc_test.go does, so the committed report carries the proof.
+func benchQueryAllocs(d *obdrel.Design, mcSamples, gridN int, seed int64, workers int) QueryAllocsReport {
+	an, err := obdrel.NewAnalyzer(d, config(mcSamples, gridN, seed, workers))
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := QueryAllocsReport{Design: d.Name}
+	measure := func(m obdrel.Method) (fp, life int64) {
+		if _, err := an.FailureProb(1e4, m); err != nil { // warm
+			log.Fatal(err)
+		}
+		fp = int64(testing.AllocsPerRun(200, func() {
+			if _, err := an.FailureProb(1e4, m); err != nil {
+				log.Fatal(err)
+			}
+		}))
+		life = int64(testing.AllocsPerRun(200, func() {
+			if _, err := an.LifetimePPM(10, m); err != nil {
+				log.Fatal(err)
+			}
+		}))
+		return fp, life
+	}
+	q.StFastFailureProbAllocs, q.StFastLifetimeAllocs = measure(obdrel.MethodStFast)
+	q.HybridFailureProbAllocs, q.HybridLifetimeAllocs = measure(obdrel.MethodHybrid)
+	return q
+}
+
+// benchTableFile times warm hybrid queries with in-process tables
+// against the same tables served from a spilled file, as batched-p99
+// per-query latency. One build spills (saves_delta), a second
+// analyzer loads (loads_delta); any reject means the round trip is
+// broken.
+func benchTableFile(d *obdrel.Design, mcSamples, gridN int, seed int64, workers int, quick bool) TableFileReport {
+	dir, err := os.MkdirTemp("", "obdrel-bench-tables-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	const batch, samples = 200, 100
+	rep := TableFileReport{Design: d.Name, BatchQueries: batch, Samples: samples}
+	p99 := func(an *obdrel.Analyzer) int64 {
+		// The engines under test are allocation-free, but the builds
+		// above left garbage behind; collect it now so a background GC
+		// doesn't land inside one batch and masquerade as query cost.
+		runtime.GC()
+		times := make([]int64, samples)
+		for i := range times {
+			start := time.Now()
+			for j := 0; j < batch; j++ {
+				if _, err := an.FailureProb(1e4, obdrel.MethodHybrid); err != nil {
+					log.Fatal(err)
+				}
+			}
+			times[i] = time.Since(start).Nanoseconds()
+		}
+		sort.Slice(times, func(a, b int) bool { return times[a] < times[b] })
+		// Nearest-rank p99: ceil(0.99·n)-th order statistic.
+		return times[(samples*99+99)/100-1] / int64(batch)
+	}
+
+	// Build all three analyzers first, then measure: the builds are the
+	// allocation-heavy phase, and interleaving them with the latency
+	// sampling skews whichever measurement runs last.
+	loads0, saves0, rejects0 := obdrel.TableFileStats()
+	spillCfg := func() *obdrel.Config {
+		c := config(mcSamples, gridN, seed, workers)
+		c.TableDir = dir
+		return c
+	}
+	anMem, err := obdrel.NewAnalyzer(d, config(mcSamples, gridN, seed, workers))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := anMem.FailureProb(1e4, obdrel.MethodHybrid); err != nil { // warm in-process
+		log.Fatal(err)
+	}
+	anSpill, err := obdrel.NewAnalyzer(d, spillCfg())
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := anSpill.FailureProb(1e4, obdrel.MethodHybrid); err != nil { // build + spill
+		log.Fatal(err)
+	}
+	rep.BuildNs = time.Since(start).Nanoseconds()
+	anFile, err := obdrel.NewAnalyzer(d, spillCfg())
+	if err != nil {
+		log.Fatal(err)
+	}
+	start = time.Now()
+	if _, err := anFile.FailureProb(1e4, obdrel.MethodHybrid); err != nil { // load from file
+		log.Fatal(err)
+	}
+	rep.LoadNs = time.Since(start).Nanoseconds()
+
+	rep.InProcP99Ns = p99(anMem)
+	rep.MmapP99Ns = p99(anFile)
+	rep.P99Ratio = float64(rep.MmapP99Ns) / float64(rep.InProcP99Ns)
+
+	loads1, saves1, rejects1 := obdrel.TableFileStats()
+	rep.LoadsDelta = loads1 - loads0
+	rep.SavesDelta = saves1 - saves0
+	rep.RejectsDelta = rejects1 - rejects0
 	return rep
 }
 
@@ -579,8 +863,8 @@ func validateReport(path string) (string, error) {
 		return "", err
 	}
 	switch {
-	case rep.Schema != Schema && rep.Schema != SchemaV2 && rep.Schema != SchemaV3:
-		return "", fmt.Errorf("schema %q, want %q, %q or %q", rep.Schema, Schema, SchemaV2, SchemaV3)
+	case rep.Schema != Schema && rep.Schema != SchemaV2 && rep.Schema != SchemaV3 && rep.Schema != SchemaV5:
+		return "", fmt.Errorf("schema %q, want %q, %q, %q or %q", rep.Schema, Schema, SchemaV2, SchemaV3, SchemaV5)
 	case rep.GoMaxProcs < 1:
 		return "", fmt.Errorf("go_max_procs %d", rep.GoMaxProcs)
 	case len(rep.Designs) == 0:
@@ -601,17 +885,82 @@ func validateReport(path string) (string, error) {
 			return "", fmt.Errorf("%s: mc_failure_prob timings missing", d.Design)
 		}
 	}
-	if rep.Schema == SchemaV2 || rep.Schema == SchemaV3 {
+	if rep.Schema == SchemaV2 || rep.Schema == SchemaV3 || rep.Schema == SchemaV5 {
 		if err := validateStages(&rep); err != nil {
 			return "", err
 		}
 	}
-	if rep.Schema == SchemaV3 {
+	if rep.Schema == SchemaV3 || rep.Schema == SchemaV5 {
 		if err := validateTracing(&rep); err != nil {
 			return "", err
 		}
 	}
+	if rep.Schema == SchemaV5 {
+		if err := validateKernels(&rep); err != nil {
+			return "", err
+		}
+	}
 	return rep.Schema, nil
+}
+
+// validateKernels gates the v5 raw-speed sections — the PR's
+// acceptance bars: multigrid at least 5× SOR at 100×100 with the two
+// solvers agreeing to 1e-7 K, warm st_fast/hybrid queries allocating
+// exactly nothing, and file-served hybrid queries within 10% of the
+// in-process p99.
+func validateKernels(rep *Report) error {
+	s := rep.Solver
+	if s == nil || len(s.Legs) == 0 {
+		return fmt.Errorf("v5 report without solver section")
+	}
+	var gate *SolverLeg
+	for i := range s.Legs {
+		l := &s.Legs[i]
+		if l.MultigridNs <= 0 || l.Cycles < 1 {
+			return fmt.Errorf("solver leg %+v incomplete", l)
+		}
+		if l.Grid == 100 {
+			gate = l
+		}
+	}
+	switch {
+	case gate == nil:
+		return fmt.Errorf("solver section lacks the 100×100 gate leg")
+	case gate.SORNs <= 0 || gate.SORIters < 1:
+		return fmt.Errorf("100×100 leg did not run SOR")
+	case gate.MultigridNs*5 > gate.SORNs:
+		return fmt.Errorf("multigrid only %.2fx SOR at 100×100, want ≥ 5x",
+			float64(gate.SORNs)/float64(gate.MultigridNs))
+	case gate.MaxTempDiffK > 1e-7:
+		return fmt.Errorf("solvers disagree by %.3e K at 100×100, want ≤ 1e-7", gate.MaxTempDiffK)
+	}
+	q := rep.QueryAllocs
+	switch {
+	case q == nil:
+		return fmt.Errorf("v5 report without query_allocs section")
+	case q.StFastFailureProbAllocs != 0 || q.StFastLifetimeAllocs != 0 ||
+		q.HybridFailureProbAllocs != 0 || q.HybridLifetimeAllocs != 0:
+		return fmt.Errorf("warm queries allocate (st_fast %d/%d, hybrid %d/%d), want 0",
+			q.StFastFailureProbAllocs, q.StFastLifetimeAllocs,
+			q.HybridFailureProbAllocs, q.HybridLifetimeAllocs)
+	}
+	tf := rep.TableFile
+	switch {
+	case tf == nil:
+		return fmt.Errorf("v5 report without table_file section")
+	case tf.InProcP99Ns <= 0 || tf.MmapP99Ns <= 0:
+		return fmt.Errorf("table_file timings missing")
+	case tf.SavesDelta < 1:
+		return fmt.Errorf("table_file benchmark spilled %d files, want ≥ 1", tf.SavesDelta)
+	case tf.LoadsDelta < 1:
+		return fmt.Errorf("table_file benchmark loaded %d files, want ≥ 1", tf.LoadsDelta)
+	case tf.RejectsDelta != 0:
+		return fmt.Errorf("table_file benchmark rejected %d files, want 0", tf.RejectsDelta)
+	case float64(tf.MmapP99Ns) > 1.1*float64(tf.InProcP99Ns):
+		return fmt.Errorf("file-served p99 %.0fns exceeds 1.1× in-process p99 %.0fns",
+			float64(tf.MmapP99Ns), float64(tf.InProcP99Ns))
+	}
+	return nil
 }
 
 // validateTracing gates the v3 sections: run metadata must be stamped

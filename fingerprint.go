@@ -27,10 +27,11 @@ import (
 //     their defaults before hashing, so an explicit DefaultConfig and
 //     a zero-value-with-defaults config collide (as they should);
 //   - performance-only knobs (Workers, DisablePCACache,
-//     DisableStageCache) are excluded — they select execution
-//     strategy, not the model. Workers ≥ 2 and 0 are bit-identical by
-//     construction; Workers:1 differs only within the documented
-//     serial/parallel tolerance, which caching layers accept.
+//     DisableStageCache, TableDir) are excluded — they select
+//     execution strategy, not the model. Workers ≥ 2 and 0 are
+//     bit-identical by construction; Workers:1 differs only within the
+//     documented serial/parallel tolerance, which caching layers
+//     accept; TableDir only changes where hybrid tables are stored.
 
 // fp16 hashes newline-joined canonical segments into the 32-hex-char
 // fingerprint format used by every cache key in the system.
@@ -127,8 +128,8 @@ func (c *Config) segPower() string {
 // voltage sweep.
 func (c *Config) segThermal() string {
 	ts := c.resolvedThermal()
-	return fmt.Sprintf("thermal|%dx%d|gv=%g|gl=%g|ta=%g|om=%g|tol=%g|it=%d|v=%g",
-		ts.Nx, ts.Ny, ts.GVertical, ts.GLateral, ts.TAmbient, ts.Omega, ts.Tol, ts.MaxIter,
+	return fmt.Sprintf("thermal|%dx%d|m=%s|gv=%g|gl=%g|ta=%g|om=%g|tol=%g|it=%d|v=%g",
+		ts.Nx, ts.Ny, ts.ResolvedMethod(), ts.GVertical, ts.GLateral, ts.TAmbient, ts.Omega, ts.Tol, ts.MaxIter,
 		c.thermalVDD())
 }
 

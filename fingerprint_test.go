@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"obdrel"
+	"obdrel/internal/thermal"
 )
 
 // TestFingerprintCanonicalization checks that the serving cache key
@@ -22,8 +23,10 @@ func TestFingerprintCanonicalization(t *testing.T) {
 		cfg := obdrel.DefaultConfig()
 		cfg.Workers = 7
 		cfg.DisablePCACache = true
+		cfg.DisableStageCache = true
+		cfg.TableDir = "/tmp/tables"
 		if cfg.Fingerprint() != base.Fingerprint() {
-			t.Fatal("Workers/DisablePCACache changed the fingerprint")
+			t.Fatal("Workers/DisablePCACache/DisableStageCache/TableDir changed the fingerprint")
 		}
 	})
 	t.Run("defaults resolved", func(t *testing.T) {
@@ -43,6 +46,11 @@ func TestFingerprintCanonicalization(t *testing.T) {
 			"maxT":  func(c *obdrel.Config) { c.UseBlockMaxTemp = false },
 			"mc":    func(c *obdrel.Config) { c.MCSamples = 77 },
 			"quadT": func(c *obdrel.Config) { c.QuadTree = true },
+			"solver": func(c *obdrel.Config) {
+				s := thermal.DefaultSolver()
+				s.Method = thermal.MethodSOR
+				c.Thermal = s
+			},
 		}
 		for name, mutate := range mutations {
 			cfg := obdrel.DefaultConfig()
@@ -57,6 +65,14 @@ func TestFingerprintCanonicalization(t *testing.T) {
 				}
 			}
 			distinct[name] = fp
+		}
+	})
+	t.Run("thermal method defaults resolved", func(t *testing.T) {
+		cfg := obdrel.DefaultConfig()
+		cfg.Thermal = thermal.DefaultSolver()
+		cfg.Thermal.Method = thermal.MethodMultigrid // the documented default
+		if cfg.Fingerprint() != base.Fingerprint() {
+			t.Fatal("explicit multigrid should collide with the empty-method default")
 		}
 	})
 	t.Run("quadtree defaults resolved", func(t *testing.T) {

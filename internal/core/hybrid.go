@@ -102,6 +102,49 @@ func NewHybrid(c *Chip, opts HybridOptions) (*Hybrid, error) {
 	return e, nil
 }
 
+// NewHybridFromTables reconstructs the engine from precomputed table
+// data — the load half of the mmap-ready table file (see
+// internal/tablefile): ls/bs are the shared ln(t/α) and b axes and
+// blocks the per-block row-major value grids, typically aliasing a
+// shared read-only mapping. Nothing is copied; the caller keeps the
+// backing store alive and immutable.
+func NewHybridFromTables(c *Chip, ls, bs []float64, blocks [][]float64) (*Hybrid, error) {
+	if c == nil {
+		return nil, errors.New("core: nil chip")
+	}
+	if len(blocks) != len(c.Char.Blocks) {
+		return nil, fmt.Errorf("core: %d tables for %d blocks", len(blocks), len(c.Char.Blocks))
+	}
+	if len(ls) < 2 || len(bs) < 2 {
+		return nil, errors.New("core: hybrid table axes need at least 2 points")
+	}
+	e := &Hybrid{chip: c, NL: len(ls), NB: len(bs),
+		LMin: ls[0], LMax: ls[len(ls)-1], BMin: bs[0], BMax: bs[len(bs)-1]}
+	for j, vals := range blocks {
+		tab, err := integrate.NewTable2DFromData(ls, bs, vals)
+		if err != nil {
+			return nil, fmt.Errorf("core: block %q table: %w", c.Char.Blocks[j].Name, err)
+		}
+		e.tables = append(e.tables, tab)
+	}
+	return e, nil
+}
+
+// TableData exposes the shared axes and per-block value grids for
+// serialization (the spill half of the table file). The slices are the
+// engine's live internals — read-only to callers.
+func (e *Hybrid) TableData() (ls, bs []float64, blocks [][]float64) {
+	if len(e.tables) == 0 {
+		return nil, nil, nil
+	}
+	ls, bs, _ = e.tables[0].Data()
+	blocks = make([][]float64, len(e.tables))
+	for j, tab := range e.tables {
+		_, _, blocks[j] = tab.Data()
+	}
+	return ls, bs, blocks
+}
+
 // Name implements Engine.
 func (e *Hybrid) Name() string { return "hybrid" }
 

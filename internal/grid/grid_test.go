@@ -90,6 +90,18 @@ func TestGridIndexing(t *testing.T) {
 	if g := m.GridIndex(5, 5); g != 11 {
 		t.Errorf("clamped positive = %d", g)
 	}
+	// Exact east/north edge: x == W (y == H) computes ix == nx
+	// (iy == ny) before clamping and must land in the last cell, not
+	// out of range.
+	if g := m.GridIndex(1.0, 0.01); g != 3 {
+		t.Errorf("east-edge grid = %d, want 3", g)
+	}
+	if g := m.GridIndex(0.01, 1.0); g != 8 {
+		t.Errorf("north-edge grid = %d, want 8", g)
+	}
+	if g := m.GridIndex(1.0, 1.0); g != 11 {
+		t.Errorf("corner grid = %d, want 11", g)
+	}
 	// Round trip: center of each grid indexes back to it.
 	for g := 0; g < m.NumGrids(); g++ {
 		x, y := m.GridCenter(g)

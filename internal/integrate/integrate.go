@@ -172,6 +172,36 @@ func NewTable2DWorkers(xs, ys []float64, fill func(x, y float64) float64, worker
 	return t, nil
 }
 
+// NewTable2DFromData wraps precomputed axes and values WITHOUT
+// copying — the caller's slices become the table's backing store. This
+// is the mmap path of the hybrid table file: vals may alias a shared
+// read-only mapping, so the table adds no per-process copy. Callers
+// must not mutate the slices afterwards.
+func NewTable2DFromData(xs, ys, vals []float64) (*Table2D, error) {
+	if len(xs) < 2 || len(ys) < 2 {
+		return nil, errors.New("integrate: Table2D needs at least 2 points per axis")
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return nil, fmt.Errorf("integrate: x axis not strictly increasing at %d", i)
+		}
+	}
+	for i := 1; i < len(ys); i++ {
+		if ys[i] <= ys[i-1] {
+			return nil, fmt.Errorf("integrate: y axis not strictly increasing at %d", i)
+		}
+	}
+	if len(vals) != len(xs)*len(ys) {
+		return nil, fmt.Errorf("integrate: %d values for a %d×%d table", len(vals), len(xs), len(ys))
+	}
+	return &Table2D{xs: xs, ys: ys, vals: vals}, nil
+}
+
+// Data exposes the table's backing slices (x axis, y axis, row-major
+// values) for serialization. The slices are the live internals —
+// read-only to callers.
+func (t *Table2D) Data() (xs, ys, vals []float64) { return t.xs, t.ys, t.vals }
+
 // searchCell returns the index i with axis[i] <= q < axis[i+1],
 // clamped so extrapolation uses the edge cell.
 func searchCell(axis []float64, q float64) int {

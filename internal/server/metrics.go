@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"obdrel"
 	"obdrel/internal/fault"
 	"obdrel/internal/obs"
 	"obdrel/internal/pipeline"
@@ -193,6 +194,10 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	counter("obdreld_queue_timeouts_total", "Admitted queue waits that expired before a slot freed.", m.QueueTimeouts.Load())
 	counter("obdreld_drain_rejected_total", "Requests rejected 503 during graceful shutdown.", m.DrainRejected.Load())
 	counter("obdreld_fault_injected_total", "Faults fired by the injection framework (zero unless armed).", fault.InjectedTotal())
+	tblLoads, tblSaves, tblRejects := obdrel.TableFileStats()
+	counter("obdreld_hybrid_table_loads_total", "Hybrid engines served from a spilled table file.", int64(tblLoads))
+	counter("obdreld_hybrid_table_saves_total", "Hybrid table sets spilled to the table directory.", int64(tblSaves))
+	counter("obdreld_hybrid_table_rejects_total", "Table files rejected for key mismatch or corruption.", int64(tblRejects))
 	fmt.Fprintf(cw, "# HELP obdreld_engine_build_seconds_total Wall time constructing analyzers (power-thermal fixed point; per-method tables build lazily and appear in request latency).\n")
 	fmt.Fprintf(cw, "# TYPE obdreld_engine_build_seconds_total counter\n")
 	fmt.Fprintf(cw, "obdreld_engine_build_seconds_total %g\n", float64(m.BuildNanos.Load())/1e9)

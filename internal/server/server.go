@@ -55,6 +55,11 @@ type Options struct {
 	// Workers is the Config.Workers applied to every build (0 =
 	// GOMAXPROCS).
 	Workers int
+	// TableDir is the Config.TableDir applied to every build: hybrid
+	// lookup tables are spilled there on first build and served from a
+	// shared read-only mapping afterwards — across requests and across
+	// daemon restarts. Empty keeps the tables in-process only.
+	TableDir string
 	// AccessLog receives one JSON line per request (nil = discard).
 	AccessLog io.Writer
 	// Build overrides the analyzer factory (tests); nil uses
@@ -600,7 +605,15 @@ func (s *Server) handleLifetime(ctx context.Context, r *http.Request) (any, erro
 	start := time.Now()
 	_, qsp := obs.StartSpan(ctx, "query.lifetime")
 	annotateQuery(qsp, m, cfg)
-	life, err := await(ctx, func() (float64, error) { return an.LifetimePPM(ppm, m) })
+	var life float64
+	if an.EngineReady(m) {
+		// Warm path: the engine exists, the query is a µs-scale,
+		// allocation-free lookup — call it directly instead of paying a
+		// goroutine + channel + closure per request.
+		life, err = an.LifetimePPM(ppm, m)
+	} else {
+		life, err = await(ctx, func() (float64, error) { return an.LifetimePPM(ppm, m) })
+	}
 	qsp.End()
 	if err != nil {
 		return nil, queryErr(err)
@@ -663,7 +676,13 @@ func (s *Server) handleFailureProb(ctx context.Context, r *http.Request) (any, e
 	start := time.Now()
 	_, qsp := obs.StartSpan(ctx, "query.failureprob")
 	annotateQuery(qsp, m, cfg)
-	p, err := await(ctx, func() (float64, error) { return an.FailureProb(req.T, m) })
+	var p float64
+	if an.EngineReady(m) {
+		// Warm path: direct call, same rationale as handleLifetime.
+		p, err = an.FailureProb(req.T, m)
+	} else {
+		p, err = await(ctx, func() (float64, error) { return an.FailureProb(req.T, m) })
+	}
 	qsp.End()
 	if err != nil {
 		return nil, queryErr(err)
@@ -945,7 +964,7 @@ func (s *Server) resolve(req *apiRequest) (*obdrel.Design, *obdrel.Config, obdre
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	cfg, err := buildConfig(&req.Config, s.opts.Workers)
+	cfg, err := buildConfig(&req.Config, &s.opts)
 	if err != nil {
 		return nil, nil, 0, err
 	}
@@ -964,9 +983,10 @@ func parseMethod(name string) (obdrel.Method, error) {
 	return 0, errBadRequest("unknown method %q (want one of %v)", name, obdrel.Methods())
 }
 
-func buildConfig(p *configParams, workers int) (*obdrel.Config, error) {
+func buildConfig(p *configParams, o *Options) (*obdrel.Config, error) {
 	cfg := obdrel.DefaultConfig()
-	cfg.Workers = workers
+	cfg.Workers = o.Workers
+	cfg.TableDir = o.TableDir
 	if p.VDD != nil {
 		cfg.VDD = *p.VDD
 	}

@@ -95,7 +95,7 @@ func TestExplainColdMaxVDD(t *testing.T) {
 			} else if s, _ := c.(string); s != "hit" && s != "miss" && s != "coalesced" && s != "cancelled" {
 				t.Errorf("%s cache = %v", name, c)
 			}
-		case name == "thermal.sor":
+		case name == "thermal.sor" || name == "thermal.multigrid":
 			it, _ := spanAttr(sp, "iterations")
 			if f, ok := it.(float64); ok && f > sorIters {
 				sorIters = f
@@ -112,7 +112,7 @@ func TestExplainColdMaxVDD(t *testing.T) {
 		t.Errorf("trace has %d stage spans, want ≥ %d", stageSpans, len(obdrel.StageNames()))
 	}
 	if !(sorIters >= 1) {
-		t.Errorf("no thermal.sor span with iterations ≥ 1")
+		t.Errorf("no thermal solver span with iterations ≥ 1")
 	}
 }
 

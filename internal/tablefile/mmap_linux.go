@@ -1,0 +1,39 @@
+//go:build linux
+
+package tablefile
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// openBytes maps path read-only and shared, so every process serving
+// the same table file shares one page-cache copy.
+func openBytes(path string) (data []byte, mapped bool, err error) {
+	fd, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer fd.Close()
+	st, err := fd.Stat()
+	if err != nil {
+		return nil, false, err
+	}
+	size := st.Size()
+	if size < headerSize {
+		return nil, false, fmt.Errorf("tablefile: %s: truncated header (%d bytes)", path, size)
+	}
+	data, err = syscall.Mmap(int(fd.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, fmt.Errorf("tablefile: mmap %s: %w", path, err)
+	}
+	return data, true, nil
+}
+
+func closeBytes(data []byte, mapped bool) error {
+	if mapped && data != nil {
+		return syscall.Munmap(data)
+	}
+	return nil
+}

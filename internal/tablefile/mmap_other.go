@@ -1,0 +1,17 @@
+//go:build !linux
+
+package tablefile
+
+import "os"
+
+// openBytes reads the whole file into memory — the portable fallback
+// when a shared read-only mapping is unavailable.
+func openBytes(path string) (data []byte, mapped bool, err error) {
+	data, err = os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, false, nil
+}
+
+func closeBytes(data []byte, mapped bool) error { return nil }

@@ -1,0 +1,253 @@
+// Package tablefile defines the on-disk format for the hybrid
+// engine's per-block 2-D lookup tables, so a daemon can spill tables
+// on build and later serve them straight from a shared read-only
+// mapping (mmap on Linux, a plain read elsewhere) instead of
+// recomputing the N×100×100 double integrals.
+//
+// # Layout (version 1, all integers little-endian)
+//
+//	offset size field
+//	0      4    magic "OBDT"
+//	4      4    version (uint32) = 1
+//	8      8    payload length (uint64): bytes from offset 88 to EOF
+//	16     8    payload checksum (uint64): FNV-64a over the payload
+//	24     32   table key: 32 ASCII bytes, the fingerprint-derived
+//	            cache key of the tables (see obdrel's hybrid table key)
+//	56     8    nBlocks (uint64)
+//	64     8    nl (uint64): points on the shared ln(t/α) axis
+//	72     8    nb (uint64): points on the shared b axis
+//	80     8    reserved, 0
+//	88     ...  payload:
+//	            88                     ls axis, nl float64
+//	            88+8·nl                bs axis, nb float64
+//	            88+8·(nl+nb)+k·8·nl·nb block k values, nl·nb float64,
+//	                                   row-major in l (v[i·nb+j])
+//
+// The payload starts at offset 88 — a multiple of 8 — so the float64
+// sections are naturally aligned in a page-aligned mapping and can be
+// aliased in place without copying. Readers verify magic, version,
+// length, and checksum before trusting anything; the embedded key lets
+// the caller reject a file whose fingerprints do not match the
+// configuration it is about to serve (a stale or foreign file), even
+// if the file itself is internally consistent.
+package tablefile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"unsafe"
+)
+
+const (
+	magic      = "OBDT"
+	version    = 1
+	keySize    = 32
+	headerSize = 88
+)
+
+// KeySize is the exact length of the embedded table key.
+const KeySize = keySize
+
+// File is an opened table file. Axis and block slices alias the
+// underlying bytes (the mapping on Linux), so they stay valid — and
+// must be treated as read-only — until Close.
+type File struct {
+	// Key is the fingerprint-derived key the file was written under.
+	Key string
+	// NL, NB, NBlocks describe the table geometry.
+	NL, NB, NBlocks int
+
+	ls, bs []float64
+	blocks [][]float64
+	data   []byte
+	mapped bool
+}
+
+// Ls returns the shared ln(t/α) axis.
+func (f *File) Ls() []float64 { return f.ls }
+
+// Bs returns the shared b axis.
+func (f *File) Bs() []float64 { return f.bs }
+
+// Block returns block k's row-major value grid.
+func (f *File) Block(k int) []float64 { return f.blocks[k] }
+
+// Blocks returns all per-block value grids.
+func (f *File) Blocks() [][]float64 { return f.blocks }
+
+// Mapped reports whether the data is served from an mmap (true on
+// Linux) rather than a heap copy.
+func (f *File) Mapped() bool { return f.mapped }
+
+// Close releases the mapping. The slices handed out become invalid.
+func (f *File) Close() error {
+	data, mapped := f.data, f.mapped
+	f.data, f.ls, f.bs, f.blocks = nil, nil, nil, nil
+	return closeBytes(data, mapped)
+}
+
+// hostLittleEndian reports the native byte order; on the (ubiquitous)
+// little-endian hosts the on-disk floats alias in place, elsewhere
+// they are decoded into a copy.
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// floats reinterprets n float64 starting at b[off] without copying
+// when the host is little-endian and the section is 8-byte aligned,
+// decoding into a fresh slice otherwise.
+func floats(b []byte, off, n int) []float64 {
+	sec := b[off : off+8*n]
+	if hostLittleEndian && uintptr(unsafe.Pointer(&sec[0]))%8 == 0 {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&sec[0])), n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(sec[i*8:]))
+	}
+	return out
+}
+
+func checksum(payload []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(payload)
+	return h.Sum64()
+}
+
+// Open maps (or reads, off Linux) a table file and verifies its
+// structure: magic, version, geometry, length, and payload checksum.
+// The caller must additionally compare Key against the key it expects
+// before serving the tables.
+func Open(path string) (*File, error) {
+	data, mapped, err := openBytes(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := parse(data, mapped)
+	if err != nil {
+		closeBytes(data, mapped)
+		return nil, fmt.Errorf("tablefile: %s: %w", path, err)
+	}
+	return f, nil
+}
+
+func parse(data []byte, mapped bool) (*File, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("truncated header (%d bytes)", len(data))
+	}
+	if string(data[0:4]) != magic {
+		return nil, fmt.Errorf("bad magic %q", data[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != version {
+		return nil, fmt.Errorf("unsupported version %d", v)
+	}
+	payloadLen := binary.LittleEndian.Uint64(data[8:16])
+	sum := binary.LittleEndian.Uint64(data[16:24])
+	key := string(data[24 : 24+keySize])
+	nBlocks := binary.LittleEndian.Uint64(data[56:64])
+	nl := binary.LittleEndian.Uint64(data[64:72])
+	nb := binary.LittleEndian.Uint64(data[72:80])
+
+	const maxDim = 1 << 20
+	if nl < 2 || nb < 2 || nl > maxDim || nb > maxDim || nBlocks == 0 || nBlocks > maxDim {
+		return nil, fmt.Errorf("implausible geometry %d blocks × %d×%d", nBlocks, nl, nb)
+	}
+	want := 8 * (nl + nb + nBlocks*nl*nb)
+	if payloadLen != want {
+		return nil, fmt.Errorf("payload length %d, want %d", payloadLen, want)
+	}
+	if uint64(len(data)) != headerSize+payloadLen {
+		return nil, fmt.Errorf("file is %d bytes, want %d", len(data), headerSize+payloadLen)
+	}
+	payload := data[headerSize:]
+	if got := checksum(payload); got != sum {
+		return nil, fmt.Errorf("checksum mismatch: %#x, want %#x", got, sum)
+	}
+
+	f := &File{
+		Key: key, NL: int(nl), NB: int(nb), NBlocks: int(nBlocks),
+		data: data, mapped: mapped,
+	}
+	off := headerSize
+	f.ls = floats(data, off, f.NL)
+	off += 8 * f.NL
+	f.bs = floats(data, off, f.NB)
+	off += 8 * f.NB
+	f.blocks = make([][]float64, f.NBlocks)
+	for k := range f.blocks {
+		f.blocks[k] = floats(data, off, f.NL*f.NB)
+		off += 8 * f.NL * f.NB
+	}
+	return f, nil
+}
+
+// Write serializes the tables under key and atomically replaces path
+// (temp file + rename in the same directory), so concurrent readers
+// never observe a half-written file.
+func Write(path, key string, ls, bs []float64, blocks [][]float64) error {
+	if len(key) != keySize {
+		return fmt.Errorf("tablefile: key must be %d bytes, got %d", keySize, len(key))
+	}
+	nl, nb := len(ls), len(bs)
+	if nl < 2 || nb < 2 || len(blocks) == 0 {
+		return fmt.Errorf("tablefile: degenerate tables %d blocks × %d×%d", len(blocks), nl, nb)
+	}
+	for k, v := range blocks {
+		if len(v) != nl*nb {
+			return fmt.Errorf("tablefile: block %d has %d values, want %d", k, len(v), nl*nb)
+		}
+	}
+	payloadLen := 8 * (nl + nb + len(blocks)*nl*nb)
+	buf := make([]byte, headerSize+payloadLen)
+	off := headerSize
+	put := func(v []float64) {
+		for _, x := range v {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(x))
+			off += 8
+		}
+	}
+	put(ls)
+	put(bs)
+	for _, v := range blocks {
+		put(v)
+	}
+	copy(buf[0:4], magic)
+	binary.LittleEndian.PutUint32(buf[4:8], version)
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(payloadLen))
+	binary.LittleEndian.PutUint64(buf[16:24], checksum(buf[headerSize:]))
+	copy(buf[24:24+keySize], key)
+	binary.LittleEndian.PutUint64(buf[56:64], uint64(len(blocks)))
+	binary.LittleEndian.PutUint64(buf[64:72], uint64(nl))
+	binary.LittleEndian.PutUint64(buf[72:80], uint64(nb))
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".obdt-*")
+	if err != nil {
+		return fmt.Errorf("tablefile: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("tablefile: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("tablefile: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("tablefile: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("tablefile: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package tablefile
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func sampleTables() (ls, bs []float64, blocks [][]float64) {
+	ls = []float64{-40, -20, -10, 0}
+	bs = []float64{0.5, 1.0, 1.5}
+	blocks = make([][]float64, 2)
+	for k := range blocks {
+		v := make([]float64, len(ls)*len(bs))
+		for i := range v {
+			v[i] = float64(k*1000+i) * 0.125
+		}
+		blocks[k] = v
+	}
+	return ls, bs, blocks
+}
+
+const testKey = "0123456789abcdef0123456789abcdef"
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tables.obdt")
+	ls, bs, blocks := sampleTables()
+	if err := Write(path, testKey, ls, bs, blocks); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer f.Close()
+	if f.Key != testKey {
+		t.Errorf("Key = %q, want %q", f.Key, testKey)
+	}
+	if f.NL != len(ls) || f.NB != len(bs) || f.NBlocks != len(blocks) {
+		t.Errorf("geometry = %d×%d×%d, want %d×%d×%d",
+			f.NBlocks, f.NL, f.NB, len(blocks), len(ls), len(bs))
+	}
+	if runtime.GOOS == "linux" && !f.Mapped() {
+		t.Error("expected an mmap-backed file on linux")
+	}
+	for i, v := range f.Ls() {
+		if v != ls[i] {
+			t.Fatalf("Ls[%d] = %v, want %v", i, v, ls[i])
+		}
+	}
+	for i, v := range f.Bs() {
+		if v != bs[i] {
+			t.Fatalf("Bs[%d] = %v, want %v", i, v, bs[i])
+		}
+	}
+	for k := range blocks {
+		got := f.Block(k)
+		for i, v := range got {
+			if v != blocks[k][i] {
+				t.Fatalf("Block(%d)[%d] = %v, want %v", k, i, v, blocks[k][i])
+			}
+		}
+	}
+}
+
+func TestWriteIsAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tables.obdt")
+	ls, bs, blocks := sampleTables()
+	if err := Write(path, testKey, ls, bs, blocks); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	// Overwrite with different content under a different key.
+	key2 := strings.Repeat("f", KeySize)
+	blocks[0][0] = 42
+	if err := Write(path, key2, ls, bs, blocks); err != nil {
+		t.Fatalf("second Write: %v", err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer f.Close()
+	if f.Key != key2 {
+		t.Errorf("Key = %q, want %q", f.Key, key2)
+	}
+	if f.Block(0)[0] != 42 {
+		t.Errorf("Block(0)[0] = %v, want 42", f.Block(0)[0])
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries after writes, want 1", len(entries))
+	}
+}
+
+func TestOpenRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tables.obdt")
+	ls, bs, blocks := sampleTables()
+	if err := Write(path, testKey, ls, bs, blocks); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(b []byte) []byte
+	}{
+		{"flipped payload byte", func(b []byte) []byte {
+			b[len(b)-3] ^= 0xff
+			return b
+		}},
+		{"bad magic", func(b []byte) []byte {
+			b[0] = 'X'
+			return b
+		}},
+		{"future version", func(b []byte) []byte {
+			b[4] = 99
+			return b
+		}},
+		{"truncated payload", func(b []byte) []byte {
+			return b[:len(b)-8]
+		}},
+		{"truncated header", func(b []byte) []byte {
+			return b[:headerSize-1]
+		}},
+		{"implausible geometry", func(b []byte) []byte {
+			b[64] = 0 // nl = 0
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := tc.mutate(append([]byte(nil), good...))
+			p := filepath.Join(dir, "bad.obdt")
+			if err := os.WriteFile(p, bad, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if f, err := Open(p); err == nil {
+				f.Close()
+				t.Fatal("Open accepted a corrupted file")
+			}
+		})
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tables.obdt")
+	ls, bs, blocks := sampleTables()
+	if err := Write(path, "short", ls, bs, blocks); err == nil {
+		t.Error("Write accepted a short key")
+	}
+	if err := Write(path, testKey, ls[:1], bs, blocks); err == nil {
+		t.Error("Write accepted a 1-point axis")
+	}
+	bad := [][]float64{blocks[0], blocks[1][:3]}
+	if err := Write(path, testKey, ls, bs, bad); err == nil {
+		t.Error("Write accepted a short block")
+	}
+}
+
+func TestKeySurvivesButCallerMustCheck(t *testing.T) {
+	// Open itself does not enforce a key match — it only surfaces the
+	// embedded key. This test documents the contract the obdrel loader
+	// relies on: a structurally valid file with the wrong key opens
+	// fine, and rejection happens one layer up.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tables.obdt")
+	ls, bs, blocks := sampleTables()
+	other := strings.Repeat("a", KeySize)
+	if err := Write(path, other, ls, bs, blocks); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer f.Close()
+	if f.Key == testKey {
+		t.Fatal("key unexpectedly matches")
+	}
+}

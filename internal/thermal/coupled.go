@@ -34,7 +34,12 @@ func (s *Solver) SolveCoupled(d *floorplan.Design, powerAt func(temps []float64)
 
 // SolveCoupledCtx is SolveCoupled with cancellation checkpoints: one
 // before each fixed-point round, plus the inner solver's per-sweep
-// checks via SolveCtx.
+// checks via the solve state.
+//
+// The temperature-field, cell-power, and block-temperature scratch
+// slices are allocated once and reused across rounds (each round still
+// restarts the inner solve from ambient, so the per-round iterations
+// are identical to a fresh SolveCtx call).
 func (s *Solver) SolveCoupledCtx(ctx context.Context, d *floorplan.Design, powerAt func(temps []float64) ([]float64, error), tolK float64, maxRounds int) (*CoupledResult, error) {
 	if powerAt == nil {
 		return nil, errors.New("thermal: SolveCoupled requires a power callback")
@@ -45,20 +50,24 @@ func (s *Solver) SolveCoupledCtx(ctx context.Context, d *floorplan.Design, power
 	if maxRounds <= 0 {
 		maxRounds = 25
 	}
-	// The coupled span parents the inner per-round thermal.sor spans,
-	// so a trace shows how many fixed-point rounds (Eq. 12–14 loop)
-	// the solve took and how each round's SOR converged.
+	// The coupled span parents the inner per-round solver spans, so a
+	// trace shows how many fixed-point rounds (Eq. 12–14 loop) the
+	// solve took and how each round's inner solve converged.
 	ctx, sp := obs.StartSpan(ctx, "thermal.coupled")
 	defer sp.End()
+	st, err := s.newSolveState(d)
+	if err != nil {
+		return nil, err
+	}
 	temps := make([]float64, len(d.Blocks))
 	for i := range temps {
 		temps[i] = s.TAmbient
 	}
 	var (
-		field      *Field
-		mean, max  []float64
+		field      = st.field() // aliases the state's scratch; valid after the last run
+		mean       = make([]float64, len(d.Blocks))
+		max        = make([]float64, len(d.Blocks))
 		powers     []float64
-		err        error
 		lastChange = math.Inf(1)
 	)
 	round := 0
@@ -67,7 +76,7 @@ func (s *Solver) SolveCoupledCtx(ctx context.Context, d *floorplan.Design, power
 			return nil, err
 		}
 		// thermal.solve: one fault evaluation per fixed-point round, so
-		// an armed latency or error rule perturbs the SOR loop exactly
+		// an armed latency or error rule perturbs the solver loop exactly
 		// where a slow or failing solver backend would.
 		if err := fault.Inject(ctx, "thermal.solve"); err != nil {
 			return nil, err
@@ -76,12 +85,11 @@ func (s *Solver) SolveCoupledCtx(ctx context.Context, d *floorplan.Design, power
 		if err != nil {
 			return nil, fmt.Errorf("thermal: power callback: %w", err)
 		}
-		field, err = s.SolveCtx(ctx, d, powers)
-		if err != nil {
+		if err := st.run(ctx, powers); err != nil {
 			return nil, err
 		}
-		mean, max, err = field.BlockTemps(d)
-		if err != nil {
+		field.Iterations = st.iterations
+		if err := field.BlockTempsInto(d, mean, max); err != nil {
 			return nil, err
 		}
 		lastChange = 0

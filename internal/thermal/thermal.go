@@ -5,11 +5,13 @@
 //
 //	gV·(T_c - T_amb) + Σ_n gL·(T_c - T_n) = P_c
 //
-// The sparse linear system is solved by successive over-relaxation.
-// The result is the block-structured temperature field of Fig. 1:
-// globally uneven (hotspots over execution units), locally uniform
-// within a functional block — exactly the structure the paper's
-// "block" definition relies on.
+// The sparse linear system is solved either by geometric multigrid
+// (the default — O(N) in the cell count, see multigrid.go) or by
+// successive over-relaxation (the legacy method). The result is the
+// block-structured temperature field of Fig. 1: globally uneven
+// (hotspots over execution units), locally uniform within a
+// functional block — exactly the structure the paper's "block"
+// definition relies on.
 package thermal
 
 import (
@@ -35,21 +37,33 @@ type Solver struct {
 	GLateral float64
 	// TAmbient is the ambient temperature (°C).
 	TAmbient float64
+	// Method selects the linear solver: "multigrid" (also the default
+	// when empty) runs the geometric V-cycle of multigrid.go, whose
+	// cost per digit of accuracy is O(Nx·Ny); "sor" runs the legacy
+	// successive over-relaxation sweep, whose iteration count grows
+	// super-linearly with resolution. Both converge to the same linear
+	// system's solution, so they agree within the convergence
+	// tolerance Tol.
+	Method string
 	// Omega is the SOR relaxation factor in (0, 2); 0 selects the
-	// default 1.85.
+	// default 1.85. Multigrid ignores it (its smoother is plain
+	// Gauss–Seidel).
 	Omega float64
 	// Tol is the convergence tolerance on the max temperature update
-	// per sweep (K); 0 selects 1e-7.
+	// per sweep (SOR) or per V-cycle (multigrid), in K; 0 selects 1e-7.
 	Tol float64
-	// MaxIter bounds the SOR sweeps; 0 selects 20000.
+	// MaxIter bounds the SOR sweeps or multigrid V-cycles; 0 selects
+	// 20000.
 	MaxIter int
-	// Workers selects the sweep parallelism: 0 uses GOMAXPROCS, 1 the
-	// exact legacy lexicographic Gauss–Seidel sweep, and ≥ 2 a
-	// red-black (checkerboard) sweep whose row updates fan out over
-	// the workers. Within a red-black phase every cell reads only
-	// opposite-color neighbours, so the parallel solution is
-	// bit-identical for every worker count ≥ 2; it differs from the
-	// lexicographic ordering only within the convergence tolerance.
+	// Workers selects the solve parallelism: 0 uses GOMAXPROCS and
+	// ≥ 1 that many workers. For SOR, 1 is the exact legacy
+	// lexicographic Gauss–Seidel sweep and ≥ 2 a red-black
+	// (checkerboard) sweep whose row updates fan out over the workers;
+	// within a red-black phase every cell reads only opposite-color
+	// neighbours, so the parallel solution is bit-identical for every
+	// worker count ≥ 2. Multigrid uses the red-black ordering at every
+	// worker count, so its result is bit-identical for ALL worker
+	// counts, including 1.
 	Workers int
 }
 
@@ -78,8 +92,26 @@ func (s *Solver) Validate() error {
 		return errors.New("thermal: lateral conductance must be non-negative")
 	case s.Omega < 0 || s.Omega >= 2:
 		return errors.New("thermal: SOR omega must be in [0, 2)")
+	case s.Method != "" && s.Method != MethodSOR && s.Method != MethodMultigrid:
+		return fmt.Errorf("thermal: unknown solver method %q", s.Method)
 	}
 	return nil
+}
+
+// Solver method names accepted by Solver.Method.
+const (
+	MethodSOR       = "sor"
+	MethodMultigrid = "multigrid"
+)
+
+// ResolvedMethod returns the solver method after applying the default:
+// an empty Method selects multigrid. Fingerprinting uses this so that
+// an explicit "multigrid" and the default produce the same stage key.
+func (s *Solver) ResolvedMethod() string {
+	if s.Method == "" {
+		return MethodMultigrid
+	}
+	return s.Method
 }
 
 // Field is a solved temperature map.
@@ -89,12 +121,15 @@ type Field struct {
 	// Temps holds cell temperatures (°C), row-major with index
 	// iy*Nx + ix.
 	Temps []float64
-	// Iterations is the number of SOR sweeps used.
+	// Iterations is the number of SOR sweeps or multigrid V-cycles
+	// used.
 	Iterations int
 }
 
 // At returns the temperature of the cell containing (x, y), clamping
-// coordinates onto the die.
+// coordinates onto the die. A query exactly on the east or north chip
+// edge (x == W or y == H) computes ix == Nx / iy == Ny and is clamped
+// into the last cell, like any out-of-range coordinate.
 func (f *Field) At(x, y float64) float64 {
 	ix := int(x / f.W * float64(f.Nx))
 	iy := int(y / f.H * float64(f.Ny))
@@ -142,42 +177,95 @@ func (s *Solver) Solve(d *floorplan.Design, blockPowers []float64) (*Field, erro
 	return s.SolveCtx(context.Background(), d, blockPowers)
 }
 
-// SolveCtx is Solve with a cancellation checkpoint at every SOR sweep:
-// once ctx expires the solve stops and returns ctx's error. The
-// checkpoint granularity is one full sweep, so cancellation latency is
-// O(Nx·Ny) cell updates — microseconds at the supported resolutions.
+// SolveCtx is Solve with a cancellation checkpoint at every sweep (SOR)
+// or V-cycle (multigrid): once ctx expires the solve stops and returns
+// ctx's error. The checkpoint granularity is O(Nx·Ny) cell updates —
+// microseconds at the supported resolutions.
 func (s *Solver) SolveCtx(ctx context.Context, d *floorplan.Design, blockPowers []float64) (*Field, error) {
+	st, err := s.newSolveState(d)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.run(ctx, blockPowers); err != nil {
+		return nil, err
+	}
+	return st.field(), nil
+}
+
+// solveState holds the scratch of one solver instance bound to a die:
+// the per-cell power and temperature arrays plus the method-specific
+// state (multigrid level hierarchy). SolveCoupledCtx builds one state
+// and reuses it across fixed-point rounds, so the cold-build profile
+// pays the allocations once instead of once per round.
+type solveState struct {
+	s *Solver
+	d *floorplan.Design
+
+	// Resolved knobs.
+	omega, tol float64
+	maxIter    int
+	method     string
+	workers    int
+
+	nc        int
+	cellPower []float64
+	temps     []float64
+	rowMax    []float64 // per-row update maxima (SOR red-black)
+
+	mg *mgState // lazily built on the first multigrid run
+
+	iterations int
+	lastDelta  float64
+}
+
+// newSolveState validates the solver and allocates the per-die scratch.
+func (s *Solver) newSolveState(d *floorplan.Design) (*solveState, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	if len(blockPowers) != len(d.Blocks) {
-		return nil, fmt.Errorf("thermal: %d powers for %d blocks", len(blockPowers), len(d.Blocks))
+	st := &solveState{
+		s:       s,
+		d:       d,
+		omega:   s.Omega,
+		tol:     s.Tol,
+		maxIter: s.MaxIter,
+		method:  s.ResolvedMethod(),
+		workers: par.Resolve(s.Workers, s.Ny),
+		nc:      s.Nx * s.Ny,
 	}
-	omega := s.Omega
-	if omega == 0 {
-		omega = 1.85
+	if st.omega == 0 {
+		st.omega = 1.85
 	}
-	tol := s.Tol
-	if tol == 0 {
-		tol = 1e-7
+	if st.tol == 0 {
+		st.tol = 1e-7
 	}
-	maxIter := s.MaxIter
-	if maxIter == 0 {
-		maxIter = 20000
+	if st.maxIter == 0 {
+		st.maxIter = 20000
 	}
+	st.cellPower = make([]float64, st.nc)
+	st.temps = make([]float64, st.nc)
+	return st, nil
+}
 
-	nc := s.Nx * s.Ny
-	cellPower := make([]float64, nc)
+// fillCellPower distributes the block powers over the cells each block
+// overlaps, proportionally to the overlap area, resetting the scratch
+// first so the state can be reused across solves.
+func (st *solveState) fillCellPower(blockPowers []float64) error {
+	s, d := st.s, st.d
+	if len(blockPowers) != len(d.Blocks) {
+		return fmt.Errorf("thermal: %d powers for %d blocks", len(blockPowers), len(d.Blocks))
+	}
+	for i := range st.cellPower {
+		st.cellPower[i] = 0
+	}
 	cw := d.W / float64(s.Nx)
 	ch := d.H / float64(s.Ny)
 	for bi := range d.Blocks {
 		b := &d.Blocks[bi]
 		if blockPowers[bi] < 0 {
-			return nil, fmt.Errorf("thermal: negative power for block %q", b.Name)
+			return fmt.Errorf("thermal: negative power for block %q", b.Name)
 		}
 		density := blockPowers[bi] / b.Area()
-		// Distribute block power over the cells it overlaps,
-		// proportionally to the overlap area.
 		ix0 := int(math.Floor(b.X / cw))
 		ix1 := int(math.Ceil((b.X + b.W) / cw))
 		iy0 := int(math.Floor(b.Y / ch))
@@ -187,19 +275,50 @@ func (s *Solver) SolveCtx(ctx context.Context, d *floorplan.Design, blockPowers 
 				ox := overlap1D(b.X, b.X+b.W, float64(ix)*cw, float64(ix+1)*cw)
 				oy := overlap1D(b.Y, b.Y+b.H, float64(iy)*ch, float64(iy+1)*ch)
 				if ox > 0 && oy > 0 {
-					cellPower[iy*s.Nx+ix] += density * ox * oy
+					st.cellPower[iy*s.Nx+ix] += density * ox * oy
 				}
 			}
 		}
 	}
+	return nil
+}
 
-	gv := s.GVertical / float64(nc)
-	gl := s.GLateral
-	temps := make([]float64, nc)
-	for i := range temps {
-		temps[i] = s.TAmbient
+// run solves one steady state into st.temps. The temperature scratch is
+// reset to ambient first, so repeated runs are independent (each round
+// of the coupled fixed point sees the exact cold-start iteration, as
+// the pre-reuse code did).
+func (st *solveState) run(ctx context.Context, blockPowers []float64) error {
+	if err := st.fillCellPower(blockPowers); err != nil {
+		return err
 	}
-	workers := par.Resolve(s.Workers, s.Ny)
+	for i := range st.temps {
+		st.temps[i] = st.s.TAmbient
+	}
+	if st.method == MethodMultigrid {
+		return st.runMultigrid(ctx)
+	}
+	return st.runSOR(ctx)
+}
+
+// field wraps the solved temperatures. The Field aliases the state's
+// scratch; callers must not run the state again while using it.
+func (st *solveState) field() *Field {
+	return &Field{
+		Nx: st.s.Nx, Ny: st.s.Ny,
+		W: st.d.W, H: st.d.H,
+		Temps:      st.temps,
+		Iterations: st.iterations,
+	}
+}
+
+// runSOR is the legacy successive over-relaxation solve.
+func (st *solveState) runSOR(ctx context.Context) error {
+	s := st.s
+	gv := s.GVertical / float64(st.nc)
+	gl := s.GLateral
+	temps := st.temps
+	cellPower := st.cellPower
+	omega, tol, maxIter, workers := st.omega, st.tol, st.maxIter, st.workers
 	// Solver telemetry: one span per SOR solve reporting convergence
 	// (sweep count + final residual). Untraced contexts get a nil span
 	// and every instrumentation line below is a pointer check.
@@ -239,7 +358,7 @@ func (s *Solver) SolveCtx(ctx context.Context, d *floorplan.Design, blockPowers 
 		// Legacy lexicographic Gauss–Seidel-ordered SOR.
 		for ; iter < maxIter; iter++ {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return err
 			}
 			maxDelta := 0.0
 			for iy := 0; iy < s.Ny; iy++ {
@@ -260,10 +379,13 @@ func (s *Solver) SolveCtx(ctx context.Context, d *floorplan.Design, blockPowers 
 		// phase 1 the odd ones. All cells of one color depend only on
 		// the other color, so rows fan out over the workers without
 		// changing the result.
-		rowMax := make([]float64, s.Ny)
+		if st.rowMax == nil {
+			st.rowMax = make([]float64, s.Ny)
+		}
+		rowMax := st.rowMax
 		for ; iter < maxIter; iter++ {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return err
 			}
 			for i := range rowMax {
 				rowMax[i] = 0
@@ -298,10 +420,12 @@ func (s *Solver) SolveCtx(ctx context.Context, d *floorplan.Design, blockPowers 
 		sp.SetAttr("iterations", iter)
 		sp.SetAttr("residual", lastDelta)
 	}
+	st.iterations = iter
+	st.lastDelta = lastDelta
 	if iter >= maxIter {
-		return nil, errors.New("thermal: SOR did not converge")
+		return errors.New("thermal: SOR did not converge")
 	}
-	return &Field{Nx: s.Nx, Ny: s.Ny, W: d.W, H: d.H, Temps: temps, Iterations: iter}, nil
+	return nil
 }
 
 func clampInt(v, lo, hi int) int {
@@ -330,6 +454,19 @@ func overlap1D(a0, a1, b0, b1 float64) float64 {
 func (f *Field) BlockTemps(d *floorplan.Design) (mean, max []float64, err error) {
 	mean = make([]float64, len(d.Blocks))
 	max = make([]float64, len(d.Blocks))
+	if err := f.BlockTempsInto(d, mean, max); err != nil {
+		return nil, nil, err
+	}
+	return mean, max, nil
+}
+
+// BlockTempsInto is BlockTemps writing into caller-provided slices
+// (each len(d.Blocks)), so a fixed-point loop can reuse its scratch
+// across rounds.
+func (f *Field) BlockTempsInto(d *floorplan.Design, mean, max []float64) error {
+	if len(mean) != len(d.Blocks) || len(max) != len(d.Blocks) {
+		return fmt.Errorf("thermal: scratch length %d/%d for %d blocks", len(mean), len(max), len(d.Blocks))
+	}
 	cw := f.W / float64(f.Nx)
 	ch := f.H / float64(f.Ny)
 	for bi := range d.Blocks {
@@ -356,12 +493,12 @@ func (f *Field) BlockTemps(d *floorplan.Design) (mean, max []float64, err error)
 			}
 		}
 		if wsum == 0 {
-			return nil, nil, fmt.Errorf("thermal: block %q overlaps no thermal cells", b.Name)
+			return fmt.Errorf("thermal: block %q overlaps no thermal cells", b.Name)
 		}
 		mean[bi] = tsum / wsum
 		max[bi] = tmax
 	}
-	return mean, max, nil
+	return nil
 }
 
 // EnergyBalance returns the relative imbalance between the heat

@@ -329,6 +329,16 @@ type Config struct {
 	// excluded from fingerprints; tests set it (together with
 	// DisablePCACache) to isolate runs from shared state.
 	DisableStageCache bool
+	// TableDir, when non-empty, spills the hybrid engine's per-block
+	// lookup tables to versioned, checksummed files in this directory
+	// on first build and serves later builds straight from a shared
+	// read-only mapping (mmap on Linux; see internal/tablefile). Files
+	// are keyed by the chip-stage fingerprint plus the table geometry,
+	// so a stale or foreign file is never served — it is rejected and
+	// rebuilt in place. Like Workers it is a performance knob, excluded
+	// from fingerprints: where the tables come from does not change a
+	// single query result.
+	TableDir string
 }
 
 // DefaultConfig returns the paper's experimental setup.

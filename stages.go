@@ -317,6 +317,7 @@ func newAnalyzerWith(ctx context.Context, cache *pipeline.Cache, d *Design, cfg 
 		tech:      g.tech,
 		blockInfo: w.info,
 		field:     coupled.Field,
+		chipKey:   g.keys[StageChip],
 		engines:   make(map[Method]core.Engine),
 	}, nil
 }

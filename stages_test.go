@@ -113,6 +113,7 @@ func TestStageFingerprintSensitivity(t *testing.T) {
 		{"Workers", func(c *Config) { c.Workers = 8 }, nil, false},
 		{"DisablePCACache", func(c *Config) { c.DisablePCACache = true }, nil, false},
 		{"DisableStageCache", func(c *Config) { c.DisableStageCache = true }, nil, false},
+		{"TableDir", func(c *Config) { c.TableDir = "/tmp/tables" }, nil, false},
 	}
 
 	baseKeys := StageFingerprints(d, base)
