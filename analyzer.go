@@ -188,6 +188,15 @@ func (a *Analyzer) EngineReady(m Method) bool {
 	return ok
 }
 
+// Prepare builds (if absent) the engine for m without running a
+// query, so subsequent LifetimeAt/FailureProb calls for the method
+// take the warm zero-alloc path. The batch planner calls it once per
+// item group before fanning the group's queries across workers.
+func (a *Analyzer) Prepare(m Method) error {
+	_, err := a.engine(m)
+	return err
+}
+
 // validTime rejects non-finite query times before they reach an
 // engine — a NaN time silently propagates through every integral.
 func validTime(t float64) error {

@@ -856,6 +856,20 @@ func validateReport(path string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	// Peek at the envelope first: the serving-side report families
+	// (kind "serving"/"chaos"/"fleet", schemas v1/v4/v6) are loadgen's,
+	// and feeding one here would otherwise die on an opaque
+	// unknown-field error instead of pointing at the right validator.
+	var head struct {
+		Schema string `json:"schema"`
+		Kind   string `json:"kind"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		return "", err
+	}
+	if head.Kind != "" {
+		return "", fmt.Errorf("schema %q kind %q is a loadgen report; validate it with 'loadgen -validate %s'", head.Schema, head.Kind, path)
+	}
 	var rep Report
 	dec := json.NewDecoder(strings.NewReader(string(data)))
 	dec.DisallowUnknownFields()

@@ -1,0 +1,519 @@
+// Fleet preset: the obdrel-bench/v6 report (BENCH_pr7.json). One run
+// drives /v1/batch through three legs and a replay check:
+//
+//  1. cold leg — a same-design lifetime sweep with one deliberately
+//     invalid item in the middle, against a cold stage cache. Gates
+//     that the voltage-independent substrate stages build exactly
+//     once for the whole group and that the mid-stream failure is a
+//     per-item error line, not a dead stream.
+//  2. warm timed leg — the same sweep again; items/sec and exact
+//     per-item eval percentiles (from the server-stamped query_us).
+//  3. unary leg — a sequential GET /v1/lifetime loop over the same
+//     design/config and the same cycling ppm targets, the
+//     one-request-per-item baseline the batch endpoint amortizes.
+//     The headline gate is batch ≥ 5× unary items/sec (≥ 2× under
+//     -quick, where the smaller sweep has less duplication). The
+//     amortization is structural, not timer luck: the sweep models a
+//     fleet (many units, few distinct policy thresholds), so the
+//     planner answers duplicate (design, config, query) items from
+//     one evaluation and fans the result out, while the unary loop
+//     pays the full ppm→lifetime inversion on every request.
+//
+// The replay leg posts identical telemetry-trace items and compares
+// the batch answer against the library evaluating the same trace
+// in-process: the two must be bit-identical, because the server
+// derives its config the same way and JSON round-trips float64
+// exactly.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"runtime"
+	"sort"
+	"time"
+
+	"obdrel"
+)
+
+// FleetSchema is the batch/fleet report format; FleetKind separates
+// it from the other loadgen kinds under validation.
+const (
+	FleetSchema = "obdrel-bench/v6"
+	FleetKind   = "fleet"
+)
+
+// FleetReport is the top-level BENCH_pr7.json document.
+type FleetReport struct {
+	Schema        string       `json:"schema"`
+	Kind          string       `json:"kind"`
+	GeneratedAt   string       `json:"generated_at"`
+	Target        string       `json:"target"`
+	Quick         bool         `json:"quick"`
+	GoMaxProcs    int          `json:"go_max_procs"`
+	Design        string       `json:"design"`
+	Items         int          `json:"items"`
+	Distinct      int          `json:"distinct_queries"`
+	Window        int          `json:"window"`
+	Cold          FleetLeg     `json:"cold"`
+	Warm          FleetLeg     `json:"warm"`
+	Unary         UnaryLeg     `json:"unary"`
+	AmortizationX float64      `json:"amortization_x"`
+	Replay        ReplayLeg    `json:"replay"`
+	Substrate     []StageDelta `json:"substrate_builds"`
+}
+
+// FleetLeg is one /v1/batch request's outcome: trailer counters plus
+// wall time and the per-item eval-time distribution.
+type FleetLeg struct {
+	Items       int     `json:"items"`
+	OK          int     `json:"ok"`
+	Errors      int     `json:"errors"`
+	Groups      int     `json:"groups"`
+	Reused      int     `json:"reused"`
+	SharedEvals int     `json:"shared_evals"`
+	Windows     int     `json:"windows"`
+	WallUs      float64 `json:"wall_us"`
+	ItemsPerSec float64 `json:"items_per_sec"`
+	P50Us       float64 `json:"p50_us"`
+	P99Us       float64 `json:"p99_us"`
+}
+
+// UnaryLeg is the sequential one-request-per-item baseline.
+type UnaryLeg struct {
+	Requests    int     `json:"requests"`
+	WallUs      float64 `json:"wall_us"`
+	ItemsPerSec float64 `json:"items_per_sec"`
+	P50Us       float64 `json:"p50_us"`
+	P99Us       float64 `json:"p99_us"`
+}
+
+// ReplayLeg records the batch-vs-library telemetry replay check.
+type ReplayLeg struct {
+	Items         int     `json:"items"`
+	TraceSegments int     `json:"trace_segments"`
+	BatchHours    float64 `json:"batch_lifetime_hours"`
+	LocalHours    float64 `json:"local_lifetime_hours"`
+	BitIdentical  bool    `json:"bit_identical"`
+}
+
+// StageDelta is one pipeline stage's build count across the cold leg.
+type StageDelta struct {
+	Stage  string `json:"stage"`
+	Builds int64  `json:"builds"`
+}
+
+// fleetSizes returns (sweep items, distinct policy thresholds, unary
+// requests, replay items). The sweep models a fleet: many units, far
+// fewer distinct policy ppm targets — the duplication the batch
+// planner's eval sharing amortizes and a one-request-per-item loop
+// cannot.
+func fleetSizes(quick bool) (items, distinct, unary, replay int) {
+	if quick {
+		return 200, 25, 50, 8
+	}
+	return 1000, 100, 200, 32
+}
+
+// substrateStages are the voltage-independent pipeline stages a
+// same-design batch group must build exactly once.
+var substrateStages = []string{"floorplan", "covariance", "pca", "blod"}
+
+// fleetItemLine is one per-item result line of the stream.
+type fleetItemLine struct {
+	I      int             `json:"i"`
+	ID     string          `json:"id"`
+	OK     bool            `json:"ok"`
+	Result json.RawMessage `json:"result"`
+	Error  string          `json:"error"`
+	Class  string          `json:"class"`
+}
+
+// fleetTrailer is the stream's closing summary line.
+type fleetTrailer struct {
+	Done        bool    `json:"done"`
+	Items       int     `json:"items"`
+	OK          int     `json:"ok"`
+	Errors      int     `json:"errors"`
+	Groups      int     `json:"groups"`
+	Reused      int     `json:"reused"`
+	SharedEvals int     `json:"shared_evals"`
+	Windows     int     `json:"windows"`
+	ElapsedUs   float64 `json:"elapsed_us"`
+	Error       string  `json:"error"`
+	Class       string  `json:"class"`
+}
+
+// batchOutcome is one decoded batch stream.
+type batchOutcome struct {
+	window  int // server-chosen window size, from the header line
+	lines   []fleetItemLine
+	trailer fleetTrailer
+	wall    time.Duration
+}
+
+// postBatch posts items to /v1/batch and decodes the JSONL stream.
+func postBatch(client *http.Client, target string, items []map[string]any) (*batchOutcome, error) {
+	body, err := json.Marshal(items)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	resp, err := client.Post(target+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("POST /v1/batch: %d: %s", resp.StatusCode, b)
+	}
+	dec := json.NewDecoder(resp.Body)
+	out := &batchOutcome{}
+	sawTrailer := false
+	for dec.More() {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			return nil, fmt.Errorf("decode stream line: %w", err)
+		}
+		var probe struct {
+			Stream string `json:"stream"`
+			Window int    `json:"window"`
+			Done   *bool  `json:"done"`
+			I      *int   `json:"i"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return nil, fmt.Errorf("probe stream line %s: %w", raw, err)
+		}
+		switch {
+		case probe.Stream != "":
+			if probe.Stream != "obdrel-batch/1" {
+				return nil, fmt.Errorf("unexpected stream header %q", probe.Stream)
+			}
+			out.window = probe.Window
+		case probe.Done != nil:
+			if err := json.Unmarshal(raw, &out.trailer); err != nil {
+				return nil, fmt.Errorf("decode trailer %s: %w", raw, err)
+			}
+			sawTrailer = true
+		case probe.I != nil:
+			var ln fleetItemLine
+			if err := json.Unmarshal(raw, &ln); err != nil {
+				return nil, fmt.Errorf("decode item line %s: %w", raw, err)
+			}
+			out.lines = append(out.lines, ln)
+		default:
+			return nil, fmt.Errorf("unclassifiable stream line %s", raw)
+		}
+	}
+	out.wall = time.Since(start)
+	if !sawTrailer {
+		return nil, fmt.Errorf("stream ended without a trailer")
+	}
+	return out, nil
+}
+
+// legFrom folds a decoded stream into report form, pulling per-item
+// eval times from the server-stamped query_us result field.
+func legFrom(out *batchOutcome) FleetLeg {
+	leg := FleetLeg{
+		Items:       len(out.lines),
+		Groups:      out.trailer.Groups,
+		Reused:      out.trailer.Reused,
+		SharedEvals: out.trailer.SharedEvals,
+		Windows:     out.trailer.Windows,
+		WallUs:      float64(out.wall.Nanoseconds()) / 1e3,
+	}
+	var evalUs []float64
+	for _, ln := range out.lines {
+		if !ln.OK {
+			leg.Errors++
+			continue
+		}
+		leg.OK++
+		var res struct {
+			QueryUs float64 `json:"query_us"`
+		}
+		if err := json.Unmarshal(ln.Result, &res); err == nil && res.QueryUs > 0 {
+			evalUs = append(evalUs, res.QueryUs)
+		}
+	}
+	if leg.WallUs > 0 {
+		leg.ItemsPerSec = float64(leg.Items) / (leg.WallUs / 1e6)
+	}
+	leg.P50Us, leg.P99Us = exactQuantiles(evalUs)
+	return leg
+}
+
+// exactQuantiles returns the exact p50/p99 of the sample (not the
+// bucket-interpolated estimate the closed-loop runner reports).
+func exactQuantiles(us []float64) (p50, p99 float64) {
+	if len(us) == 0 {
+		return 0, 0
+	}
+	sort.Float64s(us)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(us)-1))
+		return us[i]
+	}
+	return at(0.50), at(0.99)
+}
+
+// fleetConfig is the shared per-item config; it must match the
+// library config in replayLocal for the bit-identical gate.
+func fleetConfig(gridN, mcSamples int) map[string]any {
+	return map[string]any{"grid": gridN, "mc_samples": mcSamples, "stmc_samples": 1000}
+}
+
+// fleetTrace is the replayed telemetry: mixed measured (sensor) and
+// solved segments over three operating points.
+var fleetTrace = []map[string]any{
+	{"hours": 4000.0, "vdd": 1.0, "activity_scale": 0.5, "temp_c": 52.0},
+	{"hours": 3000.0, "vdd": 1.2, "activity_scale": 1.0, "temp_c": 81.0},
+	{"hours": 1760.0, "vdd": 1.3, "activity_scale": 1.0},
+}
+
+// replayLocal evaluates fleetTrace through the library with the same
+// derived config the server uses for the batch items.
+func replayLocal(design string, gridN, mcSamples int) (float64, error) {
+	var d *obdrel.Design
+	for _, b := range obdrel.Benchmarks() {
+		if b.Name == design {
+			d = b
+		}
+	}
+	if d == nil {
+		return 0, fmt.Errorf("unknown design %q", design)
+	}
+	cfg := obdrel.DefaultConfig()
+	cfg.GridNx, cfg.GridNy = gridN, gridN
+	cfg.MCSamples = mcSamples
+	cfg.StMCSamples = 1000
+	tr := obdrel.Trace{
+		{Hours: 4000, VDD: 1.0, ActivityScale: 0.5, TempC: 52},
+		{Hours: 3000, VDD: 1.2, ActivityScale: 1, TempC: 81},
+		{Hours: 1760, VDD: 1.3, ActivityScale: 1},
+	}
+	an, err := obdrel.NewTraceAnalyzer(d, cfg, tr)
+	if err != nil {
+		return 0, err
+	}
+	return an.LifetimePPM(10, obdrel.MethodStFast)
+}
+
+// runFleet drives the three legs plus the replay check and assembles
+// the v6 report.
+func runFleet(client *http.Client, target, design string, gridN, mcSamples int, quick bool) (*FleetReport, error) {
+	nSweep, nDistinct, nUnary, nReplay := fleetSizes(quick)
+	cfg := fleetConfig(gridN, mcSamples)
+	sweep := func(poison bool) []map[string]any {
+		items := make([]map[string]any, nSweep)
+		for i := range items {
+			items[i] = map[string]any{
+				"id": fmt.Sprintf("unit-%04d", i), "design": design, "method": "st_fast",
+				"ppm": float64(i%nDistinct + 1), "config": cfg,
+			}
+		}
+		if poison {
+			// One honest mid-stream failure: a ppm the engine rejects.
+			items[nSweep/2]["ppm"] = -1.0
+		}
+		return items
+	}
+
+	_, _, before, err := scrapeMetrics(client, target)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("fleet: cold leg — %d-item sweep with one invalid item", nSweep)
+	cold, err := postBatch(client, target, sweep(true))
+	if err != nil {
+		return nil, fmt.Errorf("cold leg: %w", err)
+	}
+	_, _, after, err := scrapeMetrics(client, target)
+	if err != nil {
+		return nil, err
+	}
+	buildsBefore := map[string]int64{}
+	for _, st := range before {
+		buildsBefore[st.Stage] = st.Builds
+	}
+	var deltas []StageDelta
+	for _, st := range after {
+		deltas = append(deltas, StageDelta{Stage: st.Stage, Builds: st.Builds - buildsBefore[st.Stage]})
+	}
+
+	log.Printf("fleet: warm leg — same sweep, hot substrate")
+	warm, err := postBatch(client, target, sweep(false))
+	if err != nil {
+		return nil, fmt.Errorf("warm leg: %w", err)
+	}
+
+	log.Printf("fleet: unary baseline — %d sequential /v1/lifetime calls", nUnary)
+	params := fmt.Sprintf("design=%s&method=st_fast&grid=%d&mc_samples=%d&stmc_samples=1000", design, gridN, mcSamples)
+	var unaryUs []float64
+	uStart := time.Now()
+	for i := 0; i < nUnary; i++ {
+		url := fmt.Sprintf("%s/v1/lifetime?%s&ppm=%d", target, params, i%nDistinct+1)
+		t0 := time.Now()
+		code, body, err := hit(client, url)
+		if err != nil || code != http.StatusOK {
+			return nil, fmt.Errorf("unary leg: GET %s: code=%d err=%v body=%s", url, code, err, body)
+		}
+		unaryUs = append(unaryUs, float64(time.Since(t0).Nanoseconds())/1e3)
+	}
+	uWall := time.Since(uStart)
+	unary := UnaryLeg{
+		Requests:    nUnary,
+		WallUs:      float64(uWall.Nanoseconds()) / 1e3,
+		ItemsPerSec: float64(nUnary) / uWall.Seconds(),
+	}
+	unary.P50Us, unary.P99Us = exactQuantiles(unaryUs)
+
+	log.Printf("fleet: replay leg — %d telemetry-trace items vs in-process library", nReplay)
+	replayItems := make([]map[string]any, nReplay)
+	for i := range replayItems {
+		replayItems[i] = map[string]any{
+			"id": fmt.Sprintf("replay-%02d", i), "query": "trace", "design": design,
+			"method": "st_fast", "ppm": 10.0, "trace": fleetTrace, "config": cfg,
+		}
+	}
+	rep, err := postBatch(client, target, replayItems)
+	if err != nil {
+		return nil, fmt.Errorf("replay leg: %w", err)
+	}
+	local, err := replayLocal(design, gridN, mcSamples)
+	if err != nil {
+		return nil, fmt.Errorf("replay leg (library): %w", err)
+	}
+	replay := ReplayLeg{Items: nReplay, TraceSegments: len(fleetTrace), LocalHours: local, BitIdentical: true}
+	for _, ln := range rep.lines {
+		if !ln.OK {
+			replay.BitIdentical = false
+			continue
+		}
+		var res struct {
+			Hours float64 `json:"lifetime_hours"`
+		}
+		if err := json.Unmarshal(ln.Result, &res); err != nil {
+			return nil, fmt.Errorf("replay leg: %w", err)
+		}
+		replay.BatchHours = res.Hours
+		if res.Hours != local {
+			replay.BitIdentical = false
+		}
+	}
+	if len(rep.lines) == 0 {
+		replay.BitIdentical = false
+	}
+
+	out := &FleetReport{
+		Schema:      FleetSchema,
+		Kind:        FleetKind,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Target:      target,
+		Quick:       quick,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Design:      design,
+		Items:       nSweep,
+		Distinct:    nDistinct,
+		Cold:        legFrom(cold),
+		Warm:        legFrom(warm),
+		Unary:       unary,
+		Replay:      replay,
+		Substrate:   deltas,
+	}
+	out.Window = cold.window
+	if unary.ItemsPerSec > 0 {
+		out.AmortizationX = out.Warm.ItemsPerSec / unary.ItemsPerSec
+	}
+	return out, nil
+}
+
+// fleetGates are the pass/fail checks printed (and enforced) after a
+// fleet run; the returned strings are the failures.
+func fleetGates(rep *FleetReport) []string {
+	var fails []string
+	gate := func(ok bool, format string, a ...any) {
+		if !ok {
+			fails = append(fails, fmt.Sprintf(format, a...))
+		}
+	}
+	gate(rep.Cold.Items == rep.Items, "cold leg emitted %d item lines, want %d — a mid-stream failure truncated the stream", rep.Cold.Items, rep.Items)
+	gate(rep.Cold.Errors == 1, "cold leg errors = %d, want exactly 1 (the poisoned item)", rep.Cold.Errors)
+	gate(rep.Cold.OK == rep.Items-1, "cold leg ok = %d, want %d", rep.Cold.OK, rep.Items-1)
+	gate(rep.Cold.Groups == 1, "cold same-design sweep planned %d groups, want 1", rep.Cold.Groups)
+	gate(rep.Cold.Reused == rep.Items-1, "cold leg reused %d substrates, want %d", rep.Cold.Reused, rep.Items-1)
+	for _, want := range substrateStages {
+		found := false
+		for _, d := range rep.Substrate {
+			if d.Stage == want {
+				found = true
+				gate(d.Builds == 1, "substrate stage %s built %d times during the cold sweep, want exactly 1 per group", want, d.Builds)
+			}
+		}
+		gate(found, "substrate stage %s missing from the scrape delta", want)
+	}
+	gate(rep.Warm.Errors == 0, "warm leg errors = %d, want 0", rep.Warm.Errors)
+	gate(rep.Warm.P99Us >= rep.Warm.P50Us && rep.Warm.P50Us > 0, "warm leg percentiles implausible: p50=%v p99=%v", rep.Warm.P50Us, rep.Warm.P99Us)
+	minX := 5.0
+	if rep.Quick {
+		minX = 2.0 // quick runs are noise-dominated; the full gate runs on the committed report
+	}
+	gate(rep.AmortizationX >= minX, "batch amortization %.2fx below the %.0fx gate (batch %.0f vs unary %.0f items/s)",
+		rep.AmortizationX, minX, rep.Warm.ItemsPerSec, rep.Unary.ItemsPerSec)
+	gate(rep.Replay.BitIdentical, "fleet replay not bit-identical: batch %v vs library %v", rep.Replay.BatchHours, rep.Replay.LocalHours)
+	return fails
+}
+
+// validateFleetReport checks an existing v6 report — the CI schema
+// gate for the committed BENCH_pr7.json.
+func validateFleetReport(data []byte) error {
+	var rep FleetReport
+	if err := strictDecode(data, &rep); err != nil {
+		return err
+	}
+	switch {
+	case rep.Schema != FleetSchema:
+		return fmt.Errorf("schema %q, want %q", rep.Schema, FleetSchema)
+	case rep.Kind != FleetKind:
+		return fmt.Errorf("kind %q, want %q", rep.Kind, FleetKind)
+	case rep.Items <= 0:
+		return fmt.Errorf("no items recorded")
+	case rep.Cold.Items != rep.Items || rep.Cold.Errors != 1:
+		return fmt.Errorf("cold leg %d items / %d errors, want %d / 1", rep.Cold.Items, rep.Cold.Errors, rep.Items)
+	case rep.Cold.Groups != 1:
+		return fmt.Errorf("cold leg groups = %d, want 1", rep.Cold.Groups)
+	case rep.Warm.ItemsPerSec <= 0 || rep.Unary.ItemsPerSec <= 0:
+		return fmt.Errorf("missing throughput")
+	case !rep.Replay.BitIdentical:
+		return fmt.Errorf("replay leg not bit-identical")
+	case rep.Replay.BatchHours <= 0 || rep.Replay.BatchHours != rep.Replay.LocalHours:
+		return fmt.Errorf("replay hours inconsistent: batch %v local %v", rep.Replay.BatchHours, rep.Replay.LocalHours)
+	}
+	if !rep.Quick && rep.AmortizationX < 5 {
+		return fmt.Errorf("amortization %.2fx below the 5x gate", rep.AmortizationX)
+	}
+	if rep.Quick && rep.AmortizationX < 1 {
+		return fmt.Errorf("quick amortization %.2fx below 1x", rep.AmortizationX)
+	}
+	for _, want := range substrateStages {
+		found := false
+		for _, d := range rep.Substrate {
+			if d.Stage == want && d.Builds == 1 {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("substrate stage %s did not build exactly once in the cold sweep", want)
+		}
+	}
+	if !(rep.Warm.P50Us > 0) || rep.Warm.P99Us < rep.Warm.P50Us {
+		return fmt.Errorf("warm percentiles implausible: p50=%v p99=%v", rep.Warm.P50Us, rep.Warm.P99Us)
+	}
+	return nil
+}

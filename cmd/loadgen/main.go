@@ -55,6 +55,25 @@ const (
 	Kind   = "serving"
 )
 
+// mixes is the single registry of traffic presets: name → one-line
+// description. The -mix flag help and the unknown-mix error both
+// derive from it, so adding a preset here is the whole wiring.
+var mixes = map[string]string{
+	"drm":    "steady-state reliability polling (lifetime, failureprob, blocks)",
+	"maxvdd": "DVS controller hammering /v1/maxvdd",
+	"fleet":  "batched fleet sweeps and telemetry replay on /v1/batch (v6 report)",
+}
+
+// mixNames lists the registered presets, sorted, for messages.
+func mixNames() string {
+	names := make([]string, 0, len(mixes))
+	for n := range mixes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
 // Report is the top-level BENCH_pr2.json document.
 type Report struct {
 	Schema        string        `json:"schema"`
@@ -129,7 +148,7 @@ func main() {
 		gridN       = flag.Int("grid", 8, "correlation grid resolution the queries request")
 		mcSamples   = flag.Int("mc-samples", 100, "MC samples the queries request")
 		seed        = flag.Int64("seed", 1, "traffic-mix random seed")
-		mixName     = flag.String("mix", "drm", "traffic preset: drm (steady-state polling) or maxvdd (DVS controller hammering /v1/maxvdd)")
+		mixName     = flag.String("mix", "drm", "traffic preset: "+mixNames())
 		quick       = flag.Bool("quick", false, "CI-sized run: 2s, 4 workers")
 		validate    = flag.String("validate", "", "validate an existing report instead of generating load")
 		chaos       = flag.Bool("chaos", false, "run the chaos scenario (fault churn, breaker open/recover, leakage check) and write a v4 report")
@@ -151,6 +170,12 @@ func main() {
 	}
 	if *chaos && *out == "BENCH_pr2.json" {
 		*out = "BENCH_pr5.json"
+	}
+	if *mixName == "fleet" && *out == "BENCH_pr2.json" {
+		*out = "BENCH_pr7.json"
+	}
+	if _, ok := mixes[*mixName]; !ok {
+		log.Fatalf("unknown traffic mix %q (want %s)", *mixName, mixNames())
 	}
 
 	target := strings.TrimRight(*addr, "/")
@@ -190,6 +215,28 @@ func main() {
 			os.Exit(1)
 		}
 		log.Printf("all chaos gates passed")
+		return
+	}
+
+	if *mixName == "fleet" {
+		client := &http.Client{Timeout: 10 * time.Minute}
+		if err := waitHealthy(client, target, 30*time.Second); err != nil {
+			log.Fatal(err)
+		}
+		rep, err := runFleet(client, target, *design, *gridN, *mcSamples, *quick)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeReport(*out, rep)
+		log.Printf("wrote %s: batch %.0f items/s vs unary %.0f items/s (%.1fx), replay bit-identical=%v",
+			*out, rep.Warm.ItemsPerSec, rep.Unary.ItemsPerSec, rep.AmortizationX, rep.Replay.BitIdentical)
+		if fails := fleetGates(rep); len(fails) > 0 {
+			for _, f := range fails {
+				log.Printf("GATE FAILED: %s", f)
+			}
+			os.Exit(1)
+		}
+		log.Printf("all fleet gates passed")
 		return
 	}
 
@@ -292,7 +339,7 @@ func trafficMix(target, design, mixName string, gridN, mcSamples int) ([]weighte
 			{"/healthz", target + "/healthz", 5},
 		}, nil
 	default:
-		return nil, fmt.Errorf("unknown traffic mix %q (want drm or maxvdd)", mixName)
+		return nil, fmt.Errorf("unknown traffic mix %q (want %s)", mixName, mixNames())
 	}
 }
 
@@ -569,10 +616,12 @@ func validateAnyReport(path string) (string, error) {
 	switch head.Schema {
 	case ChaosSchema:
 		return ChaosSchema + " (" + ChaosKind + ")", validateChaosReport(data)
+	case FleetSchema:
+		return FleetSchema + " (" + FleetKind + ")", validateFleetReport(data)
 	case Schema:
 		return Schema + " (" + Kind + ")", validateReport(data)
 	default:
-		return "", fmt.Errorf("schema %q: loadgen validates %q and %q", head.Schema, Schema, ChaosSchema)
+		return "", fmt.Errorf("schema %q: loadgen validates %q, %q, and %q", head.Schema, Schema, ChaosSchema, FleetSchema)
 	}
 }
 

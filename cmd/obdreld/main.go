@@ -14,9 +14,18 @@
 //	GET /v1/failureprob?design=C6&t=1e5
 //	GET /v1/maxvdd?design=C6&target_hours=1e5&vlo=1.0&vhi=1.4
 //	GET /v1/blocks?design=C6
+//	POST /v1/batch                     fleet-scale JSON-array request, JSONL stream response
 //
-// Every /v1 route also accepts POST with the same fields as a JSON
-// body (config knobs nested under "config"). Analyzers are cached in
+// /v1/batch accepts thousands of (design, config, query) items in one
+// request, plans them window-at-a-time (-batch-window) through the
+// internal/batch planner — substrate builds once per distinct
+// (design, config) group, duplicate queries answered once — and
+// streams one JSONL line per item plus a counting trailer. Items may
+// also carry a telemetry trace (piecewise temp/voltage segments) for
+// Miner's-rule replay. See DESIGN.md §13.
+//
+// Every query /v1 route also accepts POST with the same fields as a
+// JSON body (config knobs nested under "config"). Analyzers are cached in
 // an LRU registry keyed by canonical (design, config) identity;
 // concurrent cold requests for one configuration coalesce into a
 // single build, and the build itself resolves through the per-stage
@@ -80,6 +89,10 @@ func main() {
 		traceBuffer   = flag.Int("trace-buffer", 128, "recent-trace ring capacity served by /debug/traces")
 		noTrace       = flag.Bool("no-trace", false, "disable per-request tracing")
 		traceJSONL    = flag.String("trace-jsonl", "", "append every finalized trace as a JSON line to this file")
+
+		batchWindow   = flag.Int("batch-window", 0, "/v1/batch items planned and held in memory at a time (0 = 256)")
+		batchMaxItems = flag.Int("batch-max-items", 0, "max items admitted per /v1/batch stream; excess items fail the trailer (0 = 10000)")
+		batchTimeout  = flag.Duration("batch-timeout", 0, "whole-stream deadline for /v1/batch (0 = 5m; -timeout does not apply to batch streams)")
 
 		retries     = flag.Int("retries", 3, "analyzer-build attempts on transient failures (1 disables retry)")
 		retryBase   = flag.Duration("retry-base", 25*time.Millisecond, "first retry backoff delay (doubles per attempt, jittered)")
@@ -148,6 +161,10 @@ func main() {
 		TraceBuffer:    *traceBuffer,
 		TraceJSONL:     traceSink,
 		SlowRequest:    *slowRequest,
+
+		BatchWindow:   *batchWindow,
+		BatchMaxItems: *batchMaxItems,
+		BatchTimeout:  *batchTimeout,
 
 		RetryAttempts:    *retries,
 		RetryBase:        *retryBase,
@@ -224,6 +241,10 @@ func main() {
 		"obdreld: resilience served_stale=%d admission_rejected=%d queue_timeouts=%d drain_rejected=%d faults_injected=%d\n",
 		m.ServeStale.Load(), m.AdmissionRejected.Load(),
 		m.QueueTimeouts.Load(), m.DrainRejected.Load(), fault.InjectedTotal())
+	fmt.Fprintf(os.Stderr,
+		"obdreld: batch streams=%d items ok=%d error=%d groups=%d reused=%d shared_evals=%d stream_bytes=%d\n",
+		m.BatchRequests.Load(), m.BatchItemsOK.Load(), m.BatchItemsErr.Load(),
+		m.BatchGroups.Load(), m.BatchReused.Load(), m.BatchSharedEvals.Load(), m.BatchStreamBytes.Load())
 	for _, st := range obdrel.Stages().Snapshot() {
 		fmt.Fprintf(os.Stderr,
 			"obdreld: stage %-10s hits=%d misses=%d builds=%d cancelled=%d retries=%d breaker_opens=%d build_s=%.3f entries=%d\n",

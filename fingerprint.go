@@ -127,10 +127,18 @@ func (c *Config) segPower() string {
 // is keyed by voltage; PinThermalVDD collapses that key across a
 // voltage sweep.
 func (c *Config) segThermal() string {
+	return c.segThermalAt(c.thermalVDD())
+}
+
+// segThermalAt is segThermal evaluated at an explicit voltage — the
+// per-segment key for telemetry-trace solves, where each segment's
+// measured VDD (not the config's operating point) drives the fixed
+// point.
+func (c *Config) segThermalAt(v float64) string {
 	ts := c.resolvedThermal()
 	return fmt.Sprintf("thermal|%dx%d|m=%s|gv=%g|gl=%g|ta=%g|om=%g|tol=%g|it=%d|v=%g",
 		ts.Nx, ts.Ny, ts.ResolvedMethod(), ts.GVertical, ts.GLateral, ts.TAmbient, ts.Omega, ts.Tol, ts.MaxIter,
-		c.thermalVDD())
+		v)
 }
 
 // segCovariance is the variation-model stage input: die geometry plus
@@ -230,4 +238,28 @@ func CacheKey(d *Design, cfg *Config) string {
 		cfg = DefaultConfig()
 	}
 	return d.Fingerprint() + ":" + cfg.Fingerprint()
+}
+
+// Fingerprint returns a stable, canonical identity for a telemetry
+// trace: the segment count, segment order, and every field of every
+// segment. Damage accumulation is a weighted sum over segments, so
+// order would not change the result for identical segment sets — but
+// two traces with reordered segments are still different telemetry,
+// and collapsing them would hide that from caches and audits; the
+// fingerprint therefore keeps order significant.
+func (tr Trace) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace|%d", len(tr))
+	for _, s := range tr {
+		fmt.Fprintf(&b, "|h=%g,v=%g,a=%g,t=%g", s.Hours, s.VDD, s.ActivityScale, s.TempC)
+	}
+	return fp16(b.String())
+}
+
+// TraceCacheKey returns the canonical cache identity of a telemetry
+// replay: the (design, config) CacheKey extended with the trace
+// fingerprint. Serving layers memoize trace analyzers under it; the
+// batch planner uses it as the grouping key for trace query items.
+func TraceCacheKey(d *Design, cfg *Config, tr Trace) string {
+	return CacheKey(d, cfg) + ":" + tr.Fingerprint()
 }

@@ -2,6 +2,7 @@ package obdrel_test
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -184,5 +185,70 @@ func TestQueryInputValidation(t *testing.T) {
 	}
 	if _, err := obdrel.MaxVDD(obdrel.C1(), fastConfig(), obdrel.MethodStFast, 10, math.Inf(1), 1.0, 1.2, 0.05); err == nil {
 		t.Error("Inf target hours accepted")
+	}
+}
+
+// TestTraceFingerprint pins the trace fingerprint's sensitivity to
+// every Segment field, plus segment order and count — any field added
+// to Segment without extending Fingerprint would silently alias cache
+// entries, so a reflection guard counts the fields.
+func TestTraceFingerprint(t *testing.T) {
+	base := obdrel.Trace{
+		{Hours: 4000, VDD: 1.0, ActivityScale: 0.5, TempC: 55},
+		{Hours: 3000, VDD: 1.2, ActivityScale: 1, TempC: 0},
+	}
+	if base.Fingerprint() != append(obdrel.Trace(nil), base...).Fingerprint() {
+		t.Fatal("identical traces produced different fingerprints")
+	}
+	mutations := map[string]func(tr obdrel.Trace){
+		"hours":    func(tr obdrel.Trace) { tr[0].Hours = 4001 },
+		"vdd":      func(tr obdrel.Trace) { tr[0].VDD = 1.05 },
+		"activity": func(tr obdrel.Trace) { tr[0].ActivityScale = 0.6 },
+		"temp":     func(tr obdrel.Trace) { tr[0].TempC = 56 },
+	}
+	if got := reflect.TypeOf(obdrel.Segment{}).NumField(); got != len(mutations) {
+		t.Fatalf("Segment has %d fields but the fingerprint test mutates %d — "+
+			"extend Trace.Fingerprint and this test for the new field", got, len(mutations))
+	}
+	seen := map[string]string{"base": base.Fingerprint()}
+	for name, mutate := range mutations {
+		tr := append(obdrel.Trace(nil), base...)
+		mutate(tr)
+		fp := tr.Fingerprint()
+		for prev, prevFP := range seen {
+			if fp == prevFP {
+				t.Fatalf("mutation %q collides with %q", name, prev)
+			}
+		}
+		seen[name] = fp
+	}
+	// Order and length sensitivity.
+	swapped := obdrel.Trace{base[1], base[0]}
+	if swapped.Fingerprint() == base.Fingerprint() {
+		t.Fatal("segment order does not affect the fingerprint")
+	}
+	if base[:1].Fingerprint() == base.Fingerprint() {
+		t.Fatal("segment count does not affect the fingerprint")
+	}
+}
+
+// TestTraceCacheKey checks the composed registry key: design, config,
+// and trace each contribute independently.
+func TestTraceCacheKey(t *testing.T) {
+	cfg := obdrel.DefaultConfig()
+	tr := obdrel.Trace{{Hours: 100, VDD: 1.2, ActivityScale: 1, TempC: 55}}
+	key := obdrel.TraceCacheKey(obdrel.C1(), cfg, tr)
+	if !strings.HasPrefix(key, obdrel.CacheKey(obdrel.C1(), cfg)+":") {
+		t.Fatal("trace cache key should extend the unary cache key")
+	}
+	if !strings.HasSuffix(key, tr.Fingerprint()) {
+		t.Fatal("trace cache key should end with the trace fingerprint")
+	}
+	other := obdrel.Trace{{Hours: 200, VDD: 1.2, ActivityScale: 1, TempC: 55}}
+	if obdrel.TraceCacheKey(obdrel.C1(), cfg, other) == key {
+		t.Fatal("different traces share a cache key")
+	}
+	if obdrel.TraceCacheKey(obdrel.C2(), cfg, tr) == key {
+		t.Fatal("different designs share a trace cache key")
 	}
 }

@@ -44,6 +44,19 @@ type Metrics struct {
 	// expiries, counted separately in QueueTimeouts). DrainRejected
 	// counts 503s issued while draining.
 	AdmissionRejected, QueueTimeouts, DrainRejected atomic.Int64
+	// BatchRequests counts /v1/batch streams; BatchItemsOK and
+	// BatchItemsErr the per-item outcomes inside them; BatchGroups the
+	// distinct substrate groups prepared; BatchReused the items that
+	// rode an already-prepared group (the amortization the planner
+	// exists for); BatchSharedEvals the duplicate items answered from
+	// another item's evaluation; BatchStreamBytes the JSONL bytes
+	// written.
+	BatchRequests, BatchItemsOK, BatchItemsErr atomic.Int64
+	BatchGroups, BatchReused, BatchStreamBytes atomic.Int64
+	BatchSharedEvals                           atomic.Int64
+	// batchErrClass counts per-item batch errors by fault class
+	// (indexed by fault.Class).
+	batchErrClass [4]atomic.Int64
 
 	// queueDepth reports requests currently waiting for an execution
 	// slot; draining reports the shutdown gate (both gauges, wired by
@@ -110,6 +123,20 @@ func (m *Metrics) ObserveRequest(route string, code int, d time.Duration) {
 	}
 	m.mu.Unlock()
 	h.Observe(d)
+}
+
+// ObserveBatchItem records one batch item's outcome: ok increments
+// the success counter, an error increments the failure counter and
+// its fault-class bucket.
+func (m *Metrics) ObserveBatchItem(err error) {
+	if err == nil {
+		m.BatchItemsOK.Add(1)
+		return
+	}
+	m.BatchItemsErr.Add(1)
+	if cls := fault.ClassOf(err); int(cls) >= 0 && int(cls) < len(m.batchErrClass) {
+		m.batchErrClass[cls].Add(1)
+	}
 }
 
 // ObserveBuild records one analyzer construction.
@@ -193,6 +220,26 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	counter("obdreld_admission_rejected_total", "Requests rejected 503 by the deadline-aware admission controller.", m.AdmissionRejected.Load())
 	counter("obdreld_queue_timeouts_total", "Admitted queue waits that expired before a slot freed.", m.QueueTimeouts.Load())
 	counter("obdreld_drain_rejected_total", "Requests rejected 503 during graceful shutdown.", m.DrainRejected.Load())
+	counter("obdreld_batch_requests_total", "Batch streams served on /v1/batch.", m.BatchRequests.Load())
+	fmt.Fprintf(cw, "# HELP obdreld_batch_items_total Batch items evaluated, by per-item outcome.\n")
+	fmt.Fprintf(cw, "# TYPE obdreld_batch_items_total counter\n")
+	fmt.Fprintf(cw, "obdreld_batch_items_total{status=\"ok\"} %d\n", m.BatchItemsOK.Load())
+	fmt.Fprintf(cw, "obdreld_batch_items_total{status=\"error\"} %d\n", m.BatchItemsErr.Load())
+	counter("obdreld_batch_groups_total", "Distinct substrate groups prepared by the batch planner.", m.BatchGroups.Load())
+	counter("obdreld_batch_substrate_reused_items_total", "Batch items that reused an already-prepared substrate group.", m.BatchReused.Load())
+	counter("obdreld_batch_shared_evals_total", "Duplicate batch items answered from another item's evaluation.", m.BatchSharedEvals.Load())
+	counter("obdreld_batch_stream_bytes_total", "JSONL bytes written to batch response streams.", m.BatchStreamBytes.Load())
+	fmt.Fprintf(cw, "# HELP obdreld_batch_item_errors_total Failed batch items, by fault class.\n")
+	fmt.Fprintf(cw, "# TYPE obdreld_batch_item_errors_total counter\n")
+	for i := range m.batchErrClass {
+		fmt.Fprintf(cw, "obdreld_batch_item_errors_total{class=%q} %d\n", fault.Class(i).String(), m.batchErrClass[i].Load())
+	}
+	batchItems := m.BatchItemsOK.Load() + m.BatchItemsErr.Load()
+	reuseRatio := 0.0
+	if batchItems > 0 {
+		reuseRatio = float64(m.BatchReused.Load()) / float64(batchItems)
+	}
+	gauge("obdreld_batch_substrate_reuse_ratio", "Fraction of batch items that reused a prepared substrate group.", reuseRatio)
 	counter("obdreld_fault_injected_total", "Faults fired by the injection framework (zero unless armed).", fault.InjectedTotal())
 	tblLoads, tblSaves, tblRejects := obdrel.TableFileStats()
 	counter("obdreld_hybrid_table_loads_total", "Hybrid engines served from a spilled table file.", int64(tblLoads))

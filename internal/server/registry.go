@@ -123,14 +123,33 @@ func (r *Registry) Stats() pipeline.StageStat { return r.cache.Stat(analyzerStag
 // cancellation. A failed build falls back to the last-good store (see
 // the type comment); only genuine cancellations propagate unshielded.
 func (r *Registry) Get(ctx context.Context, d *obdrel.Design, cfg *obdrel.Config) (*obdrel.Analyzer, GetResult, error) {
-	key := obdrel.CacheKey(d, cfg)
+	return r.getKeyed(ctx, obdrel.CacheKey(d, cfg), d.Name,
+		func(bctx context.Context) (*obdrel.Analyzer, error) {
+			return r.build(bctx, d, cfg)
+		})
+}
+
+// GetTrace is Get for telemetry-replay analyzers: same LRU, same
+// coalescing, same retry/breaker/serve-stale policies, keyed by the
+// trace-extended cache key so distinct traces over one (design,
+// config) are distinct analyzers while the substrate stages
+// underneath still share the process-wide stage cache.
+func (r *Registry) GetTrace(ctx context.Context, d *obdrel.Design, cfg *obdrel.Config, tr obdrel.Trace) (*obdrel.Analyzer, GetResult, error) {
+	return r.getKeyed(ctx, obdrel.TraceCacheKey(d, cfg, tr), d.Name+" trace",
+		func(bctx context.Context) (*obdrel.Analyzer, error) {
+			return obdrel.NewTraceAnalyzerCtx(bctx, d, cfg, tr)
+		})
+}
+
+// getKeyed is the shared serve path behind Get and GetTrace.
+func (r *Registry) getKeyed(ctx context.Context, key, name string, build func(context.Context) (*obdrel.Analyzer, error)) (*obdrel.Analyzer, GetResult, error) {
 	an, res, err := pipeline.Get(ctx, r.cache, analyzerStage, key,
 		func(bctx context.Context) (*obdrel.Analyzer, error) {
-			if ferr := fault.InjectLabeled(bctx, "registry.build", d.Name+" "+key); ferr != nil {
+			if ferr := fault.InjectLabeled(bctx, "registry.build", name+" "+key); ferr != nil {
 				return nil, ferr
 			}
 			start := time.Now()
-			built, err := r.build(bctx, d, cfg)
+			built, err := build(bctx)
 			if err != nil {
 				return nil, err
 			}

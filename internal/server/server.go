@@ -104,6 +104,16 @@ type Options struct {
 	// exceeds its deadline is rejected 503 immediately. 0 (default)
 	// keeps the legacy instant-429 behaviour.
 	QueueDepth int
+	// BatchWindow is the number of /v1/batch items planned, evaluated,
+	// and held in memory at a time (default 256) — the unit of
+	// streaming and the bound on per-request memory. BatchMaxItems
+	// caps a single batch request's item count (default 10000).
+	// BatchTimeout is the whole-stream deadline for /v1/batch (default
+	// 5m): a batch is one admission slot doing thousands of queries,
+	// so it gets its own budget instead of RequestTimeout.
+	BatchWindow   int
+	BatchMaxItems int
+	BatchTimeout  time.Duration
 	// FaultHeader honours per-request X-Fault injection specs — test
 	// and staging builds only; never enable it on a public listener.
 	FaultHeader bool
@@ -146,6 +156,15 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.MaxStale == 0 {
 		out.MaxStale = 15 * time.Minute
+	}
+	if out.BatchWindow <= 0 {
+		out.BatchWindow = 256
+	}
+	if out.BatchMaxItems <= 0 {
+		out.BatchMaxItems = 10000
+	}
+	if out.BatchTimeout <= 0 {
+		out.BatchTimeout = 5 * time.Minute
 	}
 	return out
 }
@@ -218,14 +237,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.Handle("/v1/designs", s.instrument("/v1/designs", s.handleDesigns))
-	mux.Handle("/v1/lifetime", s.instrument("/v1/lifetime", s.handleLifetime))
-	mux.Handle("/v1/failureprob", s.instrument("/v1/failureprob", s.handleFailureProb))
-	mux.Handle("/v1/maxvdd", s.instrument("/v1/maxvdd", s.handleMaxVDD))
-	mux.Handle("/v1/blocks", s.instrument("/v1/blocks", s.handleBlocks))
+	mux.Handle("/v1/designs", s.instrument("/v1/designs", s.handleDesigns, http.MethodGet))
+	mux.Handle("/v1/lifetime", s.instrument("/v1/lifetime", s.handleLifetime, http.MethodGet, http.MethodPost))
+	mux.Handle("/v1/failureprob", s.instrument("/v1/failureprob", s.handleFailureProb, http.MethodGet, http.MethodPost))
+	mux.Handle("/v1/maxvdd", s.instrument("/v1/maxvdd", s.handleMaxVDD, http.MethodGet, http.MethodPost))
+	mux.Handle("/v1/blocks", s.instrument("/v1/blocks", s.handleBlocks, http.MethodGet, http.MethodPost))
+	mux.Handle("/v1/batch", s.instrumentBatch("/v1/batch"))
 	for _, route := range []string{
 		"/healthz", "/readyz", "/metrics", "/v1/designs", "/v1/lifetime",
-		"/v1/failureprob", "/v1/maxvdd", "/v1/blocks",
+		"/v1/failureprob", "/v1/maxvdd", "/v1/blocks", "/v1/batch",
 	} {
 		s.metrics.RegisterRoute(route)
 	}
@@ -325,13 +345,13 @@ func errNotFound(format string, args ...any) error {
 	return &apiError{code: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
 }
 
-// instrument wraps a /v1 handler with the production plumbing:
-// concurrency limiting (429 on saturation), the per-request deadline,
-// the root trace span (honoring an incoming W3C traceparent and
-// emitting one on the response), the in-flight gauge, panic
-// containment, metrics, the slow-request warning, and one structured
-// log line per request.
-func (s *Server) instrument(route string, h func(context.Context, *http.Request) (any, error)) http.Handler {
+// instrument wraps a /v1 handler with the production plumbing: method
+// gating (405 with an Allow header), concurrency limiting (429 on
+// saturation), the per-request deadline, the root trace span (honoring
+// an incoming W3C traceparent and emitting one on the response), the
+// in-flight gauge, panic containment, metrics, the slow-request
+// warning, and one structured log line per request.
+func (s *Server) instrument(route string, h func(context.Context, *http.Request) (any, error), allow ...string) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		status := http.StatusOK
@@ -358,6 +378,13 @@ func (s *Server) instrument(route string, h func(context.Context, *http.Request)
 				)
 			}
 		}()
+
+		// Method gate: a wrong verb answers 405 with the route's Allow
+		// set before costing an admission slot or a trace.
+		if len(allow) > 0 && !methodAllowed(r.Method, allow) {
+			status = writeMethodNotAllowed(w, r, route, allow)
+			return
+		}
 
 		// Draining: new requests are refused before costing anything, so
 		// the load balancer (told via /readyz) and stragglers both get a
@@ -492,6 +519,26 @@ func (s *Server) instrument(route string, h func(context.Context, *http.Request)
 		}
 		writeJSON(w, status, payload)
 	})
+}
+
+// methodAllowed reports whether method is in the route's allow set.
+func methodAllowed(method string, allow []string) bool {
+	for _, m := range allow {
+		if method == m {
+			return true
+		}
+	}
+	return false
+}
+
+// writeMethodNotAllowed answers 405 with the RFC-required Allow header
+// listing the verbs the route accepts, and returns the status.
+func writeMethodNotAllowed(w http.ResponseWriter, r *http.Request, route string, allow []string) int {
+	w.Header().Set("Allow", strings.Join(allow, ", "))
+	writeJSON(w, http.StatusMethodNotAllowed, map[string]any{
+		"error": fmt.Sprintf("method %s not allowed on %s (allow: %s)", r.Method, route, strings.Join(allow, ", ")),
+	})
+	return http.StatusMethodNotAllowed
 }
 
 // explainRequested reports whether the request opted into the span

@@ -1,6 +1,7 @@
 package obdrel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -198,6 +199,304 @@ func NewMissionAnalyzer(d *Design, cfg *Config, modes []Mode) (*Analyzer, error)
 		field:     bestField,
 		engines:   make(map[Method]core.Engine),
 	}, nil
+}
+
+// Segment is one piecewise interval of a measured telemetry trace:
+// the wall-clock duration spent there, the supply voltage, the
+// activity scaling (for intervals whose temperature must be solved),
+// and an optional measured die temperature.
+type Segment struct {
+	// Hours is the interval duration; segments are weighted by their
+	// share of the trace's total hours.
+	Hours float64 `json:"hours"`
+	// VDD is the measured supply voltage (V) over the interval.
+	VDD float64 `json:"vdd"`
+	// ActivityScale multiplies each block's switching activity when
+	// the segment's temperature is solved (results clamp to [0, 1]);
+	// ignored when TempC is set. Zero means idle, 1 nominal workload.
+	ActivityScale float64 `json:"activity_scale"`
+	// TempC, when non-zero, is the measured die temperature (°C)
+	// applied uniformly to every block — the on-die-sensor reading a
+	// fleet telemetry pipeline reports. Zero selects a coupled
+	// power/thermal solve at (VDD, ActivityScale) instead; a genuinely
+	// measured 0 °C should be nudged by an epsilon.
+	TempC float64 `json:"temp_c,omitempty"`
+}
+
+// Trace is a piecewise temperature/voltage history — the fleet
+// telemetry generalization of a mission profile. Where Mode carries
+// time *fractions* at design-time operating points, Trace carries
+// measured wall-clock segments; damage accumulates by Miner's rule
+// over the segments' hour shares exactly as NewMissionAnalyzer
+// combines modes.
+type Trace []Segment
+
+// TotalHours returns the trace's total duration.
+func (tr Trace) TotalHours() float64 {
+	sum := 0.0
+	for _, s := range tr {
+		sum += s.Hours
+	}
+	return sum
+}
+
+// Validate checks the trace: at least one segment; every segment with
+// finite positive hours, finite positive VDD, finite non-negative
+// activity scale, and a finite measured temperature within the
+// plausible silicon range when set.
+func (tr Trace) Validate() error {
+	if len(tr) == 0 {
+		return errors.New("obdrel: trace needs at least one segment")
+	}
+	for i, s := range tr {
+		switch {
+		case !(s.Hours > 0) || math.IsInf(s.Hours, 0):
+			return fmt.Errorf("obdrel: trace segment %d hours %v not finite positive", i, s.Hours)
+		case !(s.VDD > 0) || math.IsInf(s.VDD, 0):
+			return fmt.Errorf("obdrel: trace segment %d VDD %v not finite positive", i, s.VDD)
+		case s.ActivityScale < 0 || math.IsNaN(s.ActivityScale) || math.IsInf(s.ActivityScale, 0):
+			return fmt.Errorf("obdrel: trace segment %d activity scale %v not finite non-negative", i, s.ActivityScale)
+		case math.IsNaN(s.TempC) || math.IsInf(s.TempC, 0):
+			return fmt.Errorf("obdrel: trace segment %d temperature %v not finite", i, s.TempC)
+		case s.TempC != 0 && (s.TempC < -100 || s.TempC > 250):
+			return fmt.Errorf("obdrel: trace segment %d measured temperature %v °C outside [-100, 250]", i, s.TempC)
+		}
+	}
+	if tot := tr.TotalHours(); math.IsInf(tot, 0) {
+		return fmt.Errorf("obdrel: trace total hours %v not finite", tot)
+	}
+	return nil
+}
+
+// NewTraceAnalyzer characterizes a design under a measured telemetry
+// trace. See NewTraceAnalyzerCtx.
+func NewTraceAnalyzer(d *Design, cfg *Config, tr Trace) (*Analyzer, error) {
+	return NewTraceAnalyzerCtx(context.Background(), d, cfg, tr)
+}
+
+// NewTraceAnalyzerCtx replays a per-unit telemetry trace through the
+// reliability model: each segment contributes damage at its own
+// (temperature, voltage) operating point for its share of the trace's
+// hours, combined by Miner's rule exactly as NewMissionAnalyzer
+// combines duty-cycle modes:
+//
+//	1/α_eff,j = Σ_s (hours_s / Σhours) / α_{j,s}
+//
+// Measured segments (TempC set) skip the thermal solve — the sensor
+// already answered it; solved segments run the coupled power/thermal
+// fixed point at the segment's VDD and activity. Voltage-independent
+// substrate stages (floorplan, covariance, PCA, BLOD) and each
+// distinct (VDD, activity) thermal solve resolve through the shared
+// stage cache, so replaying a fleet of traces over one design builds
+// the substrate once.
+//
+// The returned Analyzer answers all the usual queries; reported block
+// temperatures are hour-weighted means with the max across segments,
+// and the stored temperature field belongs to the highest-power
+// solved segment (a uniform 1×1 field at the hottest measured
+// temperature when every segment is measured).
+func NewTraceAnalyzerCtx(ctx context.Context, d *Design, cfg *Config, tr Trace) (*Analyzer, error) {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if d == nil {
+		return nil, errNilDesign
+	}
+	cache := sharedStages
+	if cfg.DisableStageCache {
+		cache = nil
+	}
+	g := &stageGraph{
+		cache: cache,
+		d:     d,
+		cfg:   cfg,
+		tech:  cfg.resolvedTech(),
+		pm:    cfg.resolvedPower(),
+		ts:    cfg.resolvedThermal(),
+		keys:  stageKeys(d.Fingerprint(), d.W, d.H, cfg),
+	}
+	fd, err := g.floorplan(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.tech.Validate(); err != nil {
+		return nil, err
+	}
+	pm, err := g.powermap(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	n := len(fd.Blocks)
+	info := make([]BlockInfo, n)
+	for i := range info {
+		info[i] = BlockInfo{
+			Name:     fd.Blocks[i].Name,
+			Devices:  fd.Blocks[i].Devices,
+			MaxTempC: math.Inf(-1),
+		}
+	}
+	damage := make([]float64, n)
+	bWeighted := make([]float64, n)
+	extDamage := make([]float64, n)
+	total := tr.TotalHours()
+	var (
+		bestField   *thermal.Field
+		bestPower   float64
+		maxMeasured = math.Inf(-1)
+		haveSolved  bool
+	)
+	for si, seg := range tr {
+		frac := seg.Hours / total
+		// blockTemp/blockMax/blockPower describe the segment's
+		// resolved operating point, from the sensor or the solver.
+		var blockMean, blockMax, blockPower []float64
+		if seg.TempC != 0 {
+			if seg.TempC > maxMeasured {
+				maxMeasured = seg.TempC
+			}
+		} else {
+			haveSolved = true
+			coupled, err := g.traceSegThermal(ctx, fd, pm, seg)
+			if err != nil {
+				return nil, fmt.Errorf("obdrel: trace segment %d thermal analysis: %w", si, err)
+			}
+			if tot := power.Total(coupled.Powers); tot > bestPower || bestField == nil {
+				bestPower = tot
+				bestField = coupled.Field
+			}
+			blockMean, blockMax, blockPower = coupled.BlockMean, coupled.BlockMax, coupled.Powers
+		}
+		for j := 0; j < n; j++ {
+			tMean, tMax, pW := seg.TempC, seg.TempC, 0.0
+			if blockMean != nil {
+				tMean, tMax, pW = blockMean[j], blockMax[j], blockPower[j]
+			}
+			tBlock := tMean
+			if cfg.UseBlockMaxTemp {
+				tBlock = tMax
+			}
+			p, err := g.tech.Characterize(tBlock, seg.VDD)
+			if err != nil {
+				return nil, fmt.Errorf("obdrel: trace segment %d block %q: %w", si, fd.Blocks[j].Name, err)
+			}
+			w := frac / p.Alpha
+			damage[j] += w
+			bWeighted[j] += w * p.B
+			info[j].MeanTempC += frac * tMean
+			info[j].PowerW += frac * pW
+			if tMax > info[j].MaxTempC {
+				info[j].MaxTempC = tMax
+			}
+			if cfg.Extrinsic != nil {
+				pe, err := g.tech.CharacterizeExtrinsic(cfg.Extrinsic, tBlock, seg.VDD)
+				if err != nil {
+					return nil, fmt.Errorf("obdrel: trace segment %d block %q extrinsic: %w", si, fd.Blocks[j].Name, err)
+				}
+				extDamage[j] += frac / pe.AlphaE
+			}
+		}
+	}
+	if !haveSolved {
+		// Every segment came with a sensor reading: there is no solved
+		// field to store, so report a uniform die at the hottest
+		// measured temperature.
+		bestField = &thermal.Field{Nx: 1, Ny: 1, W: fd.W, H: fd.H, Temps: []float64{maxMeasured}}
+	}
+
+	params := make([]obd.Params, n)
+	for j := 0; j < n; j++ {
+		params[j] = obd.Params{
+			Alpha: 1 / damage[j],
+			B:     bWeighted[j] / damage[j],
+		}
+		info[j].Alpha = params[j].Alpha
+		info[j].B = params[j].B
+	}
+
+	model, err := g.covariance(ctx)
+	if err != nil {
+		return nil, err
+	}
+	pca, err := g.pca(ctx, model)
+	if err != nil {
+		return nil, err
+	}
+	char, err := g.blod(ctx, fd, model)
+	if err != nil {
+		return nil, err
+	}
+	chip, err := core.NewChip(fd, model, char, params)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Extrinsic != nil {
+		ext := make([]obd.ExtrinsicParams, n)
+		for j := 0; j < n; j++ {
+			ext[j] = obd.ExtrinsicParams{
+				AlphaE:         1 / extDamage[j],
+				BetaE:          cfg.Extrinsic.BetaE,
+				DefectFraction: cfg.Extrinsic.DefectFraction,
+			}
+		}
+		if err := chip.SetExtrinsic(ext); err != nil {
+			return nil, err
+		}
+	}
+	return &Analyzer{
+		cfg:       cfg,
+		design:    fd,
+		model:     model,
+		pca:       pca,
+		chip:      chip,
+		tech:      g.tech,
+		blockInfo: info,
+		field:     bestField,
+		// The trace-specific Weibull parameters make the chip identity
+		// trace-dependent; composing the trace fingerprint in keeps
+		// hybrid table spills (keyed by chipKey) distinct per trace.
+		chipKey: fp16(StageChip, g.keys[StageBLOD],
+			fp16("trace-weibull", d.Fingerprint(), cfg.segPower(), cfg.segWeibull(), tr.Fingerprint())),
+		engines: make(map[Method]core.Engine),
+	}, nil
+}
+
+// traceSegThermal resolves a solved trace segment's coupled
+// power/thermal fixed point through the stage cache: the key is the
+// thermal-stage identity evaluated at the segment's (VDD, activity),
+// so repeating segments — across a trace or across a fleet of traces
+// on one design — solve once.
+func (g *stageGraph) traceSegThermal(ctx context.Context, fd *floorplan.Design, pm *power.Model, seg Segment) (*thermal.CoupledResult, error) {
+	key := fp16(StageThermal, g.keys[StageFloorplan],
+		fmt.Sprintf("traceseg|a=%g", seg.ActivityScale),
+		g.cfg.segPower(), g.cfg.segThermalAt(seg.VDD))
+	return stageGet(ctx, g.cache, StageThermal, key,
+		func(bctx context.Context) (*thermal.CoupledResult, error) {
+			scaled := *fd
+			scaled.Blocks = append([]floorplan.Block(nil), fd.Blocks...)
+			for i := range scaled.Blocks {
+				a := scaled.Blocks[i].Activity * seg.ActivityScale
+				if a > 1 {
+					a = 1
+				}
+				scaled.Blocks[i].Activity = a
+			}
+			ts := g.ts
+			if ts.Workers == 0 && g.cfg.Workers != 0 {
+				tsCopy := *ts
+				tsCopy.Workers = g.cfg.Workers
+				ts = &tsCopy
+			}
+			return ts.SolveCoupledCtx(bctx, &scaled, func(temps []float64) ([]float64, error) {
+				return pm.DesignPowers(&scaled, seg.VDD, temps)
+			}, 0, 0)
+		})
 }
 
 func validateModes(modes []Mode) error {

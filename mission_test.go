@@ -164,3 +164,141 @@ func TestMissionValidation(t *testing.T) {
 		}
 	}
 }
+
+func TestMissionValidationEdgeCases(t *testing.T) {
+	cfg := fastConfig()
+	cases := []struct {
+		name  string
+		modes []obdrel.Mode
+	}{
+		{"nan vdd", []obdrel.Mode{{Name: "a", VDD: math.NaN(), ActivityScale: 1, Fraction: 1}}},
+		{"nan fraction", []obdrel.Mode{{Name: "a", VDD: 1.2, ActivityScale: 1, Fraction: math.NaN()}}},
+		{"fractions sum high", []obdrel.Mode{
+			{Name: "a", VDD: 1.2, ActivityScale: 1, Fraction: 0.9},
+			{Name: "b", VDD: 1.0, ActivityScale: 1, Fraction: 0.6},
+		}},
+		{"fraction above one", []obdrel.Mode{{Name: "a", VDD: 1.2, ActivityScale: 1, Fraction: 1.5}}},
+		{"negative vdd", []obdrel.Mode{{Name: "a", VDD: -1.2, ActivityScale: 1, Fraction: 1}}},
+	}
+	for _, c := range cases {
+		if _, err := obdrel.NewMissionAnalyzer(obdrel.C1(), cfg, c.modes); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	seg := func(h, v, a, temp float64) obdrel.Segment {
+		return obdrel.Segment{Hours: h, VDD: v, ActivityScale: a, TempC: temp}
+	}
+	bad := []struct {
+		name string
+		tr   obdrel.Trace
+	}{
+		{"empty", nil},
+		{"zero hours", obdrel.Trace{seg(0, 1.2, 1, 55)}},
+		{"negative hours", obdrel.Trace{seg(-10, 1.2, 1, 55)}},
+		{"inf hours", obdrel.Trace{seg(math.Inf(1), 1.2, 1, 55)}},
+		{"nan hours", obdrel.Trace{seg(math.NaN(), 1.2, 1, 55)}},
+		{"zero vdd", obdrel.Trace{seg(100, 0, 1, 55)}},
+		{"nan vdd", obdrel.Trace{seg(100, math.NaN(), 1, 55)}},
+		{"inf vdd", obdrel.Trace{seg(100, math.Inf(1), 1, 55)}},
+		{"negative activity", obdrel.Trace{seg(100, 1.2, -0.5, 55)}},
+		{"nan activity", obdrel.Trace{seg(100, 1.2, math.NaN(), 55)}},
+		{"nan temp", obdrel.Trace{seg(100, 1.2, 1, math.NaN())}},
+		{"inf temp", obdrel.Trace{seg(100, 1.2, 1, math.Inf(1))}},
+		{"temp too hot", obdrel.Trace{seg(100, 1.2, 1, 300)}},
+		{"temp too cold", obdrel.Trace{seg(100, 1.2, 1, -150)}},
+		{"total hours overflow", obdrel.Trace{seg(1e308, 1.2, 1, 55), seg(1e308, 1.2, 1, 55)}},
+		{"second segment bad", obdrel.Trace{seg(100, 1.2, 1, 55), seg(100, -1, 1, 55)}},
+	}
+	for _, c := range bad {
+		if err := c.tr.Validate(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+		if _, err := obdrel.NewTraceAnalyzer(obdrel.C1(), fastConfig(), c.tr); err == nil {
+			t.Errorf("%s: NewTraceAnalyzer accepted an invalid trace", c.name)
+		}
+	}
+	good := []obdrel.Trace{
+		{seg(100, 1.2, 1, 0)},   // solved segment: TempC 0 means "solve it"
+		{seg(100, 1.2, 0, 55)},  // zero activity is legal (idle)
+		{seg(100, 1.2, 1, -40)}, // cold but in range
+		{seg(1, 1.0, 1, 55), seg(1, 1.3, 1, 85)},
+	}
+	for i, tr := range good {
+		if err := tr.Validate(); err != nil {
+			t.Errorf("good trace %d rejected: %v", i, err)
+		}
+	}
+}
+
+// TestTraceMatchesMission pins the Miner's-rule equivalence: a trace
+// whose hour shares equal a mission profile's fractions, with solved
+// temperatures, must produce the same lifetime.
+func TestTraceMatchesMission(t *testing.T) {
+	cfg := fastConfig()
+	mission, err := obdrel.NewMissionAnalyzer(obdrel.C1(), cfg, []obdrel.Mode{
+		{Name: "lo", VDD: 1.0, ActivityScale: 0.4, Fraction: 0.4},
+		{Name: "hi", VDD: 1.3, ActivityScale: 1, Fraction: 0.6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := obdrel.NewTraceAnalyzer(obdrel.C1(), cfg, obdrel.Trace{
+		{Hours: 4000, VDD: 1.0, ActivityScale: 0.4},
+		{Hours: 6000, VDD: 1.3, ActivityScale: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lMission, err := mission.LifetimePPM(10, obdrel.MethodStFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lTrace, err := trace.LifetimePPM(10, obdrel.MethodStFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(lMission, lTrace, 1e-9) {
+		t.Errorf("trace lifetime %v differs from equivalent mission %v", lTrace, lMission)
+	}
+}
+
+// TestTraceMeasuredTemps drives the sensor path: measured segments
+// skip the thermal solve, and hotter telemetry must age faster.
+func TestTraceMeasuredTemps(t *testing.T) {
+	cfg := fastConfig()
+	life := func(temp float64) float64 {
+		an, err := obdrel.NewTraceAnalyzer(obdrel.C1(), cfg, obdrel.Trace{
+			{Hours: 8760, VDD: 1.2, ActivityScale: 1, TempC: temp},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := an.LifetimePPM(10, obdrel.MethodStFast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	cool, hot := life(55), life(95)
+	if !(hot < cool) {
+		t.Fatalf("95°C trace lifetime %v not below 55°C lifetime %v", hot, cool)
+	}
+	// Mixed measured + solved segments must also work end to end.
+	an, err := obdrel.NewTraceAnalyzer(obdrel.C1(), cfg, obdrel.Trace{
+		{Hours: 4000, VDD: 1.2, ActivityScale: 1, TempC: 72},
+		{Hours: 4000, VDD: 1.2, ActivityScale: 1}, // solved
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l, err := an.LifetimePPM(10, obdrel.MethodStFast); err != nil || !(l > 0) {
+		t.Fatalf("mixed trace lifetime = %v, %v", l, err)
+	}
+	nx, ny, temps := an.TemperatureField()
+	if nx*ny != len(temps) || len(temps) == 0 {
+		t.Fatal("mixed trace must keep a temperature field")
+	}
+}
