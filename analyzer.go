@@ -11,6 +11,7 @@ import (
 	"obdrel/internal/floorplan"
 	"obdrel/internal/grid"
 	"obdrel/internal/obd"
+	"obdrel/internal/pipeline"
 	"obdrel/internal/stats"
 	"obdrel/internal/thermal"
 )
@@ -121,7 +122,16 @@ func NewAnalyzer(d *Design, cfg *Config) (*Analyzer, error) {
 // shares artifacts across the documented serial/parallel tolerance
 // (Workers is a perf knob, excluded from stage fingerprints).
 func NewAnalyzerCtx(ctx context.Context, d *Design, cfg *Config) (*Analyzer, error) {
-	cache := sharedStages
+	return NewAnalyzerCtxIn(ctx, sharedStages, d, cfg)
+}
+
+// NewAnalyzerCtxIn is NewAnalyzerCtx against an explicit stage cache
+// instead of the process-wide one. The serving layer uses it to give
+// each node its own stage cache (with its own disk/peer tiers), which
+// is also what lets a multi-node cluster run inside one test process
+// without the nodes sharing artifacts through sharedStages.
+// Config.DisableStageCache still wins: it disables caching entirely.
+func NewAnalyzerCtxIn(ctx context.Context, cache *pipeline.Cache, d *Design, cfg *Config) (*Analyzer, error) {
 	if cfg != nil && cfg.DisableStageCache {
 		cache = nil
 	}

@@ -857,9 +857,10 @@ func validateReport(path string) (string, error) {
 		return "", err
 	}
 	// Peek at the envelope first: the serving-side report families
-	// (kind "serving"/"chaos"/"fleet", schemas v1/v4/v6) are loadgen's,
-	// and feeding one here would otherwise die on an opaque
-	// unknown-field error instead of pointing at the right validator.
+	// (kind "serving"/"chaos"/"fleet"/"cluster", schemas v1/v4/v6/v7)
+	// are loadgen's, and feeding one here would otherwise die on an
+	// opaque unknown-field error instead of pointing at the right
+	// validator.
 	var head struct {
 		Schema string `json:"schema"`
 		Kind   string `json:"kind"`

@@ -1,0 +1,471 @@
+// Cluster preset: the obdrel-bench/v7 report (BENCH_pr8.json). One
+// run spins up a two-node in-process cluster — each node with its own
+// stage cache, artifact spill directory, and a peer list naming the
+// other — and proves the artifact tiers end to end:
+//
+//  1. leader leg — node A answers a lifetime sweep cold: every
+//     pipeline stage builds on A and spills to A's disk tier.
+//  2. follower leg — node B answers the same sweep. Gates: B builds
+//     ZERO pipeline stages (every artifact cache-fills from A over
+//     /v1/artifact), B's peer-hit counters move, and B's response
+//     bodies are byte-identical to A's — the wire format carries the
+//     physics bit-exactly.
+//  3. restart leg — a third node C starts over A's artifact
+//     directory with no peers. The anti-entropy warm sweep loads the
+//     spilled artifacts (readiness reports progress), and C answers
+//     the sweep with zero stage builds and byte-identical bodies —
+//     the disk tier alone survives a restart.
+//
+// All counters are scraped from each node's /metrics, so the run also
+// gates the obdreld_artifact_* exposition itself; any disk-tier
+// reject or spill failure anywhere fails the run.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"obdrel"
+	"obdrel/internal/pipeline"
+	"obdrel/internal/server"
+)
+
+// ClusterSchema is the two-node artifact report format; ClusterKind
+// separates it from the other loadgen kinds under validation.
+const (
+	ClusterSchema = "obdrel-bench/v7"
+	ClusterKind   = "cluster"
+)
+
+// ClusterReport is the top-level BENCH_pr8.json document.
+type ClusterReport struct {
+	Schema      string          `json:"schema"`
+	Kind        string          `json:"kind"`
+	GeneratedAt string          `json:"generated_at"`
+	Quick       bool            `json:"quick"`
+	GoMaxProcs  int             `json:"go_max_procs"`
+	Designs     []string        `json:"designs"`
+	Queries     int             `json:"queries"`
+	Leader      ClusterLeg      `json:"leader"`
+	Follower    ClusterLeg      `json:"follower"`
+	Restart     ClusterLeg      `json:"restart"`
+	Artifact    ArtifactSection `json:"artifact"`
+}
+
+// ClusterLeg is one node's pass over the query sweep, with the stage
+// counters scraped from that node's /metrics after the pass.
+type ClusterLeg struct {
+	Queries     int     `json:"queries"`
+	Errors      int     `json:"errors"`
+	WallUs      float64 `json:"wall_us"`
+	StageBuilds int64   `json:"stage_builds"`
+	DiskHits    int64   `json:"disk_hits"`
+	PeerHits    int64   `json:"peer_hits"`
+	Spills      int64   `json:"spills"`
+	WarmLoaded  int64   `json:"warm_loaded"`
+	Identical   bool    `json:"answers_identical"`
+}
+
+// ArtifactSection aggregates the health counters across every node in
+// the run; any nonzero reject or spill failure fails validation.
+type ArtifactSection struct {
+	Rejects     int64 `json:"rejects"`
+	SpillFails  int64 `json:"spill_failures"`
+	PeerServes  int64 `json:"peer_serves"`
+	FetchFills  int64 `json:"fetch_fills"`
+	FetchErrors int64 `json:"fetch_errors"`
+}
+
+// clusterDesigns returns the benchmark designs the sweep covers and
+// the per-design query count — several designs so the exchange moves
+// many distinct stage fingerprints, not one hot key.
+func clusterDesigns(quick bool) ([]string, int) {
+	if quick {
+		return []string{"C1", "C2"}, 4
+	}
+	return []string{"C1", "C2", "C4"}, 8
+}
+
+// artifactScrape is one node's artifact telemetry pulled from
+// /metrics: per-stage tier counters summed over the library stages,
+// plus the node-level families.
+type artifactScrape struct {
+	stageBuilds map[string]int64
+	diskHits    int64
+	rejects     int64
+	spills      int64
+	spillFails  int64
+	peerHits    int64
+	peerErrors  int64
+	fetchFills  int64
+	fetchErrors int64
+	peerServes  int64
+	warmLoaded  int64
+}
+
+// libraryStages is the set of pipeline stages gated by the zero-build
+// checks (the registry's "analyzer" pseudo-stage builds per node by
+// design — it is the stage artifacts underneath that must travel).
+func libraryStages() map[string]bool {
+	set := map[string]bool{}
+	for _, s := range obdrel.StageNames() {
+		set[s] = true
+	}
+	return set
+}
+
+// scrapeArtifacts parses a node's /metrics exposition into the
+// artifact counters the cluster gates read.
+func scrapeArtifacts(client *http.Client, target string) (*artifactScrape, error) {
+	code, body, err := hit(client, target+"/metrics")
+	if err != nil || code != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: code=%d err=%v", code, err)
+	}
+	lib := libraryStages()
+	out := &artifactScrape{stageBuilds: map[string]int64{}}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(fields[1], "%g", &v); err != nil {
+			continue
+		}
+		name, stage, labeled := splitStageLabel(fields[0])
+		if labeled {
+			if !lib[stage] {
+				continue
+			}
+			switch name {
+			case "obdreld_stage_builds_total":
+				out.stageBuilds[stage] += int64(v)
+			case "obdreld_artifact_disk_hits_total":
+				out.diskHits += int64(v)
+			case "obdreld_artifact_disk_rejects_total":
+				out.rejects += int64(v)
+			case "obdreld_artifact_spills_total":
+				out.spills += int64(v)
+			case "obdreld_artifact_spill_failures_total":
+				out.spillFails += int64(v)
+			case "obdreld_artifact_peer_hits_total":
+				out.peerHits += int64(v)
+			case "obdreld_artifact_peer_errors_total":
+				out.peerErrors += int64(v)
+			}
+			continue
+		}
+		switch fields[0] {
+		case "obdreld_artifact_fetch_fills_total":
+			out.fetchFills = int64(v)
+		case "obdreld_artifact_fetch_errors_total":
+			out.fetchErrors = int64(v)
+		case "obdreld_artifact_peer_serves_total":
+			out.peerServes = int64(v)
+		case "obdreld_artifact_warm_loaded_total":
+			out.warmLoaded = int64(v)
+		}
+	}
+	return out, nil
+}
+
+func (a *artifactScrape) buildsTotal() int64 {
+	var n int64
+	for _, b := range a.stageBuilds {
+		n += b
+	}
+	return n
+}
+
+// clusterNode is one in-process obdreld instance with its own stage
+// cache and artifact directory.
+type clusterNode struct {
+	url string
+	hs  *http.Server
+}
+
+func (n *clusterNode) stop() { n.hs.Close() }
+
+// startClusterNode builds a server over a private stage cache and
+// serves it on a loopback listener. The listener is bound by the
+// caller first, because every node needs the full URL list before any
+// node can be constructed.
+func startClusterNode(ln net.Listener, dir string, peers []string, self string, warmLimit int) (*clusterNode, error) {
+	svc, err := server.NewE(server.Options{
+		Stages:      pipeline.NewCache(64),
+		ArtifactDir: dir,
+		Peers:       peers,
+		Self:        self,
+		WarmLimit:   warmLimit,
+		// Workers pinned so every node derives bit-identical artifacts
+		// regardless of the host's GOMAXPROCS.
+		Workers:        2,
+		DisableTracing: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: svc.Handler()}
+	go hs.Serve(ln)
+	return &clusterNode{url: self, hs: hs}, nil
+}
+
+// clusterQueries is the sweep: distinct ppm targets per design, all
+// st_fast so each answer is a deterministic function of the stage
+// artifacts.
+func clusterQueries(target string, designs []string, perDesign, gridN, mcSamples int) []string {
+	var urls []string
+	for _, d := range designs {
+		for i := 1; i <= perDesign; i++ {
+			urls = append(urls, fmt.Sprintf(
+				"%s/v1/lifetime?design=%s&method=st_fast&ppm=%d&grid=%d&mc_samples=%d&stmc_samples=1000",
+				target, d, i*5, gridN, mcSamples))
+		}
+	}
+	return urls
+}
+
+// sweep runs the queries sequentially and returns the canonicalized
+// bodies (for the bit-identity comparison) and the error count.
+func sweep(client *http.Client, urls []string) ([]string, int, time.Duration) {
+	bodies := make([]string, len(urls))
+	errs := 0
+	start := time.Now()
+	for i, u := range urls {
+		code, body, err := hit(client, u)
+		if err != nil || code != http.StatusOK {
+			errs++
+			continue
+		}
+		canon, err := canonicalAnswer(body)
+		if err != nil {
+			errs++
+			continue
+		}
+		bodies[i] = canon
+	}
+	return bodies, errs, time.Since(start)
+}
+
+// canonicalAnswer strips the per-request wall-time stamp (query_us —
+// the one response field that legitimately differs between nodes) and
+// re-marshals with sorted keys. Every physics field survives as its
+// exact float64: encoding/json prints the shortest round-trip form, so
+// two canonical answers are equal iff the numbers are bit-identical.
+func canonicalAnswer(body []byte) (string, error) {
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		return "", err
+	}
+	delete(m, "query_us")
+	out, err := json.Marshal(m)
+	return string(out), err
+}
+
+func identicalBodies(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] == "" || a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// waitReady polls /readyz until the node reports ready — the restart
+// leg must not query while the warm sweep is still loading.
+func waitReady(client *http.Client, target string, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	for {
+		code, _, err := hit(client, target+"/readyz")
+		if err == nil && code == http.StatusOK {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("node %s not ready after %v (last: code=%d err=%v)", target, patience, code, err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// runCluster drives the three legs and assembles the v7 report. The
+// nodes are always in-process: the run needs two coordinated daemons
+// plus a restart, which no single -addr target can provide.
+func runCluster(gridN, mcSamples int, quick bool, dirA, dirB string) (*ClusterReport, error) {
+	designs, perDesign := clusterDesigns(quick)
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	urlA := "http://" + lnA.Addr().String()
+	urlB := "http://" + lnB.Addr().String()
+	peers := []string{urlA, urlB}
+
+	nodeA, err := startClusterNode(lnA, dirA, peers, urlA, -1)
+	if err != nil {
+		return nil, fmt.Errorf("node A: %w", err)
+	}
+	defer nodeA.stop()
+	nodeB, err := startClusterNode(lnB, dirB, peers, urlB, -1)
+	if err != nil {
+		return nil, fmt.Errorf("node B: %w", err)
+	}
+	defer nodeB.stop()
+	if err := waitHealthy(client, urlA, 15*time.Second); err != nil {
+		return nil, err
+	}
+	if err := waitHealthy(client, urlB, 15*time.Second); err != nil {
+		return nil, err
+	}
+
+	queriesA := clusterQueries(urlA, designs, perDesign, gridN, mcSamples)
+	queriesB := clusterQueries(urlB, designs, perDesign, gridN, mcSamples)
+
+	log.Printf("cluster: leader leg — %d queries against cold node A", len(queriesA))
+	bodiesA, errsA, wallA := sweep(client, queriesA)
+	scrapeA, err := scrapeArtifacts(client, urlA)
+	if err != nil {
+		return nil, fmt.Errorf("scrape A: %w", err)
+	}
+
+	log.Printf("cluster: follower leg — same queries against node B (peer fill only)")
+	bodiesB, errsB, wallB := sweep(client, queriesB)
+	scrapeB, err := scrapeArtifacts(client, urlB)
+	if err != nil {
+		return nil, fmt.Errorf("scrape B: %w", err)
+	}
+	// Re-scrape A after B's leg: A served B's artifact fetches.
+	scrapeA2, err := scrapeArtifacts(client, urlA)
+	if err != nil {
+		return nil, fmt.Errorf("re-scrape A: %w", err)
+	}
+
+	// Restart leg: a fresh node over A's artifact directory, no peers.
+	// Stop A first — the restarted node must answer from disk alone.
+	nodeA.stop()
+	nodeB.stop()
+	lnC, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	urlC := "http://" + lnC.Addr().String()
+	nodeC, err := startClusterNode(lnC, dirA, nil, "", 1024)
+	if err != nil {
+		return nil, fmt.Errorf("node C: %w", err)
+	}
+	defer nodeC.stop()
+	if err := waitReady(client, urlC, 30*time.Second); err != nil {
+		return nil, err
+	}
+	log.Printf("cluster: restart leg — same queries against node C (disk tier only)")
+	queriesC := clusterQueries(urlC, designs, perDesign, gridN, mcSamples)
+	bodiesC, errsC, wallC := sweep(client, queriesC)
+	scrapeC, err := scrapeArtifacts(client, urlC)
+	if err != nil {
+		return nil, fmt.Errorf("scrape C: %w", err)
+	}
+
+	rep := &ClusterReport{
+		Schema:      ClusterSchema,
+		Kind:        ClusterKind,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Quick:       quick,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Designs:     designs,
+		Queries:     len(queriesA),
+		Leader: ClusterLeg{
+			Queries: len(queriesA), Errors: errsA,
+			WallUs:      float64(wallA.Nanoseconds()) / 1e3,
+			StageBuilds: scrapeA.buildsTotal(), Spills: scrapeA.spills,
+			DiskHits: scrapeA.diskHits, PeerHits: scrapeA.peerHits,
+			Identical: true,
+		},
+		Follower: ClusterLeg{
+			Queries: len(queriesB), Errors: errsB,
+			WallUs:      float64(wallB.Nanoseconds()) / 1e3,
+			StageBuilds: scrapeB.buildsTotal(), Spills: scrapeB.spills,
+			DiskHits: scrapeB.diskHits, PeerHits: scrapeB.peerHits,
+			Identical: identicalBodies(bodiesA, bodiesB),
+		},
+		Restart: ClusterLeg{
+			Queries: len(queriesC), Errors: errsC,
+			WallUs:      float64(wallC.Nanoseconds()) / 1e3,
+			StageBuilds: scrapeC.buildsTotal(), Spills: scrapeC.spills,
+			DiskHits: scrapeC.diskHits, PeerHits: scrapeC.peerHits,
+			WarmLoaded: scrapeC.warmLoaded,
+			Identical:  identicalBodies(bodiesA, bodiesC),
+		},
+		Artifact: ArtifactSection{
+			Rejects:     scrapeA2.rejects + scrapeB.rejects + scrapeC.rejects,
+			SpillFails:  scrapeA2.spillFails + scrapeB.spillFails + scrapeC.spillFails,
+			PeerServes:  scrapeA2.peerServes + scrapeB.peerServes,
+			FetchFills:  scrapeA2.fetchFills + scrapeB.fetchFills,
+			FetchErrors: scrapeA2.fetchErrors + scrapeB.fetchErrors,
+		},
+	}
+	return rep, nil
+}
+
+// clusterGates are the pass/fail checks enforced after a cluster run.
+func clusterGates(rep *ClusterReport) []string {
+	var fails []string
+	gate := func(ok bool, format string, a ...any) {
+		if !ok {
+			fails = append(fails, fmt.Sprintf(format, a...))
+		}
+	}
+	gate(rep.Leader.Errors == 0, "leader leg errors = %d, want 0", rep.Leader.Errors)
+	gate(rep.Leader.StageBuilds > 0, "leader built %d stages, want > 0 (cold node must build)", rep.Leader.StageBuilds)
+	gate(rep.Leader.Spills > 0, "leader spilled %d artifacts, want > 0", rep.Leader.Spills)
+	gate(rep.Follower.Errors == 0, "follower leg errors = %d, want 0", rep.Follower.Errors)
+	gate(rep.Follower.StageBuilds == 0, "follower built %d stages, want 0 (every artifact must peer-fill)", rep.Follower.StageBuilds)
+	gate(rep.Follower.PeerHits > 0, "follower peer hits = %d, want > 0", rep.Follower.PeerHits)
+	gate(rep.Follower.Identical, "follower answers differ from leader — the wire format is not bit-exact")
+	gate(rep.Restart.Errors == 0, "restart leg errors = %d, want 0", rep.Restart.Errors)
+	gate(rep.Restart.StageBuilds == 0, "restarted node built %d stages, want 0 (disk tier must survive restart)", rep.Restart.StageBuilds)
+	gate(rep.Restart.DiskHits > 0, "restarted node disk hits = %d, want > 0", rep.Restart.DiskHits)
+	gate(rep.Restart.Identical, "restarted node answers differ from leader")
+	gate(rep.Artifact.Rejects == 0, "artifact rejects = %d, want 0", rep.Artifact.Rejects)
+	gate(rep.Artifact.SpillFails == 0, "artifact spill failures = %d, want 0", rep.Artifact.SpillFails)
+	gate(rep.Artifact.PeerServes > 0, "peer serves = %d, want > 0", rep.Artifact.PeerServes)
+	gate(rep.Artifact.FetchFills > 0, "fetch fills = %d, want > 0", rep.Artifact.FetchFills)
+	return fails
+}
+
+// validateClusterReport checks an existing v7 report — the CI schema
+// gate for the committed BENCH_pr8.json.
+func validateClusterReport(data []byte) error {
+	var rep ClusterReport
+	if err := strictDecode(data, &rep); err != nil {
+		return err
+	}
+	switch {
+	case rep.Schema != ClusterSchema:
+		return fmt.Errorf("schema %q, want %q", rep.Schema, ClusterSchema)
+	case rep.Kind != ClusterKind:
+		return fmt.Errorf("kind %q, want %q", rep.Kind, ClusterKind)
+	case rep.Queries <= 0 || len(rep.Designs) == 0:
+		return fmt.Errorf("no queries recorded")
+	}
+	if fails := clusterGates(&rep); len(fails) > 0 {
+		return fmt.Errorf("%s", strings.Join(fails, "; "))
+	}
+	return nil
+}

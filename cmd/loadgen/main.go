@@ -59,9 +59,10 @@ const (
 // description. The -mix flag help and the unknown-mix error both
 // derive from it, so adding a preset here is the whole wiring.
 var mixes = map[string]string{
-	"drm":    "steady-state reliability polling (lifetime, failureprob, blocks)",
-	"maxvdd": "DVS controller hammering /v1/maxvdd",
-	"fleet":  "batched fleet sweeps and telemetry replay on /v1/batch (v6 report)",
+	"drm":     "steady-state reliability polling (lifetime, failureprob, blocks)",
+	"maxvdd":  "DVS controller hammering /v1/maxvdd",
+	"fleet":   "batched fleet sweeps and telemetry replay on /v1/batch (v6 report)",
+	"cluster": "two-node peer cache-fill, disk-tier restart, bit-identity gates (v7 report)",
 }
 
 // mixNames lists the registered presets, sorted, for messages.
@@ -174,6 +175,9 @@ func main() {
 	if *mixName == "fleet" && *out == "BENCH_pr2.json" {
 		*out = "BENCH_pr7.json"
 	}
+	if *mixName == "cluster" && *out == "BENCH_pr2.json" {
+		*out = "BENCH_pr8.json"
+	}
 	if _, ok := mixes[*mixName]; !ok {
 		log.Fatalf("unknown traffic mix %q (want %s)", *mixName, mixNames())
 	}
@@ -215,6 +219,37 @@ func main() {
 			os.Exit(1)
 		}
 		log.Printf("all chaos gates passed")
+		return
+	}
+
+	if *mixName == "cluster" {
+		// The cluster preset always self-hosts: it needs two coordinated
+		// nodes plus a restart, which no single -addr target provides.
+		dirA, err := os.MkdirTemp("", "obdrel-artifacts-a-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dirA)
+		dirB, err := os.MkdirTemp("", "obdrel-artifacts-b-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dirB)
+		rep, err := runCluster(*gridN, *mcSamples, *quick, dirA, dirB)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeReport(*out, rep)
+		log.Printf("wrote %s: follower builds=%d peer_hits=%d identical=%v; restart builds=%d disk_hits=%d identical=%v",
+			*out, rep.Follower.StageBuilds, rep.Follower.PeerHits, rep.Follower.Identical,
+			rep.Restart.StageBuilds, rep.Restart.DiskHits, rep.Restart.Identical)
+		if fails := clusterGates(rep); len(fails) > 0 {
+			for _, f := range fails {
+				log.Printf("GATE FAILED: %s", f)
+			}
+			os.Exit(1)
+		}
+		log.Printf("all cluster gates passed")
 		return
 	}
 
@@ -618,10 +653,12 @@ func validateAnyReport(path string) (string, error) {
 		return ChaosSchema + " (" + ChaosKind + ")", validateChaosReport(data)
 	case FleetSchema:
 		return FleetSchema + " (" + FleetKind + ")", validateFleetReport(data)
+	case ClusterSchema:
+		return ClusterSchema + " (" + ClusterKind + ")", validateClusterReport(data)
 	case Schema:
 		return Schema + " (" + Kind + ")", validateReport(data)
 	default:
-		return "", fmt.Errorf("schema %q: loadgen validates %q, %q, and %q", head.Schema, Schema, ChaosSchema, FleetSchema)
+		return "", fmt.Errorf("schema %q: loadgen validates %q, %q, %q, and %q", head.Schema, Schema, ChaosSchema, FleetSchema, ClusterSchema)
 	}
 }
 

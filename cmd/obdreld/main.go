@@ -63,6 +63,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -104,6 +105,12 @@ func main() {
 		faultSpec   = flag.String("fault", "", "process-wide fault-injection profile, e.g. 'pipeline.build:error:0.1,thermal.solve:latency:50ms:0.05' (test/staging only)")
 		faultSeed   = flag.Int64("fault-seed", 1, "decision-stream seed for -fault rules without their own seed= segment")
 		faultHeader = flag.Bool("fault-header", false, "honour per-request X-Fault injection headers (never on a public listener)")
+
+		artifactDir = flag.String("artifact-dir", "", "spill serializable stage artifacts to this directory and serve them back across restarts (empty disables the disk tier)")
+		peers       = flag.String("peers", "", "comma-separated base URLs of every cluster node, this one included; enables peer cache-fill (requires -self)")
+		self        = flag.String("self", "", "this node's base URL as it appears in -peers")
+		peerTimeout = flag.Duration("peer-timeout", 2*time.Second, "deadline for one peer artifact fetch")
+		warmLimit   = flag.Int("warm-limit", 1024, "max artifacts the startup anti-entropy sweep loads from -artifact-dir (negative disables; /readyz reports progress)")
 	)
 	flag.Parse()
 
@@ -150,7 +157,18 @@ func main() {
 		}
 		*queueDepth = 2 * mc
 	}
-	svc := server.New(server.Options{
+	var peerList []string
+	if *peers != "" {
+		peerList = strings.Split(*peers, ",")
+		log.Printf("cluster mode: self=%s peers=%s", *self, *peers)
+	}
+	if *artifactDir != "" {
+		if err := os.MkdirAll(*artifactDir, 0o755); err != nil {
+			log.Fatalf("-artifact-dir: %v", err)
+		}
+		log.Printf("stage artifacts spill to %s", *artifactDir)
+	}
+	svc, err := server.NewE(server.Options{
 		MaxAnalyzers:   *cache,
 		MaxConcurrent:  *maxConcurrent,
 		RequestTimeout: *timeout,
@@ -173,7 +191,16 @@ func main() {
 		MaxStale:         *maxStale,
 		QueueDepth:       *queueDepth,
 		FaultHeader:      *faultHeader,
+
+		ArtifactDir: *artifactDir,
+		Peers:       peerList,
+		Self:        *self,
+		PeerTimeout: *peerTimeout,
+		WarmLimit:   *warmLimit,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),
@@ -245,9 +272,16 @@ func main() {
 		"obdreld: batch streams=%d items ok=%d error=%d groups=%d reused=%d shared_evals=%d stream_bytes=%d\n",
 		m.BatchRequests.Load(), m.BatchItemsOK.Load(), m.BatchItemsErr.Load(),
 		m.BatchGroups.Load(), m.BatchReused.Load(), m.BatchSharedEvals.Load(), m.BatchStreamBytes.Load())
+	if *artifactDir != "" || len(peerList) > 0 {
+		as := svc.ArtifactStats()
+		fmt.Fprintf(os.Stderr,
+			"obdreld: artifacts fetch_attempts=%d fetch_fills=%d fetch_errors=%d peer_serves=%d warm_loaded=%d\n",
+			as.FetchAttempts, as.FetchFills, as.FetchErrors, as.PeerServes, as.WarmLoaded)
+	}
 	for _, st := range obdrel.Stages().Snapshot() {
 		fmt.Fprintf(os.Stderr,
-			"obdreld: stage %-10s hits=%d misses=%d builds=%d cancelled=%d retries=%d breaker_opens=%d build_s=%.3f entries=%d\n",
-			st.Stage, st.Hits, st.Misses, st.Builds, st.Cancels, st.Retries, st.BreakerOpens, st.BuildSeconds, st.Entries)
+			"obdreld: stage %-10s hits=%d misses=%d builds=%d cancelled=%d retries=%d breaker_opens=%d build_s=%.3f entries=%d disk_hits=%d spills=%d peer_hits=%d\n",
+			st.Stage, st.Hits, st.Misses, st.Builds, st.Cancels, st.Retries, st.BreakerOpens, st.BuildSeconds, st.Entries,
+			st.DiskHits, st.Spills, st.PeerHits)
 	}
 }

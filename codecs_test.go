@@ -1,0 +1,150 @@
+package obdrel
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"obdrel/internal/artifact"
+	"obdrel/internal/grid"
+	"obdrel/internal/obd"
+	"obdrel/internal/pipeline"
+)
+
+// TestEveryStageHasCodec is the reflection-style registration guard:
+// every stage the graph can cache must have an artifact codec, so a
+// newly added stage cannot silently become non-spillable (it would
+// never reach the disk tier or serve peers, and a follower would
+// quietly rebuild it). StageNames() is the authoritative roster — the
+// fingerprint-sensitivity test already pins that roster against the
+// stage graph.
+func TestEveryStageHasCodec(t *testing.T) {
+	for _, stage := range StageNames() {
+		if _, ok := artifact.Lookup(stage); !ok {
+			t.Errorf("stage %q has no artifact codec: register one in codecs.go", stage)
+		}
+	}
+}
+
+// TestStageCodecsRoundTripBitIdentical builds every stage artifact
+// for a real design (with the extrinsic model enabled, so optional
+// fields are exercised) and gates, for each stage:
+//
+//  1. Decode(Encode(v)) is deeply equal to v — every float compared
+//     by bit pattern via reflection (reflect.DeepEqual on float64
+//     uses ==; the re-encode check below closes the -0.0/NaN gap);
+//  2. Encode(Decode(Encode(v))) is byte-identical to Encode(v) —
+//     the serialized form is a fixed point, which is what makes the
+//     sealed checksum a content address.
+func TestStageCodecsRoundTripBitIdentical(t *testing.T) {
+	d := C1()
+	cfg := quickConfig()
+	cfg.Extrinsic = obd.DefaultExtrinsic()
+	cfg.WaferPattern = &grid.WaferPattern{DieX: 0.3, DieY: -0.2, DieSpan: 0.05, Bowl: 0.4, SlantX: 0.1, SlantY: -0.05}
+	cache := pipeline.NewCache(8)
+	if _, err := newAnalyzerWith(context.Background(), cache, d, cfg); err != nil {
+		t.Fatal(err)
+	}
+	keys := stageKeys(d.Fingerprint(), d.W, d.H, cfg)
+	for _, stage := range StageNames() {
+		key := keys[stage]
+		v, ok := cache.Peek(stage, key)
+		if !ok {
+			t.Fatalf("stage %s: no cached artifact under %s", stage, key)
+		}
+		sealed, err := artifact.Encode(stage, key, v)
+		if err != nil {
+			t.Fatalf("stage %s: encode: %v", stage, err)
+		}
+		v2, err := artifact.Decode(stage, key, sealed)
+		if err != nil {
+			t.Fatalf("stage %s: decode: %v", stage, err)
+		}
+		if got, want := reflect.TypeOf(v2), reflect.TypeOf(v); got != want {
+			t.Fatalf("stage %s: decoded type %v, want %v", stage, got, want)
+		}
+		if !reflect.DeepEqual(v2, v) {
+			t.Errorf("stage %s: decoded artifact differs from original", stage)
+		}
+		sealed2, err := artifact.Encode(stage, key, v2)
+		if err != nil {
+			t.Fatalf("stage %s: re-encode: %v", stage, err)
+		}
+		if string(sealed2) != string(sealed) {
+			t.Errorf("stage %s: re-encoded container is not byte-identical (%d vs %d bytes)",
+				stage, len(sealed2), len(sealed))
+		}
+	}
+}
+
+// TestAnalyzerFromDecodedArtifactsBitIdentical is the end-to-end
+// bit-identity gate behind peer cache-fill: an analyzer assembled
+// entirely from decoded artifacts (the follower's view) must answer
+// exactly — ±0 ULP — like one assembled from the originals.
+func TestAnalyzerFromDecodedArtifactsBitIdentical(t *testing.T) {
+	d := C1()
+	cfg := quickConfig()
+	ctx := context.Background()
+
+	// Leader: build everything into cacheA, then move every artifact
+	// through the wire format into cacheB.
+	cacheA := pipeline.NewCache(8)
+	a1, err := newAnalyzerWith(ctx, cacheA, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := stageKeys(d.Fingerprint(), d.W, d.H, cfg)
+	cacheB := pipeline.NewCache(8)
+	dir := t.TempDir()
+	cacheB.SetTiers(pipeline.Tiers{Dir: dir})
+	for _, stage := range StageNames() {
+		v, ok := cacheA.Peek(stage, keys[stage])
+		if !ok {
+			t.Fatalf("stage %s missing from leader cache", stage)
+		}
+		sealed, err := artifact.Encode(stage, keys[stage], v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := artifact.WriteFile(dir, stage, keys[stage], sealed); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Follower: every stage resolves from the disk tier; the build
+	// closures must never run.
+	a2, err := newAnalyzerWith(ctx, cacheB, d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range StageNames() {
+		if st := cacheB.Stat(stage); st.Builds != 0 || st.DiskHits != 1 {
+			t.Errorf("stage %s: builds=%d diskHits=%d, want 0/1", stage, st.Builds, st.DiskHits)
+		}
+	}
+
+	for _, tt := range []float64{1, 5, 11.3} {
+		p1, err := a1.FailureProb(tt, MethodStFast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := a2.FailureProb(tt, MethodStFast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p1 != p2 {
+			t.Errorf("FailureProb(%v): leader %v, follower %v", tt, p1, p2)
+		}
+	}
+	l1, err := a1.LifetimePPM(100, MethodStFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := a2.LifetimePPM(100, MethodStFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 != l2 {
+		t.Errorf("LifetimePPM: leader %v, follower %v", l1, l2)
+	}
+}

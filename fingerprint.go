@@ -44,6 +44,24 @@ func fp16(segments ...string) string {
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
+// ValidFingerprint reports whether s has the canonical fp16 shape —
+// exactly 32 lowercase hex characters. The stage fingerprints double
+// as wire-level content addresses (artifact file names, the
+// /v1/artifact/{stage}/{key} endpoint), so inputs from the network
+// and from directory listings are gated through this before use.
+func ValidFingerprint(s string) bool {
+	if len(s) != 32 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // resolvedTech returns the configured or default technology.
 func (c *Config) resolvedTech() *obd.Tech {
 	if c.Tech != nil {

@@ -70,6 +70,7 @@ type Cache struct {
 	flights    map[flightKey]*flight
 	retry      fault.Retry
 	breaker    *fault.Breaker
+	tiers      Tiers
 }
 
 type stageState struct {
@@ -83,6 +84,12 @@ type stats struct {
 	retries                       atomic.Int64
 	breakerOpens                  atomic.Int64
 	breakerFastFails              atomic.Int64
+	// Artifact-tier counters (tiers.go): disk loads served/rejected,
+	// sealed artifacts spilled (and spill failures), peer cache-fills
+	// served/failed.
+	diskHits, diskRejects atomic.Int64
+	spills, spillFails    atomic.Int64
+	peerHits, peerErrors  atomic.Int64
 }
 
 type flightKey struct{ stage, key string }
@@ -93,9 +100,10 @@ type flight struct {
 	waiters  int // guarded by Cache.mu
 	val      any
 	err      error
-	canceled bool  // build died because every waiter left
-	durNs    int64 // build wall time, written before done closes
-	attempts int   // build attempts made, written before done closes
+	canceled bool   // build died because every waiter left
+	durNs    int64  // build wall time, written before done closes
+	attempts int    // build attempts made, written before done closes
+	source   string // tier that satisfied the flight (disk|peer|built)
 }
 
 // NewCache returns an empty cache holding at most defaultCap artifacts
@@ -172,6 +180,18 @@ func (c *Cache) state(stage string) *stageState {
 	return st
 }
 
+// Artifact provenance: which tier of the hierarchy satisfied a Get.
+const (
+	// SourceMem: served from the in-process LRU.
+	SourceMem = "mem"
+	// SourceDisk: decoded from the disk spill tier.
+	SourceDisk = "disk"
+	// SourcePeer: cache-filled from a cluster peer.
+	SourcePeer = "peer"
+	// SourceBuilt: computed by running the stage build.
+	SourceBuilt = "built"
+)
+
 // Result reports how a Get was served.
 type Result struct {
 	// Hit is true when the artifact came from the LRU.
@@ -179,6 +199,10 @@ type Result struct {
 	// Coalesced is true when the caller joined a build another caller
 	// had already started.
 	Coalesced bool
+	// Source is the artifact's provenance (SourceMem, SourceDisk,
+	// SourcePeer or SourceBuilt); empty on error and for nil-cache
+	// inline builds.
+	Source string
 
 	// buildNs is the completed flight's build wall time, carried out
 	// of wait so the per-round span can report it.
@@ -216,6 +240,7 @@ func Get[O any](ctx context.Context, c *Cache, stage, key string, build func(con
 		})
 		res.Hit = r.Hit
 		res.Coalesced = res.Coalesced || r.Coalesced
+		res.Source = r.Source
 		if sp != nil {
 			var open *fault.OpenError
 			switch {
@@ -229,6 +254,11 @@ func Get[O any](ctx context.Context, c *Cache, stage, key string, build func(con
 				sp.SetAttr("cache", "coalesced")
 			default:
 				sp.SetAttr("cache", "miss")
+			}
+			if r.Source != "" {
+				// Provenance lands in every round's span, so
+				// ?explain=1 shows exactly which tier answered.
+				sp.SetAttr("source", r.Source)
 			}
 			if r.buildNs > 0 {
 				sp.SetAttr("build_ms", float64(r.buildNs)/1e6)
@@ -268,7 +298,7 @@ func (c *Cache) getOnce(ctx context.Context, stage, key string, build func(conte
 	if v, ok := st.lru.Get(key); ok {
 		st.stats.hits.Add(1)
 		c.mu.Unlock()
-		return v, Result{Hit: true}, nil
+		return v, Result{Hit: true, Source: SourceMem}, nil
 	}
 	st.stats.misses.Add(1)
 	if f, ok := c.flights[fk]; ok {
@@ -280,7 +310,7 @@ func (c *Cache) getOnce(ctx context.Context, stage, key string, build func(conte
 	// build is always allowed (it was admitted, possibly as the
 	// half-open probe). An open circuit fast-fails with the last
 	// observed error — the negative-result cache.
-	breaker, retry := c.breaker, c.retry
+	breaker, retry, tiers := c.breaker, c.retry, c.tiers
 	if breaker != nil {
 		if oe := breaker.Allow(bk); oe != nil {
 			st.stats.breakerFastFails.Add(1)
@@ -301,7 +331,7 @@ func (c *Cache) getOnce(ctx context.Context, stage, key string, build func(conte
 
 	go func() {
 		start := time.Now()
-		v, err, attempts := c.runBuild(bctx, stage, key, build, retry, st)
+		v, source, err, attempts := c.resolveFlight(bctx, stage, key, build, retry, st, tiers)
 		durNs := time.Since(start).Nanoseconds()
 		canceled := bctx.Err() != nil &&
 			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
@@ -313,8 +343,13 @@ func (c *Cache) getOnce(ctx context.Context, stage, key string, build func(conte
 		switch {
 		case err == nil:
 			st.lru.Put(key, v)
-			st.stats.builds.Add(1)
-			st.stats.buildNanos.Add(durNs)
+			if source == SourceBuilt {
+				// Tier loads are not builds: the follower-builds==0
+				// cluster gate and the build-seconds metric both count
+				// only real stage computations.
+				st.stats.builds.Add(1)
+				st.stats.buildNanos.Add(durNs)
+			}
 			if breaker != nil {
 				breaker.Success(bk)
 			}
@@ -331,7 +366,7 @@ func (c *Cache) getOnce(ctx context.Context, stage, key string, build func(conte
 			}
 		}
 		c.mu.Unlock()
-		f.val, f.err, f.canceled, f.durNs, f.attempts = v, err, canceled, durNs, attempts
+		f.val, f.err, f.canceled, f.durNs, f.attempts, f.source = v, err, canceled, durNs, attempts, source
 		close(f.done)
 		cancel()
 	}()
@@ -417,6 +452,7 @@ func (c *Cache) wait(ctx context.Context, f *flight, res Result) (any, Result, e
 		}
 		if f.err == nil {
 			res.buildNs = f.durNs
+			res.Source = f.source
 		}
 		res.attempts = f.attempts
 		return f.val, res, f.err
@@ -442,6 +478,12 @@ type StageStat struct {
 	// BreakerOpens circuit-open transitions attributed to this stage;
 	// BreakerFastFails lookups shed by an open circuit.
 	Retries, BreakerOpens, BreakerFastFails int64
+	// DiskHits and DiskRejects count disk-tier loads served and
+	// corrupt files rejected (and deleted for rebuild); Spills and
+	// SpillFails sealed artifacts written to the disk tier and write
+	// failures; PeerHits and PeerErrors peer cache-fills served and
+	// fetches that failed or returned a corrupt artifact.
+	DiskHits, DiskRejects, Spills, SpillFails, PeerHits, PeerErrors int64
 	// BuildSeconds is the cumulative wall time of successful builds.
 	BuildSeconds float64
 	// Entries is the stage's current LRU occupancy.
@@ -454,21 +496,33 @@ func (c *Cache) Snapshot() []StageStat {
 	defer c.mu.Unlock()
 	out := make([]StageStat, 0, len(c.stages))
 	for name, st := range c.stages {
-		out = append(out, StageStat{
-			Stage:            name,
-			Hits:             st.stats.hits.Load(),
-			Misses:           st.stats.misses.Load(),
-			Builds:           st.stats.builds.Load(),
-			Cancels:          st.stats.cancels.Load(),
-			Retries:          st.stats.retries.Load(),
-			BreakerOpens:     st.stats.breakerOpens.Load(),
-			BreakerFastFails: st.stats.breakerFastFails.Load(),
-			BuildSeconds:     float64(st.stats.buildNanos.Load()) / 1e9,
-			Entries:          st.lru.Len(),
-		})
+		out = append(out, statOf(name, st))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Stage < out[j].Stage })
 	return out
+}
+
+// statOf snapshots one stage's counters. Caller holds c.mu (for the
+// LRU length; the counters themselves are atomics).
+func statOf(name string, st *stageState) StageStat {
+	return StageStat{
+		Stage:            name,
+		Hits:             st.stats.hits.Load(),
+		Misses:           st.stats.misses.Load(),
+		Builds:           st.stats.builds.Load(),
+		Cancels:          st.stats.cancels.Load(),
+		Retries:          st.stats.retries.Load(),
+		BreakerOpens:     st.stats.breakerOpens.Load(),
+		BreakerFastFails: st.stats.breakerFastFails.Load(),
+		DiskHits:         st.stats.diskHits.Load(),
+		DiskRejects:      st.stats.diskRejects.Load(),
+		Spills:           st.stats.spills.Load(),
+		SpillFails:       st.stats.spillFails.Load(),
+		PeerHits:         st.stats.peerHits.Load(),
+		PeerErrors:       st.stats.peerErrors.Load(),
+		BuildSeconds:     float64(st.stats.buildNanos.Load()) / 1e9,
+		Entries:          st.lru.Len(),
+	}
 }
 
 // Stat returns one stage's counters (zero-valued if the stage has
@@ -480,18 +534,7 @@ func (c *Cache) Stat(stage string) StageStat {
 	if !ok {
 		return StageStat{Stage: stage}
 	}
-	return StageStat{
-		Stage:            stage,
-		Hits:             st.stats.hits.Load(),
-		Misses:           st.stats.misses.Load(),
-		Builds:           st.stats.builds.Load(),
-		Cancels:          st.stats.cancels.Load(),
-		Retries:          st.stats.retries.Load(),
-		BreakerOpens:     st.stats.breakerOpens.Load(),
-		BreakerFastFails: st.stats.breakerFastFails.Load(),
-		BuildSeconds:     float64(st.stats.buildNanos.Load()) / 1e9,
-		Entries:          st.lru.Len(),
-	}
+	return statOf(stage, st)
 }
 
 // Len returns one stage's current LRU occupancy.

@@ -1,0 +1,266 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// cluster is obdreld's static-membership sharding layer. Every node
+// knows the full peer list (-peers) and its own identity (-self);
+// stage fingerprints map onto peers with a consistent-hash ring, and
+// a node that misses an artifact cache-fills it from the cluster via
+// GET /v1/artifact/{stage}/{key} instead of recomputing physics.
+//
+// Ownership orders preference, it does not gate serving: the owner of
+// a key is the node the ring designates as its canonical holder, so a
+// fetch tries the owner first, then (bounded) ring successors that
+// may hold a cached copy — a node can own a key it has never built,
+// and a non-owner that built a key serves it happily. Every failure
+// mode short of "nobody has it and the local build fails" degrades to
+// a local build, never to a client-visible error.
+type cluster struct {
+	self    string
+	peers   []string // normalized, self included
+	ring    *hashRing
+	client  *http.Client
+	timeout time.Duration
+
+	// fetchAttempts counts cluster fetches started; fetchFills those
+	// satisfied by some peer; fetchErrors per-peer request failures
+	// (one fetch may count several, one per dead candidate).
+	fetchAttempts atomic.Int64
+	fetchFills    atomic.Int64
+	fetchErrors   atomic.Int64
+}
+
+// maxFetchCandidates bounds how many peers one fetch consults (owner
+// plus ring successors): enough redundancy to find a cached copy in a
+// small cluster without turning one miss into a full-cluster scan.
+const maxFetchCandidates = 3
+
+// newCluster validates the peer list and builds the ring. Self must
+// appear in peers — a node that is not part of the ring it routes on
+// would consider every key remote.
+func newCluster(self string, peers []string, timeout time.Duration) (*cluster, error) {
+	if self == "" {
+		return nil, fmt.Errorf("cluster: -peers requires -self")
+	}
+	norm := make([]string, 0, len(peers))
+	seen := map[string]bool{}
+	selfIn := false
+	for _, p := range peers {
+		p = normalizePeer(p)
+		if p == "" {
+			continue
+		}
+		if u, err := url.Parse(p); err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: peer %q is not a base URL", p)
+		}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		norm = append(norm, p)
+		if p == normalizePeer(self) {
+			selfIn = true
+		}
+	}
+	if len(norm) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	if !selfIn {
+		return nil, fmt.Errorf("cluster: self %q is not in the peer list", self)
+	}
+	sort.Strings(norm)
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	return &cluster{
+		self:    normalizePeer(self),
+		peers:   norm,
+		ring:    newHashRing(norm, 64),
+		client:  &http.Client{Timeout: timeout},
+		timeout: timeout,
+	}, nil
+}
+
+func normalizePeer(p string) string {
+	return strings.TrimRight(strings.TrimSpace(p), "/")
+}
+
+// owner returns the node the ring designates for an artifact key.
+func (cl *cluster) owner(stage, key string) string {
+	return cl.ring.owner(stage + "/" + key)
+}
+
+// owns reports whether this node is the canonical holder of a key —
+// the anti-entropy sweep warms exactly these from disk at startup.
+func (cl *cluster) owns(stage, key string) bool {
+	return cl.owner(stage, key) == cl.self
+}
+
+// candidates lists the peers a fetch should try, in preference order:
+// the key's owner first, then its ring successors, self excluded,
+// capped at maxFetchCandidates.
+func (cl *cluster) candidates(stage, key string) []string {
+	seq := cl.ring.successors(stage + "/" + key)
+	out := make([]string, 0, maxFetchCandidates)
+	for _, p := range seq {
+		if p == cl.self {
+			continue
+		}
+		out = append(out, p)
+		if len(out) == maxFetchCandidates {
+			break
+		}
+	}
+	return out
+}
+
+// fetch is the pipeline's peer tier (pipeline.Tiers.Fetch): it asks
+// each candidate for the sealed artifact. 200 fills; 404 means that
+// peer does not have it; transport errors and non-200s are counted
+// and skipped. Exhausting the candidates returns (nil, false, err)
+// with the last transport error, or a clean miss when every peer
+// simply answered 404 — either way the pipeline builds locally.
+func (cl *cluster) fetch(ctx context.Context, stage, key string) ([]byte, bool, error) {
+	cands := cl.candidates(stage, key)
+	if len(cands) == 0 {
+		return nil, false, nil
+	}
+	cl.fetchAttempts.Add(1)
+	var lastErr error
+	for _, peer := range cands {
+		sealed, err := cl.fetchFrom(ctx, peer, stage, key)
+		if err != nil {
+			cl.fetchErrors.Add(1)
+			lastErr = err
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
+		if sealed != nil {
+			cl.fetchFills.Add(1)
+			return sealed, true, nil
+		}
+	}
+	return nil, false, lastErr
+}
+
+// fetchFrom performs one peer request. (nil, nil) is a clean 404.
+func (cl *cluster) fetchFrom(ctx context.Context, peer, stage, key string) ([]byte, error) {
+	rctx, cancel := context.WithTimeout(ctx, cl.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet,
+		peer+"/v1/artifact/"+url.PathEscape(stage)+"/"+url.PathEscape(key), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cl.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		// An artifact is header + payload; 32 MiB comfortably bounds
+		// every stage at the server's resource caps.
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+		if err != nil {
+			return nil, err
+		}
+		return body, nil
+	case http.StatusNotFound:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("peer %s: artifact %s/%s: status %d", peer, stage, key, resp.StatusCode)
+	}
+}
+
+// hashRing is a consistent-hash ring with virtual nodes: each peer
+// contributes vnodes points at fnv64a(peer + "#" + i), keys hash the
+// same way, and a key belongs to the first point clockwise. Adding or
+// removing one peer moves only ~1/N of the key space — the property
+// that makes a rolling redeploy of the fleet cheap.
+type hashRing struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	h    uint64
+	node string
+}
+
+func newHashRing(nodes []string, vnodes int) *hashRing {
+	r := &hashRing{points: make([]ringPoint, 0, len(nodes)*vnodes)}
+	for _, n := range nodes {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{h: hash64(fmt.Sprintf("%s#%d", n, i)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].h != r.points[j].h {
+			return r.points[i].h < r.points[j].h
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+func (r *hashRing) owner(key string) string {
+	return r.points[r.at(key)].node
+}
+
+// successors lists distinct nodes clockwise from the key's point —
+// the owner first, then the nodes that would inherit the key if the
+// owner left the ring.
+func (r *hashRing) successors(key string) []string {
+	out := make([]string, 0, 4)
+	seen := map[string]bool{}
+	for i, n := r.at(key), 0; n < len(r.points); n++ {
+		p := r.points[(i+n)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// at returns the index of the first ring point at or after the key's
+// hash, wrapping at the top.
+func (r *hashRing) at(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// hash64 is FNV-64a strengthened with the splitmix64 finalizer. Raw
+// FNV of short, similar strings (vnode labels, hex fingerprints) barely
+// avalanches the high bits — all the ring points land in a narrow band
+// and most keys wrap to whichever node holds the smallest point, which
+// collapses the balance the ring exists for. The finalizer spreads
+// both points and keys across the full 64-bit space.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, s)
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

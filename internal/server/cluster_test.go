@@ -1,0 +1,293 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"obdrel/internal/artifact"
+	"obdrel/internal/pipeline"
+)
+
+// The cluster tests use a trivial serializable stage (an int64) so a
+// two-node exchange costs microseconds, not a physics build.
+const clStage = "clusterstage"
+
+func init() {
+	artifact.Register(clStage, artifact.Codec{
+		Encode: func(v any) ([]byte, error) {
+			var w artifact.Writer
+			w.I64(v.(int64))
+			return w.Bytes(), nil
+		},
+		Decode: func(p []byte) (any, error) {
+			r := artifact.NewReader(p)
+			v := r.I64()
+			if err := r.Close(); err != nil {
+				return nil, err
+			}
+			return v, nil
+		},
+	})
+}
+
+func key32(b byte) string { return strings.Repeat(string(b), artifact.KeySize) }
+
+// lateHandler lets an httptest server start before the obdreld handler
+// exists — the chicken-and-egg of a static peer list whose URLs are
+// allocated by the test listener.
+type lateHandler struct{ h atomic.Value }
+
+func (l *lateHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h, ok := l.h.Load().(http.Handler); ok {
+		h.ServeHTTP(w, r)
+		return
+	}
+	http.Error(w, "not ready", http.StatusServiceUnavailable)
+}
+
+func TestHashRingOwnershipAndSuccessors(t *testing.T) {
+	nodes := []string{"http://a", "http://b", "http://c"}
+	r := newHashRing(nodes, 64)
+	ownedBy := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("stage/%032x", i)
+		o := r.owner(key)
+		if o2 := r.owner(key); o2 != o {
+			t.Fatalf("owner not stable: %s vs %s", o, o2)
+		}
+		ownedBy[o]++
+		seq := r.successors(key)
+		if len(seq) != len(nodes) {
+			t.Fatalf("successors returned %d nodes, want %d", len(seq), len(nodes))
+		}
+		if seq[0] != o {
+			t.Fatalf("successors[0] = %s, owner = %s", seq[0], o)
+		}
+		seen := map[string]bool{}
+		for _, n := range seq {
+			if seen[n] {
+				t.Fatalf("duplicate node %s in successors", n)
+			}
+			seen[n] = true
+		}
+	}
+	for _, n := range nodes {
+		if ownedBy[n] == 0 {
+			t.Errorf("node %s owns no keys out of 1000 — ring badly unbalanced", n)
+		}
+	}
+}
+
+func TestNewEClusterValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		self  string
+		peers []string
+	}{
+		{"missing self", "", []string{"http://a:1"}},
+		{"self not in peers", "http://c:3", []string{"http://a:1", "http://b:2"}},
+		{"not a URL", "http://a:1", []string{"http://a:1", "nonsense"}},
+		{"empty list", "http://a:1", []string{"", "  "}},
+	}
+	for _, tc := range cases {
+		if _, err := NewE(Options{Stages: pipeline.NewCache(4), Self: tc.self, Peers: tc.peers, DisableTracing: true}); err == nil {
+			t.Errorf("%s: NewE accepted invalid cluster options", tc.name)
+		}
+	}
+	// Trailing slashes and duplicates normalize away. (Private stage
+	// cache: cluster options install a peer-fetch tier, which must not
+	// land on the process-wide cache shared by other tests.)
+	s, err := NewE(Options{
+		Stages:         pipeline.NewCache(4),
+		Self:           "http://a:1/",
+		Peers:          []string{"http://a:1", "http://a:1/", " http://b:2/ "},
+		DisableTracing: true,
+	})
+	if err != nil {
+		t.Fatalf("NewE rejected valid options: %v", err)
+	}
+	if got := s.cluster.peers; len(got) != 2 {
+		t.Fatalf("peers = %v, want 2 normalized entries", got)
+	}
+}
+
+// TestPeerCacheFillBetweenNodes is the in-process two-node exchange:
+// node A builds an artifact, node B resolves the same key entirely by
+// peer fill (its build closure must never run), persists the fill to
+// its own disk tier, and A's /v1/artifact serve counter moves.
+func TestPeerCacheFillBetweenNodes(t *testing.T) {
+	lA, lB := &lateHandler{}, &lateHandler{}
+	tsA, tsB := httptest.NewServer(lA), httptest.NewServer(lB)
+	defer tsA.Close()
+	defer tsB.Close()
+	peers := []string{tsA.URL, tsB.URL}
+
+	cacheA, cacheB := pipeline.NewCache(4), pipeline.NewCache(4)
+	dirA, dirB := t.TempDir(), t.TempDir()
+	sA, err := NewE(Options{Stages: cacheA, ArtifactDir: dirA, Peers: peers, Self: tsA.URL, WarmLimit: -1, DisableTracing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sB, err := NewE(Options{Stages: cacheB, ArtifactDir: dirB, Peers: peers, Self: tsB.URL, WarmLimit: -1, DisableTracing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lA.h.Store(sA.Handler())
+	lB.h.Store(sB.Handler())
+
+	ctx := context.Background()
+	key := key32('a')
+	if _, _, err := pipeline.Get(ctx, cacheA, clStage, key, func(context.Context) (int64, error) { return 7, nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	v, res, err := pipeline.Get(ctx, cacheB, clStage, key, func(context.Context) (int64, error) {
+		return 0, errors.New("follower must not build")
+	})
+	if err != nil {
+		t.Fatalf("peer fill failed: %v", err)
+	}
+	if v != 7 || res.Source != pipeline.SourcePeer {
+		t.Fatalf("got %d via %q, want 7 via peer", v, res.Source)
+	}
+	st := cacheB.Stat(clStage)
+	if st.Builds != 0 || st.PeerHits != 1 {
+		t.Fatalf("follower builds=%d peerHits=%d, want 0/1", st.Builds, st.PeerHits)
+	}
+	if _, err := os.Stat(filepath.Join(dirB, artifact.FileName(clStage, key))); err != nil {
+		t.Fatalf("peer fill not persisted to follower disk: %v", err)
+	}
+	if got := sA.artifactStats().PeerServes; got < 1 {
+		t.Fatalf("node A peer serves = %d, want >= 1", got)
+	}
+}
+
+// TestClusterDegradeToLocalBuild kills the only peer and verifies the
+// survivor answers by building locally — a dead peer costs latency,
+// never correctness.
+func TestClusterDegradeToLocalBuild(t *testing.T) {
+	tsDead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := tsDead.URL
+	tsDead.Close() // connection refused from here on
+
+	lB := &lateHandler{}
+	tsB := httptest.NewServer(lB)
+	defer tsB.Close()
+
+	cacheB := pipeline.NewCache(4)
+	sB, err := NewE(Options{
+		Stages: cacheB, ArtifactDir: t.TempDir(),
+		Peers: []string{deadURL, tsB.URL}, Self: tsB.URL,
+		PeerTimeout: 200 * time.Millisecond, WarmLimit: -1, DisableTracing: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lB.h.Store(sB.Handler())
+
+	builds := 0
+	v, res, err := pipeline.Get(context.Background(), cacheB, clStage, key32('b'), func(context.Context) (int64, error) {
+		builds++
+		return 9, nil
+	})
+	if err != nil || v != 9 {
+		t.Fatalf("survivor answered (%d, %v), want 9", v, err)
+	}
+	if builds != 1 || res.Source != pipeline.SourceBuilt {
+		t.Fatalf("builds=%d source=%q, want local build", builds, res.Source)
+	}
+	if st := cacheB.Stat(clStage); st.PeerErrors < 1 {
+		t.Fatalf("peerErrors=%d, want >= 1 (dead peer was consulted)", st.PeerErrors)
+	}
+}
+
+// TestArtifactEndpointHostility exercises the wire gate: malformed
+// stages, malformed keys, cold keys, and wrong methods are all typed
+// refusals, never 500s.
+func TestArtifactEndpointHostility(t *testing.T) {
+	s := New(Options{Stages: pipeline.NewCache(4), DisableTracing: true})
+	h := s.Handler()
+	do := func(method, path string) int {
+		req := httptest.NewRequest(method, path, nil)
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, req)
+		return rw.Code
+	}
+	cases := []struct {
+		method, path string
+		want         int
+	}{
+		{http.MethodGet, "/v1/artifact/" + clStage + "/" + key32('e'), http.StatusNotFound},   // cold key
+		{http.MethodGet, "/v1/artifact/nosuchstage/" + key32('e'), http.StatusBadRequest},     // unregistered stage
+		{http.MethodGet, "/v1/artifact/" + clStage + "/nothex", http.StatusBadRequest},        // malformed key
+		{http.MethodGet, "/v1/artifact/" + clStage + "/" + key32('E'), http.StatusBadRequest}, // uppercase hex
+		{http.MethodGet, "/v1/artifact/" + clStage, http.StatusBadRequest},                    // missing key
+		{http.MethodGet, "/v1/artifact/a/b/c", http.StatusBadRequest},                         // extra segment
+		{http.MethodPost, "/v1/artifact/" + clStage + "/" + key32('e'), http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		if got := do(tc.method, tc.path); got != tc.want {
+			t.Errorf("%s %s = %d, want %d", tc.method, tc.path, got, tc.want)
+		}
+	}
+}
+
+// TestWarmSweepReadyz pre-populates a disk tier, constructs a node over
+// it, and verifies the anti-entropy sweep loads the artifact and
+// /readyz converges to ready with the warm count reported.
+func TestWarmSweepReadyz(t *testing.T) {
+	dir := t.TempDir()
+	key := key32('c')
+	sealed, err := artifact.Encode(clStage, key, int64(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := artifact.WriteFile(dir, clStage, key, sealed); err != nil {
+		t.Fatal(err)
+	}
+
+	cache := pipeline.NewCache(4)
+	s := New(Options{Stages: cache, ArtifactDir: dir, DisableTracing: true})
+	h := s.Handler()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+		if rw.Code == http.StatusOK {
+			var body struct {
+				Warming bool  `json:"warming"`
+				Warmed  int64 `json:"warmed"`
+			}
+			if err := json.Unmarshal(rw.Body.Bytes(), &body); err != nil {
+				t.Fatal(err)
+			}
+			if body.Warming || body.Warmed != 1 {
+				t.Fatalf("ready body %s missing warm progress", rw.Body.String())
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("warm sweep never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	v, ok := cache.Peek(clStage, key)
+	if !ok || v.(int64) != 12 {
+		t.Fatalf("warmed artifact = (%v, %t), want 12 resident", v, ok)
+	}
+	if st := cache.Stat(clStage); st.DiskHits != 1 || st.Builds != 0 {
+		t.Fatalf("diskHits=%d builds=%d, want 1/0", st.DiskHits, st.Builds)
+	}
+}

@@ -69,6 +69,9 @@ type Metrics struct {
 	// stageStats reports per-stage cache counters (library stage graph
 	// plus the registry's analyzer stage), exposed as labeled families.
 	stageStats func() []pipeline.StageStat
+	// artifact reports the node-level artifact counters (cluster
+	// fetches, peer serves, warm sweep), wired by the server.
+	artifact func() ArtifactStats
 
 	// knownRoutes is the closed set of route label values. Routes are
 	// registered once at handler construction; anything else (scanner
@@ -92,7 +95,26 @@ func NewMetrics() *Metrics {
 		knownRoutes:     map[string]bool{},
 		queueDepth:      func() int64 { return 0 },
 		draining:        func() bool { return false },
+		artifact:        func() ArtifactStats { return ArtifactStats{} },
 	}
+}
+
+// ArtifactStats is the node-level artifact telemetry behind the
+// obdreld_artifact_* families: the per-stage tier counters (disk hits,
+// spills, peer fills) live in pipeline.StageStat; these are the
+// counters that belong to the node, not to a stage.
+type ArtifactStats struct {
+	// FetchAttempts counts cluster artifact fetches started by this
+	// node; FetchFills those a peer satisfied; FetchErrors per-peer
+	// request failures (a fetch across N dead candidates counts N).
+	FetchAttempts, FetchFills, FetchErrors int64
+	// PeerServes counts sealed artifacts this node served on
+	// /v1/artifact.
+	PeerServes int64
+	// WarmLoaded counts artifacts the anti-entropy sweep brought into
+	// memory; Warming is true while the sweep is still running.
+	WarmLoaded int64
+	Warming    bool
 }
 
 // RegisterRoute admits a route as a metrics label value. Call once per
@@ -298,6 +320,32 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		func(s pipeline.StageStat) string { return fmt.Sprintf("%d", s.BreakerOpens) })
 	labeled("obdreld_stage_breaker_fastfails_total", "Lookups shed by an open circuit, by stage.", "counter",
 		func(s pipeline.StageStat) string { return fmt.Sprintf("%d", s.BreakerFastFails) })
+
+	// Artifact tiers: per-stage disk/peer counters, then the
+	// node-level cluster fetch / peer serve / warm-sweep counters.
+	labeled("obdreld_artifact_disk_hits_total", "Stage artifacts served from the disk tier, by stage.", "counter",
+		func(s pipeline.StageStat) string { return fmt.Sprintf("%d", s.DiskHits) })
+	labeled("obdreld_artifact_disk_rejects_total", "Disk artifacts rejected (corrupt, truncated, or future-version), by stage.", "counter",
+		func(s pipeline.StageStat) string { return fmt.Sprintf("%d", s.DiskRejects) })
+	labeled("obdreld_artifact_spills_total", "Stage artifacts spilled to the disk tier, by stage.", "counter",
+		func(s pipeline.StageStat) string { return fmt.Sprintf("%d", s.Spills) })
+	labeled("obdreld_artifact_spill_failures_total", "Failed artifact spills (encode or write errors), by stage.", "counter",
+		func(s pipeline.StageStat) string { return fmt.Sprintf("%d", s.SpillFails) })
+	labeled("obdreld_artifact_peer_hits_total", "Stage artifacts cache-filled from a cluster peer, by stage.", "counter",
+		func(s pipeline.StageStat) string { return fmt.Sprintf("%d", s.PeerHits) })
+	labeled("obdreld_artifact_peer_errors_total", "Peer fetches that degraded to a local build, by stage.", "counter",
+		func(s pipeline.StageStat) string { return fmt.Sprintf("%d", s.PeerErrors) })
+	a := m.artifact()
+	counter("obdreld_artifact_fetch_attempts_total", "Cluster artifact fetches started by this node.", a.FetchAttempts)
+	counter("obdreld_artifact_fetch_fills_total", "Cluster artifact fetches satisfied by a peer.", a.FetchFills)
+	counter("obdreld_artifact_fetch_errors_total", "Per-peer artifact request failures.", a.FetchErrors)
+	counter("obdreld_artifact_peer_serves_total", "Sealed artifacts served to peers on /v1/artifact.", a.PeerServes)
+	counter("obdreld_artifact_warm_loaded_total", "Artifacts loaded into memory by the startup warm sweep.", a.WarmLoaded)
+	warmGauge := 0.0
+	if a.Warming {
+		warmGauge = 1
+	}
+	gauge("obdreld_artifact_warming", "1 while the startup anti-entropy sweep is still running.", warmGauge)
 	return cw.n, cw.err
 }
 

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"obdrel"
+	"obdrel/internal/artifact"
 	"obdrel/internal/fault"
 	"obdrel/internal/obd"
 	"obdrel/internal/obs"
@@ -117,6 +118,31 @@ type Options struct {
 	// FaultHeader honours per-request X-Fault injection specs — test
 	// and staging builds only; never enable it on a public listener.
 	FaultHeader bool
+
+	// ArtifactDir enables the disk artifact tier: stage artifacts are
+	// spilled there as sealed OBDA containers (atomic temp+rename)
+	// and served back — checksum-verified — across restarts. Empty
+	// disables the tier.
+	ArtifactDir string
+	// Peers is the static cluster membership: every node's base URL,
+	// this node's included. Non-empty enables the peer cache-fill
+	// tier and consistent-hash ownership of stage fingerprints.
+	Peers []string
+	// Self is this node's own base URL; required with Peers and must
+	// appear in the list.
+	Self string
+	// PeerTimeout bounds one peer artifact fetch (default 2s).
+	PeerTimeout time.Duration
+	// WarmLimit bounds the anti-entropy startup sweep that loads this
+	// node's owned artifacts from ArtifactDir into memory (default
+	// 1024; negative disables the sweep). /readyz answers 503
+	// "warming" until the sweep finishes.
+	WarmLimit int
+	// Stages overrides the stage-artifact cache (default: the
+	// process-wide obdrel.Stages()). Cluster tests give each in-process
+	// node its own cache so nodes do not share artifacts through the
+	// process-wide one.
+	Stages *pipeline.Cache
 }
 
 func (o *Options) withDefaults() Options {
@@ -130,8 +156,17 @@ func (o *Options) withDefaults() Options {
 	if out.RequestTimeout <= 0 {
 		out.RequestTimeout = 30 * time.Second
 	}
+	if out.Stages == nil {
+		out.Stages = obdrel.Stages()
+	}
 	if out.Build == nil {
-		out.Build = obdrel.NewAnalyzerCtx
+		// Default factory builds into this node's stage cache — the
+		// hook that lets disk/peer artifact tiers (and per-node caches
+		// in in-process cluster tests) feed analyzer construction.
+		stages := out.Stages
+		out.Build = func(ctx context.Context, d *obdrel.Design, cfg *obdrel.Config) (*obdrel.Analyzer, error) {
+			return obdrel.NewAnalyzerCtxIn(ctx, stages, d, cfg)
+		}
 	}
 	if out.AccessLog == nil {
 		out.AccessLog = io.Discard
@@ -166,6 +201,12 @@ func (o *Options) withDefaults() Options {
 	if out.BatchTimeout <= 0 {
 		out.BatchTimeout = 5 * time.Minute
 	}
+	if out.PeerTimeout <= 0 {
+		out.PeerTimeout = 2 * time.Second
+	}
+	if out.WarmLimit == 0 {
+		out.WarmLimit = 1024
+	}
 	return out
 }
 
@@ -180,6 +221,11 @@ type Server struct {
 	logger  *slog.Logger
 	tracer  *obs.Tracer
 
+	// stages is the node's stage-artifact cache (tiered when
+	// ArtifactDir/Peers are set); cluster is nil outside cluster mode.
+	stages  *pipeline.Cache
+	cluster *cluster
+
 	// draining gates new work during graceful shutdown; queueLen and
 	// ewmaServiceNs drive the admission controller; faultSeq seeds
 	// per-request X-Fault injectors that carry no seed of their own.
@@ -187,10 +233,34 @@ type Server struct {
 	queueLen      atomic.Int64
 	ewmaServiceNs atomic.Int64
 	faultSeq      atomic.Int64
+
+	// Anti-entropy warm-up state, reported by /readyz: warming is
+	// true from construction until the sweep (if any) finishes;
+	// warmDone/warmTotal track progress; warmLoaded the artifacts
+	// actually brought into memory. peerServes counts sealed
+	// artifacts served to peers from /v1/artifact.
+	warming    atomic.Bool
+	warmDone   atomic.Int64
+	warmTotal  atomic.Int64
+	warmLoaded atomic.Int64
+	peerServes atomic.Int64
 }
 
-// New returns a service over the built-in benchmark designs.
+// New returns a service over the built-in benchmark designs. It
+// panics on invalid cluster options (Peers/Self); construction from
+// user input should go through NewE, which reports the error instead.
 func New(opts Options) *Server {
+	s, err := NewE(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewE is New with error reporting: the only fallible part of
+// construction is cluster membership validation, so a server without
+// Peers never returns an error.
+func NewE(opts Options) (*Server, error) {
 	o := opts.withDefaults()
 	m := NewMetrics()
 	s := &Server{
@@ -201,13 +271,15 @@ func New(opts Options) *Server {
 		sem:     make(chan struct{}, o.MaxConcurrent),
 		logger:  slog.New(slog.NewJSONHandler(o.AccessLog, nil)),
 		tracer:  o.Tracer,
+		stages:  o.Stages,
 	}
 	m.stageStats = func() []pipeline.StageStat {
-		stats := obdrel.Stages().Snapshot()
+		stats := s.stages.Snapshot()
 		return append(stats, s.reg.Stats())
 	}
 	m.queueDepth = s.queueLen.Load
 	m.draining = s.draining.Load
+	m.artifact = s.artifactStats
 	if o.RetryAttempts > 1 {
 		s.reg.Cache().SetRetry(fault.Retry{Attempts: o.RetryAttempts, Base: o.RetryBase})
 	}
@@ -221,7 +293,55 @@ func New(opts Options) *Server {
 		s.designs[d.Name] = d
 		s.order = append(s.order, d.Name)
 	}
-	return s
+
+	// Artifact tiers: the disk spill dir and, with a peer list, the
+	// cluster cache-fill tier over it.
+	if len(o.Peers) > 0 {
+		cl, err := newCluster(o.Self, o.Peers, o.PeerTimeout)
+		if err != nil {
+			return nil, err
+		}
+		s.cluster = cl
+	}
+	if o.ArtifactDir != "" || s.cluster != nil {
+		t := pipeline.Tiers{Dir: o.ArtifactDir}
+		if s.cluster != nil {
+			t.Fetch = s.cluster.fetch
+		}
+		s.stages.SetTiers(t)
+	}
+	s.startWarm()
+	return s, nil
+}
+
+// startWarm launches the anti-entropy sweep: load this node's owned
+// artifacts (every artifact, outside cluster mode) from the disk tier
+// into memory, bounded by WarmLimit, so a restarted node rejoins the
+// cluster already holding what the ring says it should. /readyz
+// reports "warming" until the sweep finishes.
+func (s *Server) startWarm() {
+	o := s.opts
+	if o.ArtifactDir == "" || o.WarmLimit < 0 {
+		return
+	}
+	var owns func(stage, key string) bool
+	if s.cluster != nil {
+		owns = s.cluster.owns
+	}
+	s.warming.Store(true)
+	go func() {
+		defer s.warming.Store(false)
+		ws := s.stages.WarmFromDisk(context.Background(), owns, o.WarmLimit,
+			func(done, total int) {
+				s.warmDone.Store(int64(done))
+				s.warmTotal.Store(int64(total))
+			})
+		s.warmLoaded.Store(int64(ws.Loaded))
+		if ws.Loaded+ws.Rejected > 0 {
+			s.logger.Info("artifact warm sweep",
+				"loaded", ws.Loaded, "skipped", ws.Skipped, "rejected", ws.Rejected)
+		}
+	}()
 }
 
 // Metrics exposes the server's counters (the daemon logs a summary on
@@ -243,9 +363,11 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/maxvdd", s.instrument("/v1/maxvdd", s.handleMaxVDD, http.MethodGet, http.MethodPost))
 	mux.Handle("/v1/blocks", s.instrument("/v1/blocks", s.handleBlocks, http.MethodGet, http.MethodPost))
 	mux.Handle("/v1/batch", s.instrumentBatch("/v1/batch"))
+	mux.HandleFunc("/v1/artifact/", s.handleArtifact)
 	for _, route := range []string{
 		"/healthz", "/readyz", "/metrics", "/v1/designs", "/v1/lifetime",
 		"/v1/failureprob", "/v1/maxvdd", "/v1/blocks", "/v1/batch",
+		"/v1/artifact",
 	} {
 		s.metrics.RegisterRoute(route)
 	}
@@ -599,18 +721,97 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleReadyz is READINESS: 200 while accepting new work, 503 once
 // BeginDrain has run — flipped before the listener closes, so load
 // balancers drain this instance gracefully.
+// It also answers 503 "warming" while the anti-entropy artifact sweep
+// is still loading this node's owned artifacts from disk, so a load
+// balancer does not route traffic to a node that would rebuild stages
+// its own disk already holds.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		w.Header().Set("Retry-After", "5")
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+	if s.warming.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":     "warming",
+			"warming":    true,
+			"warmed":     s.warmDone.Load(),
+			"warm_total": s.warmTotal.Load(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ready",
+		"warming": false,
+		"warmed":  s.warmDone.Load(),
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WriteTo(w)
+}
+
+// handleArtifact serves sealed stage artifacts to cluster peers:
+// GET /v1/artifact/{stage}/{key} answers the OBDA container from this
+// node's memory or disk tier, 404 when neither holds it. The sealed
+// bytes go out verbatim — the fetching peer re-verifies the checksum,
+// so a corrupt disk file on this node cannot propagate. Inputs are
+// gated hard (registered stage, canonical fingerprint shape) because
+// the key is about to be used in a file-path lookup.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	status := http.StatusOK
+	defer func() { s.metrics.ObserveRequest("/v1/artifact", status, time.Since(start)) }()
+	if r.Method != http.MethodGet {
+		status = http.StatusMethodNotAllowed
+		writeJSON(w, status, map[string]any{"error": "GET only"})
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/artifact/")
+	stage, key, ok := strings.Cut(rest, "/")
+	if !ok || strings.Contains(key, "/") {
+		status = http.StatusBadRequest
+		writeJSON(w, status, map[string]any{"error": "want /v1/artifact/{stage}/{key}"})
+		return
+	}
+	if _, registered := artifact.Lookup(stage); !registered || !obdrel.ValidFingerprint(key) {
+		status = http.StatusBadRequest
+		writeJSON(w, status, map[string]any{"error": "unknown stage or malformed key"})
+		return
+	}
+	sealed, held := s.stages.Sealed(stage, key)
+	if !held {
+		status = http.StatusNotFound
+		writeJSON(w, status, map[string]any{"error": "artifact not held here"})
+		return
+	}
+	s.peerServes.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(sealed)))
+	w.Write(sealed)
+}
+
+// ArtifactStats exposes the node-level artifact counters (the daemon
+// logs them in its shutdown summary).
+func (s *Server) ArtifactStats() ArtifactStats { return s.artifactStats() }
+
+// artifactStats feeds the obdreld_artifact_* metric families: cluster
+// fetch counters (zero outside cluster mode) plus this node's serve
+// and warm-sweep counters.
+func (s *Server) artifactStats() ArtifactStats {
+	st := ArtifactStats{
+		PeerServes: s.peerServes.Load(),
+		WarmLoaded: s.warmLoaded.Load(),
+		Warming:    s.warming.Load(),
+	}
+	if cl := s.cluster; cl != nil {
+		st.FetchAttempts = cl.fetchAttempts.Load()
+		st.FetchFills = cl.fetchFills.Load()
+		st.FetchErrors = cl.fetchErrors.Load()
+	}
+	return st
 }
 
 func (s *Server) handleDesigns(ctx context.Context, r *http.Request) (any, error) {
