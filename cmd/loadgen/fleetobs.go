@@ -1,0 +1,543 @@
+// Fleet-observability preset: the obdrel-bench/v8 report
+// (BENCH_pr9.json). One run proves the observability plane end to end
+// against live in-process nodes:
+//
+//  1. cross-node trace leg — a two-node cluster with tracing on; the
+//     owner answers a sweep cold, then the follower answers the same
+//     queries with ?explain=1. Gates: the explain tree is ONE trace
+//     containing the follower's artifact.fetch span AND the owner's
+//     grafted peer.serve subtree, and the owner's own trace ring holds
+//     the same trace id (adoption, not just decoration).
+//  2. cluster-status leg — /v1/cluster/status fan-out while both
+//     nodes live (merged fleet quantiles), then again with one node
+//     killed. Gates: the degraded fleet still answers 200, the dead
+//     peer is reported, the quantiles survive.
+//  3. SLO leg — a node with availability objectives and fault
+//     injection; induced 5xx must move bad totals, push the 1m burn
+//     over 1, mint trace-carrying exemplars, and surface the
+//     obdreld_slo_* families on /metrics.
+//  4. wide-event leg — the disabled collector path measured by
+//     testing.AllocsPerRun (gate: exactly 0 allocs/op) and timed
+//     directly; its per-request cost must be <2% of a measured mean
+//     request. Then a wide-enabled node must emit exactly one parsed
+//     JSONL event per request, stage walks included.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"obdrel/internal/obs"
+	"obdrel/internal/pipeline"
+	"obdrel/internal/server"
+)
+
+// FleetObsSchema is the fleet-observability report format;
+// FleetObsKind separates it under validation.
+const (
+	FleetObsSchema = "obdrel-bench/v8"
+	FleetObsKind   = "fleetobs"
+)
+
+// FleetObsReport is the top-level BENCH_pr9.json document.
+type FleetObsReport struct {
+	Schema      string       `json:"schema"`
+	Kind        string       `json:"kind"`
+	GeneratedAt string       `json:"generated_at"`
+	Quick       bool         `json:"quick"`
+	GoMaxProcs  int          `json:"go_max_procs"`
+	Trace       TraceLeg     `json:"cross_node_trace"`
+	Status      StatusLeg    `json:"cluster_status"`
+	SLO         SLOLeg       `json:"slo"`
+	Wide        WideEventLeg `json:"wide_events"`
+}
+
+// TraceLeg is the cross-node single-trace proof.
+type TraceLeg struct {
+	Queries       int  `json:"queries"`
+	SingleTrace   bool `json:"single_trace"`
+	FetchSpans    int  `json:"artifact_fetch_spans"`
+	ServeSubtrees int  `json:"peer_serve_subtrees"`
+	OwnerAdopted  bool `json:"owner_adopted"`
+}
+
+// StatusLeg is the fan-out aggregation proof, healthy then degraded.
+type StatusLeg struct {
+	HealthyOK        int     `json:"healthy_nodes_ok"`
+	DegradedOK       int     `json:"degraded_nodes_ok"`
+	DegradedDead     int     `json:"degraded_nodes_dead"`
+	DegradedAnswered bool    `json:"degraded_answered"`
+	FleetP50Us       float64 `json:"fleet_p50_us"`
+	FleetP99Us       float64 `json:"fleet_p99_us"`
+	RingNodes        int     `json:"ring_nodes"`
+}
+
+// SLOLeg is the burn-rate engine proof under induced errors.
+type SLOLeg struct {
+	Good            int64   `json:"good_total"`
+	Bad             int64   `json:"bad_total"`
+	Burn1m          float64 `json:"burn_1m"`
+	Exemplars       int     `json:"exemplars"`
+	ExemplarsTraced bool    `json:"exemplars_traced"`
+	BucketExemplars int     `json:"bucket_exemplars"`
+	MetricsFamilies bool    `json:"metrics_families_present"`
+}
+
+// WideEventLeg is the cost-accounting proof: the disabled path is
+// free, the enabled path emits one canonical event per request.
+type WideEventLeg struct {
+	DisabledAllocsPerOp float64 `json:"disabled_allocs_per_op"`
+	DisabledNsPerOp     float64 `json:"disabled_ns_per_op"`
+	MeanRequestUs       float64 `json:"mean_request_us"`
+	DisabledOverheadPct float64 `json:"disabled_overhead_pct"`
+	Requests            int     `json:"requests"`
+	Events              int     `json:"events"`
+	EventsParsed        bool    `json:"events_parsed"`
+	EventsWithStages    int     `json:"events_with_stages"`
+}
+
+// lockedBuf is an io.Writer safe against the server's emit goroutines.
+type lockedBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuf) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuf) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// obsNode is one in-process node the preset can still introspect (the
+// owner-adoption gate reads the node's trace ring directly).
+type obsNode struct {
+	url string
+	svc *server.Server
+	hs  *http.Server
+}
+
+func (n *obsNode) stop() { n.hs.Close() }
+
+// startObsNode serves a node on a loopback listener; mutate tweaks the
+// options before construction (tracing stays ON unless it says so).
+func startObsNode(mutate func(*server.Options)) (*obsNode, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	opts := server.Options{
+		Stages: pipeline.NewCache(64),
+		// Workers pinned so both nodes derive identical artifacts.
+		Workers: 2,
+	}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	svc, err := server.NewE(opts)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	hs := &http.Server{Handler: svc.Handler()}
+	go hs.Serve(ln)
+	return &obsNode{url: "http://" + ln.Addr().String(), svc: svc, hs: hs}, nil
+}
+
+// startObsCluster brings up a traced two-node cluster. The listeners
+// are bound before either server exists because each node's options
+// need the full peer list.
+func startObsCluster() (a, b *obsNode, err error) {
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		lnA.Close()
+		return nil, nil, err
+	}
+	urlA := "http://" + lnA.Addr().String()
+	urlB := "http://" + lnB.Addr().String()
+	peers := []string{urlA, urlB}
+	mk := func(ln net.Listener, self string) (*obsNode, error) {
+		svc, err := server.NewE(server.Options{
+			Stages:  pipeline.NewCache(64),
+			Workers: 2,
+			Peers:   peers,
+			Self:    self,
+		})
+		if err != nil {
+			return nil, err
+		}
+		hs := &http.Server{Handler: svc.Handler()}
+		go hs.Serve(ln)
+		return &obsNode{url: self, svc: svc, hs: hs}, nil
+	}
+	if a, err = mk(lnA, urlA); err != nil {
+		lnB.Close()
+		return nil, nil, err
+	}
+	if b, err = mk(lnB, urlB); err != nil {
+		a.stop()
+		return nil, nil, err
+	}
+	return a, b, nil
+}
+
+// runFleetObs drives the four legs and assembles the v8 report.
+func runFleetObs(gridN, mcSamples int, quick bool) (*FleetObsReport, error) {
+	rep := &FleetObsReport{
+		Schema:      FleetObsSchema,
+		Kind:        FleetObsKind,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Quick:       quick,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	// ---- Legs 1 + 2: traced two-node cluster ------------------------
+	nodeA, nodeB, err := startObsCluster()
+	if err != nil {
+		return nil, err
+	}
+	defer nodeA.stop()
+	defer nodeB.stop()
+	if err := waitHealthy(client, nodeA.url, 15*time.Second); err != nil {
+		return nil, err
+	}
+	if err := waitHealthy(client, nodeB.url, 15*time.Second); err != nil {
+		return nil, err
+	}
+
+	designs := []string{"C1", "C2"}
+	if quick {
+		designs = designs[:1]
+	}
+	cfg := fmt.Sprintf("grid=%d&mc_samples=%d&stmc_samples=1000", gridN, mcSamples)
+	lifetime := func(base, design string) string {
+		return fmt.Sprintf("%s/v1/lifetime?design=%s&method=st_fast&ppm=10&%s", base, design, cfg)
+	}
+
+	log.Printf("fleetobs: owner leg — %d cold builds on node A", len(designs))
+	for _, d := range designs {
+		if code, _, err := hit(client, lifetime(nodeA.url, d)); err != nil || code != http.StatusOK {
+			return nil, fmt.Errorf("owner build %s: code=%d err=%v", d, code, err)
+		}
+	}
+
+	log.Printf("fleetobs: cross-node trace leg — cold ?explain=1 queries on node B")
+	rep.Trace.Queries = len(designs)
+	sawSingle, sawAdopted := 0, 0
+	for _, d := range designs {
+		code, body, err := hit(client, lifetime(nodeB.url, d)+"&explain=1")
+		if err != nil || code != http.StatusOK {
+			return nil, fmt.Errorf("follower explain %s: code=%d err=%v", d, code, err)
+		}
+		var payload struct {
+			Trace *obs.TraceOut `json:"trace"`
+		}
+		if err := json.Unmarshal(body, &payload); err != nil || payload.Trace == nil || payload.Trace.Root == nil {
+			return nil, fmt.Errorf("follower explain %s: no trace in response (err=%v)", d, err)
+		}
+		fetches, serves := 0, 0
+		payload.Trace.Root.Walk(func(s *obs.SpanOut) {
+			switch s.Name {
+			case "artifact.fetch":
+				fetches++
+			case "peer.serve":
+				serves++
+			}
+		})
+		rep.Trace.FetchSpans += fetches
+		rep.Trace.ServeSubtrees += serves
+		if fetches > 0 && serves > 0 {
+			sawSingle++
+		}
+		// Adoption: the OWNER's ring must hold the same trace id,
+		// rooted at peer.serve — the follower's tree alone could be
+		// faked by decoration.
+		for _, tr := range nodeA.svc.Tracer().Recent(0) {
+			if tr.TraceID == payload.Trace.TraceID && tr.Name == "peer.serve" {
+				sawAdopted++
+				break
+			}
+		}
+	}
+	rep.Trace.SingleTrace = sawSingle == len(designs)
+	rep.Trace.OwnerAdopted = sawAdopted == len(designs)
+
+	log.Printf("fleetobs: cluster-status leg — healthy fan-out, then one node killed")
+	statusDoc := func(base string) (ok, dead, ring int, p50, p99 float64, answered bool, err error) {
+		code, body, herr := hit(client, base+"/v1/cluster/status")
+		if herr != nil || code != http.StatusOK {
+			return 0, 0, 0, 0, 0, false, fmt.Errorf("cluster status: code=%d err=%v", code, herr)
+		}
+		var doc struct {
+			NodesOK   int `json:"nodes_ok"`
+			NodesDead int `json:"nodes_dead"`
+			Fleet     struct {
+				Overall struct {
+					P50Us float64 `json:"p50_us"`
+					P99Us float64 `json:"p99_us"`
+				} `json:"overall"`
+			} `json:"fleet"`
+			Ring map[string]float64 `json:"ring"`
+		}
+		if err := json.Unmarshal(body, &doc); err != nil {
+			return 0, 0, 0, 0, 0, false, err
+		}
+		return doc.NodesOK, doc.NodesDead, len(doc.Ring), doc.Fleet.Overall.P50Us, doc.Fleet.Overall.P99Us, true, nil
+	}
+	ok, _, ring, p50, p99, _, err := statusDoc(nodeA.url)
+	if err != nil {
+		return nil, err
+	}
+	rep.Status.HealthyOK, rep.Status.RingNodes = ok, ring
+	rep.Status.FleetP50Us, rep.Status.FleetP99Us = p50, p99
+	nodeB.stop()
+	ok, dead, _, _, _, answered, err := statusDoc(nodeA.url)
+	if err != nil {
+		return nil, err
+	}
+	rep.Status.DegradedOK, rep.Status.DegradedDead, rep.Status.DegradedAnswered = ok, dead, answered
+
+	// ---- Leg 3: SLO burn under induced errors -----------------------
+	log.Printf("fleetobs: slo leg — availability objective under fault injection")
+	objs, err := obs.ParseSLOSpec("/v1/designs:availability:99")
+	if err != nil {
+		return nil, err
+	}
+	sloNode, err := startObsNode(func(o *server.Options) {
+		o.SLOs = objs
+		o.FaultHeader = true
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sloNode.stop()
+	dbgLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	dbgSrv := &http.Server{Handler: sloNode.svc.DebugHandler()}
+	go dbgSrv.Serve(dbgLn)
+	defer dbgSrv.Close()
+	dbgURL := "http://" + dbgLn.Addr().String()
+	if err := waitHealthy(client, sloNode.url, 15*time.Second); err != nil {
+		return nil, err
+	}
+
+	goodN, badN := 50, 5
+	if quick {
+		goodN = 20
+	}
+	for i := 0; i < goodN; i++ {
+		if code, _, err := hit(client, sloNode.url+"/v1/designs"); err != nil || code != http.StatusOK {
+			return nil, fmt.Errorf("slo good request: code=%d err=%v", code, err)
+		}
+	}
+	for i := 0; i < badN; i++ {
+		code, _, err := hitFault(client, sloNode.url+"/v1/designs", "server.handler:error")
+		if err != nil || code < 500 {
+			return nil, fmt.Errorf("slo induced error: code=%d err=%v (want 5xx)", code, err)
+		}
+	}
+	code, body, err := hit(client, dbgURL+"/debug/slo")
+	if err != nil || code != http.StatusOK {
+		return nil, fmt.Errorf("/debug/slo: code=%d err=%v", code, err)
+	}
+	var sloDoc struct {
+		Enabled    bool                  `json:"enabled"`
+		Objectives []obs.ObjectiveReport `json:"objectives"`
+	}
+	if err := json.Unmarshal(body, &sloDoc); err != nil {
+		return nil, err
+	}
+	if !sloDoc.Enabled || len(sloDoc.Objectives) != 1 {
+		return nil, fmt.Errorf("/debug/slo: enabled=%t objectives=%d", sloDoc.Enabled, len(sloDoc.Objectives))
+	}
+	o := sloDoc.Objectives[0]
+	rep.SLO.Good, rep.SLO.Bad = o.Good, o.Bad
+	if len(o.Windows) > 0 {
+		rep.SLO.Burn1m = o.Windows[0].Burn
+	}
+	rep.SLO.Exemplars = len(o.Exemplars)
+	rep.SLO.ExemplarsTraced = len(o.Exemplars) > 0
+	for _, ex := range o.Exemplars {
+		if ex.TraceID == "" {
+			rep.SLO.ExemplarsTraced = false
+		}
+	}
+	rep.SLO.BucketExemplars = len(o.BucketEx)
+	_, mbody, err := hit(client, sloNode.url+"/metrics")
+	if err != nil {
+		return nil, err
+	}
+	rep.SLO.MetricsFamilies = strings.Contains(string(mbody), "obdreld_slo_burn_rate{") &&
+		strings.Contains(string(mbody), "obdreld_slo_bad_total{")
+
+	// ---- Leg 4: wide-event cost accounting --------------------------
+	log.Printf("fleetobs: wide-event leg — disabled-path cost, then one event per request")
+	bare := context.Background()
+	rep.Wide.DisabledAllocsPerOp = testing.AllocsPerRun(2000, func() {
+		obs.ReqStatsFrom(bare).RecordStage("thermal", "built", 12345)
+	})
+	const iters = 1_000_000
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		obs.ReqStatsFrom(bare).RecordStage("thermal", "built", 12345)
+	}
+	rep.Wide.DisabledNsPerOp = float64(time.Since(t0).Nanoseconds()) / iters
+
+	baseNode, err := startObsNode(nil)
+	if err != nil {
+		return nil, err
+	}
+	defer baseNode.stop()
+	if err := waitHealthy(client, baseNode.url, 15*time.Second); err != nil {
+		return nil, err
+	}
+	reqN := 1500
+	if quick {
+		reqN = 300
+	}
+	var lat obs.Histogram
+	for i := 0; i < reqN; i++ {
+		t := time.Now()
+		if code, _, err := hit(client, baseNode.url+"/v1/designs"); err != nil || code != http.StatusOK {
+			return nil, fmt.Errorf("baseline request: code=%d err=%v", code, err)
+		}
+		lat.Observe(time.Since(t))
+	}
+	rep.Wide.MeanRequestUs = float64(lat.Mean().Nanoseconds()) / 1e3
+	if rep.Wide.MeanRequestUs > 0 {
+		rep.Wide.DisabledOverheadPct = rep.Wide.DisabledNsPerOp / (rep.Wide.MeanRequestUs * 1e3) * 100
+	}
+
+	var wideBuf lockedBuf
+	wideNode, err := startObsNode(func(o *server.Options) {
+		o.WideEvents = &wideBuf
+		o.WideEventSample = 1
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer wideNode.stop()
+	if err := waitHealthy(client, wideNode.url, 15*time.Second); err != nil {
+		return nil, err
+	}
+	wideReqs := 0
+	for i := 0; i < reqN/10; i++ {
+		if code, _, err := hit(client, wideNode.url+"/v1/designs"); err != nil || code != http.StatusOK {
+			return nil, fmt.Errorf("wide request: code=%d err=%v", code, err)
+		}
+		wideReqs++
+	}
+	// A few pipeline-backed requests so events carry stage walks.
+	for i := 0; i < 3; i++ {
+		if code, _, err := hit(client, lifetime(wideNode.url, "C1")); err != nil || code != http.StatusOK {
+			return nil, fmt.Errorf("wide lifetime request: code=%d err=%v", code, err)
+		}
+		wideReqs++
+	}
+	rep.Wide.Requests = wideReqs
+	// The emit runs in the handler's deferred path, which can trail the
+	// response by a scheduler tick — wait for the counter to settle.
+	deadline := time.Now().Add(5 * time.Second)
+	for wideNode.svc.WideEventsEmitted() < int64(wideReqs) && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	rep.Wide.EventsParsed = true
+	for _, line := range strings.Split(strings.TrimSpace(wideBuf.String()), "\n") {
+		var ev struct {
+			Route  string `json:"route"`
+			Status int    `json:"status"`
+			DurUs  int64  `json:"dur_us"`
+			Cache  string `json:"cache"`
+			Stages []struct {
+				Stage  string `json:"stage"`
+				Source string `json:"source"`
+			} `json:"stages"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil || ev.Route == "" || ev.Status == 0 || ev.Cache == "" {
+			rep.Wide.EventsParsed = false
+			continue
+		}
+		rep.Wide.Events++
+		if len(ev.Stages) > 0 {
+			rep.Wide.EventsWithStages++
+		}
+	}
+	return rep, nil
+}
+
+// fleetObsGates are the pass/fail checks enforced after a run — the
+// same checks the validator re-runs against the committed report.
+func fleetObsGates(rep *FleetObsReport) []string {
+	var fails []string
+	gate := func(ok bool, format string, a ...any) {
+		if !ok {
+			fails = append(fails, fmt.Sprintf(format, a...))
+		}
+	}
+	gate(rep.Trace.Queries > 0, "no cross-node trace queries recorded")
+	gate(rep.Trace.SingleTrace, "cross-node explain did not render a single trace with artifact.fetch + peer.serve")
+	gate(rep.Trace.FetchSpans > 0, "artifact.fetch spans = %d, want > 0", rep.Trace.FetchSpans)
+	gate(rep.Trace.ServeSubtrees > 0, "grafted peer.serve subtrees = %d, want > 0", rep.Trace.ServeSubtrees)
+	gate(rep.Trace.OwnerAdopted, "owner never adopted the follower's trace id")
+	gate(rep.Status.HealthyOK == 2, "healthy fan-out nodes_ok = %d, want 2", rep.Status.HealthyOK)
+	gate(rep.Status.RingNodes == 2, "ring nodes = %d, want 2", rep.Status.RingNodes)
+	gate(rep.Status.FleetP50Us > 0 && rep.Status.FleetP99Us >= rep.Status.FleetP50Us,
+		"fleet quantiles implausible: p50=%v p99=%v", rep.Status.FleetP50Us, rep.Status.FleetP99Us)
+	gate(rep.Status.DegradedAnswered, "degraded fleet did not answer")
+	gate(rep.Status.DegradedOK == 1 && rep.Status.DegradedDead == 1,
+		"degraded fan-out ok=%d dead=%d, want 1/1", rep.Status.DegradedOK, rep.Status.DegradedDead)
+	gate(rep.SLO.Bad > 0, "slo bad total = %d, want > 0", rep.SLO.Bad)
+	gate(rep.SLO.Burn1m > 1, "slo 1m burn = %v, want > 1 (induced errors must over-burn the budget)", rep.SLO.Burn1m)
+	gate(rep.SLO.Exemplars > 0 && rep.SLO.ExemplarsTraced, "slo exemplars missing or untraced (%d)", rep.SLO.Exemplars)
+	gate(rep.SLO.BucketExemplars > 0, "slo bucket exemplars = %d, want > 0", rep.SLO.BucketExemplars)
+	gate(rep.SLO.MetricsFamilies, "obdreld_slo_* families missing from /metrics")
+	gate(rep.Wide.DisabledAllocsPerOp == 0, "disabled wide-event path allocates %v/op, want exactly 0", rep.Wide.DisabledAllocsPerOp)
+	gate(rep.Wide.DisabledOverheadPct < 2, "disabled wide-event overhead %.4f%% of a mean request, want < 2%%", rep.Wide.DisabledOverheadPct)
+	gate(rep.Wide.Events == rep.Wide.Requests, "wide events = %d for %d requests, want 1:1", rep.Wide.Events, rep.Wide.Requests)
+	gate(rep.Wide.EventsParsed, "wide events failed to parse or missed required fields")
+	gate(rep.Wide.EventsWithStages > 0, "no wide event carried a stage walk")
+	return fails
+}
+
+// validateFleetObsReport checks an existing v8 report — the CI schema
+// gate for the committed BENCH_pr9.json.
+func validateFleetObsReport(data []byte) error {
+	var rep FleetObsReport
+	if err := strictDecode(data, &rep); err != nil {
+		return err
+	}
+	switch {
+	case rep.Schema != FleetObsSchema:
+		return fmt.Errorf("schema %q, want %q", rep.Schema, FleetObsSchema)
+	case rep.Kind != FleetObsKind:
+		return fmt.Errorf("kind %q, want %q", rep.Kind, FleetObsKind)
+	case rep.GeneratedAt == "":
+		return fmt.Errorf("generated_at missing")
+	}
+	if fails := fleetObsGates(&rep); len(fails) > 0 {
+		return fmt.Errorf("%s", strings.Join(fails, "; "))
+	}
+	return nil
+}

@@ -59,10 +59,11 @@ const (
 // description. The -mix flag help and the unknown-mix error both
 // derive from it, so adding a preset here is the whole wiring.
 var mixes = map[string]string{
-	"drm":     "steady-state reliability polling (lifetime, failureprob, blocks)",
-	"maxvdd":  "DVS controller hammering /v1/maxvdd",
-	"fleet":   "batched fleet sweeps and telemetry replay on /v1/batch (v6 report)",
-	"cluster": "two-node peer cache-fill, disk-tier restart, bit-identity gates (v7 report)",
+	"drm":      "steady-state reliability polling (lifetime, failureprob, blocks)",
+	"maxvdd":   "DVS controller hammering /v1/maxvdd",
+	"fleet":    "batched fleet sweeps and telemetry replay on /v1/batch (v6 report)",
+	"cluster":  "two-node peer cache-fill, disk-tier restart, bit-identity gates (v7 report)",
+	"fleetobs": "cross-node tracing, cluster-status fan-out, SLO burn, wide events (v8 report)",
 }
 
 // mixNames lists the registered presets, sorted, for messages.
@@ -178,6 +179,9 @@ func main() {
 	if *mixName == "cluster" && *out == "BENCH_pr2.json" {
 		*out = "BENCH_pr8.json"
 	}
+	if *mixName == "fleetobs" && *out == "BENCH_pr2.json" {
+		*out = "BENCH_pr9.json"
+	}
 	if _, ok := mixes[*mixName]; !ok {
 		log.Fatalf("unknown traffic mix %q (want %s)", *mixName, mixNames())
 	}
@@ -250,6 +254,29 @@ func main() {
 			os.Exit(1)
 		}
 		log.Printf("all cluster gates passed")
+		return
+	}
+
+	if *mixName == "fleetobs" {
+		// The fleet-observability preset always self-hosts: it needs a
+		// traced two-node cluster, a node kill, fault injection, and
+		// direct access to a node's trace ring.
+		rep, err := runFleetObs(*gridN, *mcSamples, *quick)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeReport(*out, rep)
+		log.Printf("wrote %s: single_trace=%v owner_adopted=%v degraded ok/dead=%d/%d slo_burn_1m=%.2f wide disabled %.2f allocs/op %.4f%% overhead",
+			*out, rep.Trace.SingleTrace, rep.Trace.OwnerAdopted,
+			rep.Status.DegradedOK, rep.Status.DegradedDead, rep.SLO.Burn1m,
+			rep.Wide.DisabledAllocsPerOp, rep.Wide.DisabledOverheadPct)
+		if fails := fleetObsGates(rep); len(fails) > 0 {
+			for _, f := range fails {
+				log.Printf("GATE FAILED: %s", f)
+			}
+			os.Exit(1)
+		}
+		log.Printf("all fleetobs gates passed")
 		return
 	}
 
@@ -655,10 +682,12 @@ func validateAnyReport(path string) (string, error) {
 		return FleetSchema + " (" + FleetKind + ")", validateFleetReport(data)
 	case ClusterSchema:
 		return ClusterSchema + " (" + ClusterKind + ")", validateClusterReport(data)
+	case FleetObsSchema:
+		return FleetObsSchema + " (" + FleetObsKind + ")", validateFleetObsReport(data)
 	case Schema:
 		return Schema + " (" + Kind + ")", validateReport(data)
 	default:
-		return "", fmt.Errorf("schema %q: loadgen validates %q, %q, %q, and %q", head.Schema, Schema, ChaosSchema, FleetSchema, ClusterSchema)
+		return "", fmt.Errorf("schema %q: loadgen validates %q, %q, %q, %q, and %q", head.Schema, Schema, ChaosSchema, FleetSchema, ClusterSchema, FleetObsSchema)
 	}
 }
 

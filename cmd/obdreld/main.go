@@ -69,6 +69,7 @@ import (
 
 	"obdrel"
 	"obdrel/internal/fault"
+	"obdrel/internal/obs"
 	"obdrel/internal/server"
 )
 
@@ -105,6 +106,10 @@ func main() {
 		faultSpec   = flag.String("fault", "", "process-wide fault-injection profile, e.g. 'pipeline.build:error:0.1,thermal.solve:latency:50ms:0.05' (test/staging only)")
 		faultSeed   = flag.Int64("fault-seed", 1, "decision-stream seed for -fault rules without their own seed= segment")
 		faultHeader = flag.Bool("fault-header", false, "honour per-request X-Fault injection headers (never on a public listener)")
+
+		sloSpec    = flag.String("slo", "", "burn-rate objectives, e.g. '/v1/lifetime:availability:99.9,/v1/lifetime:latency:25ms:99' (route '*' watches every route); served on /debug/slo and as obdreld_slo_* metrics")
+		wideEvents = flag.String("wide-events", "", "append one canonical JSONL event per sampled request to this file ('-' = stderr; empty disables)")
+		wideSample = flag.Int("wide-sample", 1, "head-sample 1-in-N requests for -wide-events (5xx are always emitted)")
 
 		artifactDir = flag.String("artifact-dir", "", "spill serializable stage artifacts to this directory and serve them back across restarts (empty disables the disk tier)")
 		peers       = flag.String("peers", "", "comma-separated base URLs of every cluster node, this one included; enables peer cache-fill (requires -self)")
@@ -148,6 +153,28 @@ func main() {
 	}
 	if *faultHeader {
 		log.Printf("per-request X-Fault headers honoured (-fault-header)")
+	}
+
+	sloObjs, err := obs.ParseSLOSpec(*sloSpec)
+	if err != nil {
+		log.Fatalf("-slo: %v", err)
+	}
+	if len(sloObjs) > 0 {
+		log.Printf("slo burn-rate engine armed: %s", *sloSpec)
+	}
+	var wideSink io.Writer
+	switch *wideEvents {
+	case "":
+	case "-":
+		wideSink = os.Stderr
+	default:
+		f, err := os.OpenFile(*wideEvents, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("-wide-events: %v", err)
+		}
+		defer f.Close()
+		wideSink = f
+		log.Printf("wide events to %s (1 in %d, errors always)", *wideEvents, *wideSample)
 	}
 
 	if *queueDepth < 0 {
@@ -197,6 +224,10 @@ func main() {
 		Self:        *self,
 		PeerTimeout: *peerTimeout,
 		WarmLimit:   *warmLimit,
+
+		SLOs:            sloObjs,
+		WideEvents:      wideSink,
+		WideEventSample: *wideSample,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -272,6 +303,18 @@ func main() {
 		"obdreld: batch streams=%d items ok=%d error=%d groups=%d reused=%d shared_evals=%d stream_bytes=%d\n",
 		m.BatchRequests.Load(), m.BatchItemsOK.Load(), m.BatchItemsErr.Load(),
 		m.BatchGroups.Load(), m.BatchReused.Load(), m.BatchSharedEvals.Load(), m.BatchStreamBytes.Load())
+	if wideSink != nil {
+		fmt.Fprintf(os.Stderr, "obdreld: wide events emitted=%d (1 in %d)\n", svc.WideEventsEmitted(), *wideSample)
+	}
+	// Burn summary: the state an operator wants at the moment a node
+	// leaves the fleet — which objectives were burning and how hard.
+	for _, rep := range svc.SLOReport() {
+		line := fmt.Sprintf("obdreld: slo %s %s good=%d bad=%d", rep.Route, rep.Label, rep.Good, rep.Bad)
+		for _, w := range rep.Windows {
+			line += fmt.Sprintf(" burn_%s=%.2f", w.Window, w.Burn)
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
 	if *artifactDir != "" || len(peerList) > 0 {
 		as := svc.ArtifactStats()
 		fmt.Fprintf(os.Stderr,

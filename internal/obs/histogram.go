@@ -70,6 +70,65 @@ func (h *Histogram) BucketCounts() []int64 {
 	return out
 }
 
+// HistogramSnapshot is the wire form of a Histogram: a point-in-time
+// copy whose bucket layout is the shared LatencyBuckets. It is what
+// nodes exchange for fleet-wide aggregation (/v1/cluster/status).
+type HistogramSnapshot struct {
+	// Buckets has len(LatencyBuckets)+1 entries; the last is +Inf.
+	Buckets []int64 `json:"buckets"`
+	Count   int64   `json:"count"`
+	SumNs   int64   `json:"sum_ns"`
+	MaxNs   int64   `json:"max_ns"`
+}
+
+// Snapshot copies the histogram's current state. Concurrent Observes
+// may straddle the copy (bucket totals are each atomically read but
+// not mutually consistent); for aggregation that slack is irrelevant.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Buckets: h.BucketCounts(),
+		Count:   h.count.Load(),
+		SumNs:   h.sumNs.Load(),
+		MaxNs:   h.maxNs.Load(),
+	}
+	return s
+}
+
+// Merge adds every sample recorded by o into h. Because both share the
+// fixed LatencyBuckets layout, the merged histogram's Quantile is
+// exactly what a single histogram fed the pooled samples would report,
+// and Max is preserved exactly (not bucket-rounded).
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	h.MergeSnapshot(o.Snapshot())
+}
+
+// MergeSnapshot folds a snapshot (typically from a peer node) into h.
+// Snapshots with a foreign bucket layout are rejected (returns false,
+// h unchanged) so a mixed-version fleet degrades to "node reported,
+// not merged" instead of corrupting fleet quantiles.
+func (h *Histogram) MergeSnapshot(s HistogramSnapshot) bool {
+	if len(s.Buckets) != len(h.counts) {
+		return false
+	}
+	for i, c := range s.Buckets {
+		if c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.count.Add(s.Count)
+	h.sumNs.Add(s.SumNs)
+	for {
+		old := h.maxNs.Load()
+		if s.MaxNs <= old || h.maxNs.CompareAndSwap(old, s.MaxNs) {
+			break
+		}
+	}
+	return true
+}
+
 // Quantile estimates the q-th quantile (0 < q <= 1) by linear
 // interpolation within the containing bucket, the same estimator
 // Prometheus' histogram_quantile uses. Samples in the overflow bucket

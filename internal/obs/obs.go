@@ -59,10 +59,11 @@ type Span struct {
 	id     string
 	start  time.Time
 
-	mu    sync.Mutex
-	attrs []Attr
-	ended bool
-	dur   time.Duration
+	mu     sync.Mutex
+	attrs  []Attr
+	ended  bool
+	dur    time.Duration
+	remote []*SpanOut
 
 	// next links the trace's lock-free completed-span list.
 	next *Span
@@ -180,6 +181,25 @@ func (sp *Span) SetAttr(key string, value any) {
 	sp.mu.Lock()
 	if !sp.ended {
 		sp.attrs = append(sp.attrs, Attr{key, value})
+	}
+	sp.mu.Unlock()
+}
+
+// AttachRemote grafts an already-finished span subtree produced by
+// ANOTHER process (e.g. the owning node's `peer.serve` trace, returned
+// in a response header) under sp. At export the subtree appears among
+// sp's children with its start offsets rebased onto sp's timeline —
+// remote clocks are not assumed synchronized, so the remote root is
+// pinned to sp's own start and only intra-subtree offsets are kept.
+// The caller hands over ownership of sub; it must not mutate it after.
+// No-op on nil spans, nil subtrees, and after End.
+func (sp *Span) AttachRemote(sub *SpanOut) {
+	if sp == nil || sub == nil {
+		return
+	}
+	sp.mu.Lock()
+	if !sp.ended {
+		sp.remote = append(sp.remote, sub)
 	}
 	sp.mu.Unlock()
 }
@@ -384,13 +404,18 @@ func export(tr *trace) *TraceOut {
 				attrs[a.Key] = a.Value
 			}
 		}
-		nodes[sp] = &SpanOut{
+		n := &SpanOut{
 			Name:    sp.name,
 			SpanID:  sp.id,
 			StartUs: float64(sp.start.Sub(tr.start).Nanoseconds()) / 1e3,
 			DurUs:   float64(sp.dur.Nanoseconds()) / 1e3,
 			Attrs:   attrs,
 		}
+		for _, sub := range sp.remote {
+			rebase(sub, n.StartUs-sub.StartUs)
+			n.Children = append(n.Children, sub)
+		}
+		nodes[sp] = n
 		sp.mu.Unlock()
 	}
 	root := nodes[tr.root]
@@ -420,6 +445,15 @@ func export(tr *trace) *TraceOut {
 		SpanCount: len(spans),
 		Dropped:   int(tr.nStarted.Load()) - len(spans),
 		Root:      root,
+	}
+}
+
+// rebase shifts a remote subtree's start offsets by delta µs, pinning
+// its root onto the local span it was grafted under.
+func rebase(s *SpanOut, delta float64) {
+	s.StartUs += delta
+	for _, c := range s.Children {
+		rebase(c, delta)
 	}
 }
 

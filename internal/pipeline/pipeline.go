@@ -281,6 +281,12 @@ func Get[O any](ctx context.Context, c *Cache, stage, key string, build func(con
 		if err != nil {
 			return zero, res, err
 		}
+		if r.Source != "" {
+			// Each waiter records its own top-level round here; the
+			// build's nested rounds were already recorded through the
+			// flight context, which carries the initiator's collector.
+			obs.ReqStatsFrom(ctx).RecordStage(stage, r.Source, r.buildNs)
+		}
 		out, ok := v.(O)
 		if !ok {
 			return zero, res, errors.New("pipeline: stage " + stage + " cached an artifact of the wrong type")
@@ -324,6 +330,12 @@ func (c *Cache) getOnce(ctx context.Context, stage, key string, build func(conte
 	// trace of whoever caused the build — and the initiator's
 	// fault-injection rules, so X-Fault faults reach detached builds.
 	base := fault.Carry(obs.ContextWithSpan(context.Background(), obs.FromContext(ctx)), ctx)
+	// The initiator's cost collector rides into the flight too: the
+	// nested stage rounds a build resolves (peer fills, disk loads)
+	// belong to the request that caused the build — same attribution
+	// rule as the span above. Coalesced late joiners record only their
+	// own top-level round, which is all they observed.
+	base = obs.CarryReqStats(base, ctx)
 	bctx, cancel := context.WithCancel(base)
 	f := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
 	c.flights[fk] = f

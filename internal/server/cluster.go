@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -11,6 +12,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"obdrel/internal/obs"
 )
 
 // cluster is obdreld's static-membership sharding layer. Every node
@@ -156,20 +159,50 @@ func (cl *cluster) fetch(ctx context.Context, stage, key string) ([]byte, bool, 
 	return nil, false, lastErr
 }
 
+// spanSubtreeHeader carries the owner's finished `peer.serve` span
+// subtree back to the fetcher (JSON-encoded obs.SpanOut), where it is
+// grafted under the fetcher's artifact.fetch span — the mechanism that
+// makes one ?explain=1 tree span both nodes.
+const spanSubtreeHeader = "X-Obdrel-Span"
+
 // fetchFrom performs one peer request. (nil, nil) is a clean 404.
+// Fetches that run inside a traced request mint an `artifact.fetch`
+// child span, propagate the trace to the peer as a W3C traceparent,
+// and graft the peer's returned span subtree under their own span.
 func (cl *cluster) fetchFrom(ctx context.Context, peer, stage, key string) ([]byte, error) {
-	rctx, cancel := context.WithTimeout(ctx, cl.timeout)
+	sctx, sp := obs.StartSpan(ctx, "artifact.fetch")
+	if sp != nil {
+		sp.SetAttr("peer", peer)
+		sp.SetAttr("stage", stage)
+		defer sp.End()
+	}
+	rctx, cancel := context.WithTimeout(sctx, cl.timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(rctx, http.MethodGet,
 		peer+"/v1/artifact/"+url.PathEscape(stage)+"/"+url.PathEscape(key), nil)
 	if err != nil {
 		return nil, err
 	}
+	if sp != nil {
+		req.Header.Set("traceparent", obs.Traceparent(sp.TraceID(), sp.ID()))
+	}
 	resp, err := cl.client.Do(req)
 	if err != nil {
+		sp.SetAttr("error", err.Error())
 		return nil, err
 	}
 	defer resp.Body.Close()
+	sp.SetAttr("status", resp.StatusCode)
+	if sp != nil {
+		if h := resp.Header.Get(spanSubtreeHeader); h != "" {
+			var sub obs.SpanOut
+			// A peer that returns a garbled subtree costs us the graft,
+			// never the artifact.
+			if json.Unmarshal([]byte(h), &sub) == nil {
+				sp.AttachRemote(&sub)
+			}
+		}
+	}
 	switch resp.StatusCode {
 	case http.StatusOK:
 		// An artifact is header + payload; 32 MiB comfortably bounds
@@ -232,6 +265,31 @@ func (r *hashRing) successors(key string) []string {
 			seen[p.node] = true
 			out = append(out, p.node)
 		}
+	}
+	return out
+}
+
+// shares reports each node's exact share of the key space: the total
+// arc length (as a fraction of 2^64) that hashes onto its points. The
+// cluster-status surface reports it so an operator can see ring
+// imbalance directly instead of inferring it from traffic skew.
+func (r *hashRing) shares() map[string]float64 {
+	out := make(map[string]float64)
+	if len(r.points) == 0 {
+		return out
+	}
+	if len(r.points) == 1 {
+		out[r.points[0].node] = 1
+		return out
+	}
+	const full = float64(1<<63) * 2 // 2^64 without overflowing
+	prev := r.points[len(r.points)-1].h
+	for _, p := range r.points {
+		// The arc (prev, p.h] belongs to p.node; the first point also
+		// takes the wraparound arc from the last point through zero.
+		arc := p.h - prev // uint64 arithmetic wraps correctly
+		out[p.node] += float64(arc) / full
+		prev = p.h
 	}
 	return out
 }

@@ -1,0 +1,31 @@
+package server
+
+import (
+	rtmetrics "runtime/metrics"
+)
+
+// costSnapshot is a point-in-time read of the process-level cost
+// counters the wide-event log diffs around a request: cumulative heap
+// allocations (bytes and objects) and process CPU time.
+type costSnapshot struct {
+	allocBytes   uint64
+	allocObjects uint64
+	cpuUs        int64
+}
+
+// readCost samples the counters. Only called for requests that won the
+// wide-event sampling draw — the disabled path never reaches it.
+func readCost() costSnapshot {
+	var s [2]rtmetrics.Sample
+	s[0].Name = "/gc/heap/allocs:bytes"
+	s[1].Name = "/gc/heap/allocs:objects"
+	rtmetrics.Read(s[:])
+	cs := costSnapshot{cpuUs: processCPUUs()}
+	if s[0].Value.Kind() == rtmetrics.KindUint64 {
+		cs.allocBytes = s[0].Value.Uint64()
+	}
+	if s[1].Value.Kind() == rtmetrics.KindUint64 {
+		cs.allocObjects = s[1].Value.Uint64()
+	}
+	return cs
+}

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package server
+
+// processCPUUs has no portable fallback; the wide event reports a zero
+// CPU delta on platforms without getrusage.
+func processCPUUs() int64 { return 0 }

@@ -72,6 +72,9 @@ type Metrics struct {
 	// artifact reports the node-level artifact counters (cluster
 	// fetches, peer serves, warm sweep), wired by the server.
 	artifact func() ArtifactStats
+	// slo reports the burn-rate engine's objectives (wired by the
+	// server; empty when no -slo objectives are configured).
+	slo func() []obs.ObjectiveReport
 
 	// knownRoutes is the closed set of route label values. Routes are
 	// registered once at handler construction; anything else (scanner
@@ -96,7 +99,30 @@ func NewMetrics() *Metrics {
 		queueDepth:      func() int64 { return 0 },
 		draining:        func() bool { return false },
 		artifact:        func() ArtifactStats { return ArtifactStats{} },
+		slo:             func() []obs.ObjectiveReport { return nil },
 	}
+}
+
+// RouteSnapshots copies every route's latency histogram (mergeable
+// across nodes — see obs.Histogram.MergeSnapshot) plus the per-route
+// request totals summed over status codes. This is the node's share of
+// the fleet aggregation behind /v1/cluster/status.
+func (m *Metrics) RouteSnapshots() (map[string]obs.HistogramSnapshot, map[string]int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	hists := make(map[string]obs.HistogramSnapshot, len(m.latency))
+	for r, h := range m.latency {
+		hists[r] = h.Snapshot()
+	}
+	reqs := make(map[string]int64, len(m.requests))
+	for r, byCode := range m.requests {
+		var total int64
+		for _, n := range byCode {
+			total += n
+		}
+		reqs[r] = total
+	}
+	return hists, reqs
 }
 
 // ArtifactStats is the node-level artifact telemetry behind the
@@ -346,6 +372,34 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		warmGauge = 1
 	}
 	gauge("obdreld_artifact_warming", "1 while the startup anti-entropy sweep is still running.", warmGauge)
+
+	// SLO burn-rate families (absent entirely when no objectives are
+	// configured, so the exposition stays byte-stable for non-SLO
+	// deployments).
+	if reps := m.slo(); len(reps) > 0 {
+		fmt.Fprintf(cw, "# HELP obdreld_slo_target Objective target as a fraction (e.g. 0.999), by route and objective.\n")
+		fmt.Fprintf(cw, "# TYPE obdreld_slo_target gauge\n")
+		for _, r := range reps {
+			fmt.Fprintf(cw, "obdreld_slo_target{route=%q,slo=%q} %g\n", r.Route, r.Label, r.TargetPct/100)
+		}
+		fmt.Fprintf(cw, "# HELP obdreld_slo_good_total Requests that met the objective, by route and objective.\n")
+		fmt.Fprintf(cw, "# TYPE obdreld_slo_good_total counter\n")
+		for _, r := range reps {
+			fmt.Fprintf(cw, "obdreld_slo_good_total{route=%q,slo=%q} %d\n", r.Route, r.Label, r.Good)
+		}
+		fmt.Fprintf(cw, "# HELP obdreld_slo_bad_total Requests that burned the objective's error budget, by route and objective.\n")
+		fmt.Fprintf(cw, "# TYPE obdreld_slo_bad_total counter\n")
+		for _, r := range reps {
+			fmt.Fprintf(cw, "obdreld_slo_bad_total{route=%q,slo=%q} %d\n", r.Route, r.Label, r.Bad)
+		}
+		fmt.Fprintf(cw, "# HELP obdreld_slo_burn_rate Windowed error rate over error budget (1.0 = burning exactly at budget), by route, objective, and window.\n")
+		fmt.Fprintf(cw, "# TYPE obdreld_slo_burn_rate gauge\n")
+		for _, r := range reps {
+			for _, w := range r.Windows {
+				fmt.Fprintf(cw, "obdreld_slo_burn_rate{route=%q,slo=%q,window=%q} %g\n", r.Route, r.Label, w.Window, w.Burn)
+			}
+		}
+	}
 	return cw.n, cw.err
 }
 

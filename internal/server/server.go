@@ -143,6 +143,20 @@ type Options struct {
 	// node its own cache so nodes do not share artifacts through the
 	// process-wide one.
 	Stages *pipeline.Cache
+
+	// SLOs are the burn-rate objectives the node tracks (obdreld's
+	// -slo flag, parsed by obs.ParseSLOSpec). Empty disables the
+	// engine: /debug/slo answers an empty document and the
+	// obdreld_slo_* families are absent.
+	SLOs []obs.Objective
+	// WideEvents, when non-nil, receives one canonical JSONL event per
+	// sampled request (obdreld's -wide-events). Nil disables wide
+	// events entirely; the disabled path is 0 allocs/op.
+	WideEvents io.Writer
+	// WideEventSample head-samples 1-in-N requests for wide events
+	// (default 1 = every request). Requests that fail with a 5xx are
+	// always emitted regardless of the draw.
+	WideEventSample int
 }
 
 func (o *Options) withDefaults() Options {
@@ -226,6 +240,11 @@ type Server struct {
 	stages  *pipeline.Cache
 	cluster *cluster
 
+	// slo is the burn-rate engine (nil without objectives); wide is
+	// the wide-event log (nil when disabled) — both nil-safe.
+	slo  *obs.SLO
+	wide *wideEventLog
+
 	// draining gates new work during graceful shutdown; queueLen and
 	// ewmaServiceNs drive the admission controller; faultSeq seeds
 	// per-request X-Fault injectors that carry no seed of their own.
@@ -272,6 +291,8 @@ func NewE(opts Options) (*Server, error) {
 		logger:  slog.New(slog.NewJSONHandler(o.AccessLog, nil)),
 		tracer:  o.Tracer,
 		stages:  o.Stages,
+		slo:     obs.NewSLO(o.SLOs),
+		wide:    newWideEventLog(o.WideEvents, o.WideEventSample),
 	}
 	m.stageStats = func() []pipeline.StageStat {
 		stats := s.stages.Snapshot()
@@ -280,6 +301,7 @@ func NewE(opts Options) (*Server, error) {
 	m.queueDepth = s.queueLen.Load
 	m.draining = s.draining.Load
 	m.artifact = s.artifactStats
+	m.slo = s.slo.Report
 	if o.RetryAttempts > 1 {
 		s.reg.Cache().SetRetry(fault.Retry{Attempts: o.RetryAttempts, Base: o.RetryBase})
 	}
@@ -364,10 +386,12 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/blocks", s.instrument("/v1/blocks", s.handleBlocks, http.MethodGet, http.MethodPost))
 	mux.Handle("/v1/batch", s.instrumentBatch("/v1/batch"))
 	mux.HandleFunc("/v1/artifact/", s.handleArtifact)
+	mux.HandleFunc("/v1/cluster/stats", s.handleClusterStats)
+	mux.HandleFunc("/v1/cluster/status", s.handleClusterStatus)
 	for _, route := range []string{
 		"/healthz", "/readyz", "/metrics", "/v1/designs", "/v1/lifetime",
 		"/v1/failureprob", "/v1/maxvdd", "/v1/blocks", "/v1/batch",
-		"/v1/artifact",
+		"/v1/artifact", "/v1/cluster/stats", "/v1/cluster/status",
 	} {
 		s.metrics.RegisterRoute(route)
 	}
@@ -392,6 +416,7 @@ func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
 func (s *Server) DebugHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/traces", s.handleTraces)
+	mux.HandleFunc("/debug/slo", s.handleSLO)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -450,6 +475,27 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleSLO serves the burn-rate engine's full report. Always 200:
+// with no objectives configured it answers enabled=false with an empty
+// objective list, so dashboards and smoke tests need no special case.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	reps := s.slo.Report()
+	if reps == nil {
+		reps = []obs.ObjectiveReport{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled":    s.slo != nil,
+		"objectives": reps,
+	})
+}
+
+// SLOReport exposes the engine's report (nil when disabled) — the
+// daemon logs a burn summary on shutdown.
+func (s *Server) SLOReport() []obs.ObjectiveReport { return s.slo.Report() }
+
+// WideEventsEmitted reports how many wide events have been written.
+func (s *Server) WideEventsEmitted() int64 { return s.wide.Emitted() }
+
 // apiError carries an HTTP status with a message; every other error
 // maps to 500.
 type apiError struct {
@@ -478,9 +524,28 @@ func (s *Server) instrument(route string, h func(context.Context, *http.Request)
 		start := time.Now()
 		status := http.StatusOK
 		traceID := ""
+		var (
+			rstats    *obs.ReqStats
+			queueWait time.Duration
+			staleSecs int64
+			isStale   bool
+			sampled   bool
+			costStart costSnapshot
+		)
+		// Wide events: the head-sampling draw happens at request START
+		// so unsampled requests can skip the cost sampling entirely at
+		// emission; a 5xx overrides the draw at emission time. When the
+		// log is disabled (nil), nothing below allocates for it.
+		wide := s.wide
+		if wide != nil {
+			sampled = wide.shouldSample()
+			costStart = readCost()
+		}
 		defer func() {
 			d := time.Since(start)
 			s.metrics.ObserveRequest(route, status, d)
+			cache := cacheProvenance(rstats, isStale)
+			_, _, _, peerFills, _ := rstats.Counts()
 			s.logger.LogAttrs(context.Background(), slog.LevelInfo, "request",
 				slog.String("method", r.Method),
 				slog.String("route", route),
@@ -489,6 +554,8 @@ func (s *Server) instrument(route string, h func(context.Context, *http.Request)
 				slog.Int64("dur_us", d.Microseconds()),
 				slog.String("remote", r.RemoteAddr),
 				slog.String("trace_id", traceID),
+				slog.String("cache", cache),
+				slog.Int("peer_fills", peerFills),
 			)
 			if s.opts.SlowRequest > 0 && d >= s.opts.SlowRequest {
 				s.logger.LogAttrs(context.Background(), slog.LevelWarn, "slow request",
@@ -498,6 +565,24 @@ func (s *Server) instrument(route string, h func(context.Context, *http.Request)
 					slog.Int64("threshold_us", s.opts.SlowRequest.Microseconds()),
 					slog.String("trace_id", traceID),
 				)
+			}
+			s.slo.Observe(route, status, d, traceID)
+			if wide != nil && (sampled || status >= 500) {
+				wide.emit(buildWideEvent(route, reqObservation{
+					start:      start,
+					method:     r.Method,
+					query:      r.URL.RawQuery,
+					remote:     r.RemoteAddr,
+					status:     status,
+					traceID:    traceID,
+					dur:        d,
+					queueWait:  queueWait,
+					stale:      isStale,
+					stalenessS: staleSecs,
+					sampled:    sampled,
+					costStart:  costStart,
+					costEnd:    readCost(),
+				}, rstats))
 			}
 		}()
 
@@ -530,6 +615,7 @@ func (s *Server) instrument(route string, h func(context.Context, *http.Request)
 		}
 		defer func() { <-s.sem }()
 		enteredService := time.Now()
+		queueWait = enteredService.Sub(start)
 		defer func() { s.observeServiceTime(time.Since(enteredService)) }()
 
 		s.metrics.InFlight.Add(1)
@@ -538,6 +624,10 @@ func (s *Server) instrument(route string, h func(context.Context, *http.Request)
 		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 		defer cancel()
 		ctx, annot := withAnnot(ctx)
+		// Per-request cost accounting: the pipeline records its tier
+		// walk (stage, provenance, build time) into the collector, and
+		// the access log + wide event read it back at completion.
+		ctx, rstats = obs.WithReqStats(ctx)
 
 		// Per-request fault rules (test/staging): an X-Fault header arms
 		// a request-scoped injector that follows the context into
@@ -624,6 +714,7 @@ func (s *Server) instrument(route string, h func(context.Context, *http.Request)
 		// Serve-stale annotation: the registry answered from the
 		// last-good store because the fresh build failed.
 		if age, stale := annot.staleness(); stale {
+			isStale, staleSecs = true, int64(age.Seconds())
 			w.Header().Set("Warning", `110 obdreld "Response is Stale"`)
 			w.Header().Set("X-Staleness", strconv.FormatInt(int64(age.Seconds()), 10))
 		}
@@ -760,12 +851,48 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // so a corrupt disk file on this node cannot propagate. Inputs are
 // gated hard (registered stage, canonical fingerprint shape) because
 // the key is about to be used in a file-path lookup.
+//
+// Cross-node tracing: a request carrying a valid W3C traceparent (the
+// fetching peer's artifact.fetch span) is ADOPTED — this node roots a
+// `peer.serve` span under the caller's trace identity, so both nodes'
+// /debug/traces rings show the same trace id — and the finished span
+// subtree is returned in the X-Obdrel-Span header for the fetcher to
+// graft into its own tree.
 func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	status := http.StatusOK
-	defer func() { s.metrics.ObserveRequest("/v1/artifact", status, time.Since(start)) }()
+	traceID := ""
+	defer func() { s.observeOps("/v1/artifact", r, status, start, traceID) }()
+
+	var root *obs.Span
+	if tid, sid, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		_, root = s.tracer.StartTrace(r.Context(), "peer.serve", tid, sid)
+		if root != nil {
+			traceID = root.TraceID()
+			if s.cluster != nil {
+				// Per-node provenance: which node served this subtree.
+				root.SetAttr("node", s.cluster.self)
+			}
+		}
+	}
+	// finish seals the serve span and hands its subtree to the caller
+	// via header — BEFORE the body is written, which is why every exit
+	// path goes through it.
+	finish := func(held bool) {
+		if root == nil {
+			return
+		}
+		root.SetAttr("status", status)
+		root.SetAttr("held", held)
+		if out := root.EndTrace(); out != nil {
+			if enc, err := json.Marshal(out.Root); err == nil {
+				w.Header().Set(spanSubtreeHeader, string(enc))
+			}
+		}
+	}
 	if r.Method != http.MethodGet {
 		status = http.StatusMethodNotAllowed
+		finish(false)
 		writeJSON(w, status, map[string]any{"error": "GET only"})
 		return
 	}
@@ -773,21 +900,26 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	stage, key, ok := strings.Cut(rest, "/")
 	if !ok || strings.Contains(key, "/") {
 		status = http.StatusBadRequest
+		finish(false)
 		writeJSON(w, status, map[string]any{"error": "want /v1/artifact/{stage}/{key}"})
 		return
 	}
+	root.SetAttr("stage", stage)
 	if _, registered := artifact.Lookup(stage); !registered || !obdrel.ValidFingerprint(key) {
 		status = http.StatusBadRequest
+		finish(false)
 		writeJSON(w, status, map[string]any{"error": "unknown stage or malformed key"})
 		return
 	}
 	sealed, held := s.stages.Sealed(stage, key)
 	if !held {
 		status = http.StatusNotFound
+		finish(false)
 		writeJSON(w, status, map[string]any{"error": "artifact not held here"})
 		return
 	}
 	s.peerServes.Add(1)
+	finish(true)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(len(sealed)))
 	w.Write(sealed)

@@ -1,0 +1,187 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"obdrel/internal/obs"
+)
+
+// WideEvent is the canonical per-request record: everything the access
+// log, metrics, and trace know about one request, denormalized into a
+// single JSONL line so one grep answers "where did this answer come
+// from and what did it cost". Emission is head-sampled (1-in-N) with
+// errors always emitted; the disabled path is a nil *wideEventLog plus
+// a nil *obs.ReqStats, proven 0 allocs/op by tests.
+type WideEvent struct {
+	TS      string `json:"ts"`
+	Route   string `json:"route"`
+	Method  string `json:"method"`
+	Status  int    `json:"status"`
+	TraceID string `json:"trace_id,omitempty"`
+	Remote  string `json:"remote,omitempty"`
+	Query   string `json:"query,omitempty"`
+
+	DurUs       int64 `json:"dur_us"`
+	QueueWaitUs int64 `json:"queue_wait_us"`
+
+	// Cache is the answer's provenance label (mem/disk/peer/built/
+	// stale/none); Stages is the pipeline tier walk that produced it.
+	Cache         string           `json:"cache,omitempty"`
+	Stages        []obs.StageVisit `json:"stages,omitempty"`
+	StagesDropped int              `json:"stages_dropped,omitempty"`
+	StageBuilds   int              `json:"stage_builds"`
+	BuildMs       float64          `json:"build_ms,omitempty"`
+	PeerFills     int              `json:"peer_fills"`
+	StalenessS    int64            `json:"staleness_s,omitempty"`
+
+	// Process-level cost deltas sampled around the request. They are
+	// honest about their scope: on a busy server concurrent requests
+	// bleed into each other's deltas, but on a quiescent one they are
+	// the request's own footprint.
+	ProcAllocBytes   uint64 `json:"proc_alloc_bytes,omitempty"`
+	ProcAllocObjects uint64 `json:"proc_alloc_objects,omitempty"`
+	ProcCPUUs        int64  `json:"proc_cpu_us,omitempty"`
+
+	// Sampled is false when the event was emitted because of an error
+	// despite losing the head-sampling draw.
+	Sampled bool `json:"sampled"`
+}
+
+// wideEventLog serializes wide events onto one writer. A nil receiver
+// is the disabled log: shouldSample answers false and emit no-ops.
+type wideEventLog struct {
+	mu     sync.Mutex
+	w      io.Writer
+	err    error
+	sample int64
+
+	seq     atomic.Int64
+	emitted atomic.Int64
+}
+
+// newWideEventLog builds the log; nil writer or sample < 1 disables
+// head sampling down to errors-only (sample == 0 means "every request"
+// is the caller's normalization concern; we clamp to >= 1).
+func newWideEventLog(w io.Writer, sample int) *wideEventLog {
+	if w == nil {
+		return nil
+	}
+	if sample < 1 {
+		sample = 1
+	}
+	return &wideEventLog{w: w, sample: int64(sample)}
+}
+
+// shouldSample makes the head-sampling decision for one request. The
+// decision is taken at request START (head sampling) so the whole
+// collection pipeline can be skipped for unsampled requests; errors
+// override it at emission time.
+func (l *wideEventLog) shouldSample() bool {
+	if l == nil {
+		return false
+	}
+	return l.seq.Add(1)%l.sample == 0
+}
+
+// emit marshals and writes one event. Write errors disable the log
+// (first error wins) rather than stalling request handling.
+func (l *wideEventLog) emit(ev *WideEvent) {
+	if l == nil {
+		return
+	}
+	enc, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	enc = append(enc, '\n')
+	l.mu.Lock()
+	if l.err == nil {
+		_, l.err = l.w.Write(enc)
+	}
+	l.mu.Unlock()
+	l.emitted.Add(1)
+}
+
+// Emitted reports how many wide events have been written.
+func (l *wideEventLog) Emitted() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.emitted.Load()
+}
+
+// cacheProvenance condenses a request's tier walk into the single
+// label the access log and wide event carry: where the answer really
+// came from. Stale wins (the registry answered from the last-good
+// store); a memory-hit analyzer is "mem"; an analyzer rebuilt this
+// request reports the deepest tier that fed the rebuild — peer beats
+// disk beats built-from-scratch. Requests that never touched the
+// pipeline report "none".
+func cacheProvenance(rs *obs.ReqStats, stale bool) string {
+	if stale {
+		return "stale"
+	}
+	builds, mem, disk, peer, _ := rs.Counts()
+	switch {
+	case builds == 0 && mem == 0 && disk == 0 && peer == 0:
+		return "none"
+	case builds == 0 && disk == 0 && peer == 0:
+		return "mem"
+	case peer > 0:
+		return "peer"
+	case disk > 0:
+		return "disk"
+	default:
+		return "built"
+	}
+}
+
+// buildWideEvent assembles the event from what instrument observed.
+func buildWideEvent(route string, r reqObservation, rs *obs.ReqStats) *WideEvent {
+	visits, dropped := rs.Visits()
+	builds, _, _, peer, buildNs := rs.Counts()
+	ev := &WideEvent{
+		TS:            r.start.UTC().Format(time.RFC3339Nano),
+		Route:         route,
+		Method:        r.method,
+		Status:        r.status,
+		TraceID:       r.traceID,
+		Remote:        r.remote,
+		Query:         r.query,
+		DurUs:         r.dur.Microseconds(),
+		QueueWaitUs:   r.queueWait.Microseconds(),
+		Cache:         cacheProvenance(rs, r.stale),
+		Stages:        visits,
+		StagesDropped: dropped,
+		StageBuilds:   builds,
+		BuildMs:       float64(buildNs) / 1e6,
+		PeerFills:     peer,
+		StalenessS:    r.stalenessS,
+		Sampled:       r.sampled,
+	}
+	ev.ProcAllocBytes = r.costEnd.allocBytes - r.costStart.allocBytes
+	ev.ProcAllocObjects = r.costEnd.allocObjects - r.costStart.allocObjects
+	ev.ProcCPUUs = r.costEnd.cpuUs - r.costStart.cpuUs
+	return ev
+}
+
+// reqObservation is the bundle instrument hands to buildWideEvent.
+type reqObservation struct {
+	start      time.Time
+	method     string
+	query      string
+	remote     string
+	status     int
+	traceID    string
+	dur        time.Duration
+	queueWait  time.Duration
+	stale      bool
+	stalenessS int64
+	sampled    bool
+	costStart  costSnapshot
+	costEnd    costSnapshot
+}
