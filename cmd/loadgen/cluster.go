@@ -107,6 +107,22 @@ type artifactScrape struct {
 	fetchErrors int64
 	peerServes  int64
 	warmLoaded  int64
+
+	// Dynamic-membership families (obdrel-bench/v9 "membership" mix).
+	fetchHedged     int64
+	fetchHedgeWins  int64
+	replicaPushes   int64
+	replicaPushErrs int64
+	replicaDropped  int64
+	replicaReceives int64
+	replicaRejects  int64
+	rebalFetched    int64
+	rebalSweeps     int64
+	rebalancing     int64
+	epoch           uint64
+	membersActive   int64
+	membersSuspect  int64
+	membersDead     int64
 }
 
 // libraryStages is the set of pipeline stages gated by the zero-build
@@ -173,6 +189,34 @@ func scrapeArtifacts(client *http.Client, target string) (*artifactScrape, error
 			out.peerServes = int64(v)
 		case "obdreld_artifact_warm_loaded_total":
 			out.warmLoaded = int64(v)
+		case "obdreld_artifact_fetch_hedged_total":
+			out.fetchHedged = int64(v)
+		case "obdreld_artifact_fetch_hedge_wins_total":
+			out.fetchHedgeWins = int64(v)
+		case "obdreld_artifact_replica_pushes_total":
+			out.replicaPushes = int64(v)
+		case "obdreld_artifact_replica_push_errors_total":
+			out.replicaPushErrs = int64(v)
+		case "obdreld_artifact_replica_dropped_total":
+			out.replicaDropped = int64(v)
+		case "obdreld_artifact_replica_receives_total":
+			out.replicaReceives = int64(v)
+		case "obdreld_artifact_replica_rejects_total":
+			out.replicaRejects = int64(v)
+		case "obdreld_artifact_rebalance_fetched_total":
+			out.rebalFetched = int64(v)
+		case "obdreld_cluster_rebalance_sweeps_total":
+			out.rebalSweeps = int64(v)
+		case "obdreld_cluster_rebalancing":
+			out.rebalancing = int64(v)
+		case "obdreld_cluster_epoch":
+			out.epoch = uint64(v)
+		case `obdreld_cluster_members{state="active"}`:
+			out.membersActive = int64(v)
+		case `obdreld_cluster_members{state="suspect"}`:
+			out.membersSuspect = int64(v)
+		case `obdreld_cluster_members{state="dead"}`:
+			out.membersDead = int64(v)
 		}
 	}
 	return out, nil

@@ -59,11 +59,12 @@ const (
 // description. The -mix flag help and the unknown-mix error both
 // derive from it, so adding a preset here is the whole wiring.
 var mixes = map[string]string{
-	"drm":      "steady-state reliability polling (lifetime, failureprob, blocks)",
-	"maxvdd":   "DVS controller hammering /v1/maxvdd",
-	"fleet":    "batched fleet sweeps and telemetry replay on /v1/batch (v6 report)",
-	"cluster":  "two-node peer cache-fill, disk-tier restart, bit-identity gates (v7 report)",
-	"fleetobs": "cross-node tracing, cluster-status fan-out, SLO burn, wide events (v8 report)",
+	"drm":        "steady-state reliability polling (lifetime, failureprob, blocks)",
+	"maxvdd":     "DVS controller hammering /v1/maxvdd",
+	"fleet":      "batched fleet sweeps and telemetry replay on /v1/batch (v6 report)",
+	"cluster":    "two-node peer cache-fill, disk-tier restart, bit-identity gates (v7 report)",
+	"fleetobs":   "cross-node tracing, cluster-status fan-out, SLO burn, wide events (v8 report)",
+	"membership": "dynamic 3-node cluster: kill −9 failover on warm replicas, join + rebalance (v9 report)",
 }
 
 // mixNames lists the registered presets, sorted, for messages.
@@ -182,6 +183,9 @@ func main() {
 	if *mixName == "fleetobs" && *out == "BENCH_pr2.json" {
 		*out = "BENCH_pr9.json"
 	}
+	if *mixName == "membership" && *out == "BENCH_pr2.json" {
+		*out = "BENCH_pr10.json"
+	}
 	if _, ok := mixes[*mixName]; !ok {
 		log.Fatalf("unknown traffic mix %q (want %s)", *mixName, mixNames())
 	}
@@ -254,6 +258,29 @@ func main() {
 			os.Exit(1)
 		}
 		log.Printf("all cluster gates passed")
+		return
+	}
+
+	if *mixName == "membership" {
+		// The membership preset always self-hosts: it needs a kill −9
+		// of one node and a mid-flight join, which no single -addr
+		// target provides.
+		rep, err := runMembership(*gridN, *mcSamples, *quick)
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeReport(*out, rep)
+		log.Printf("wrote %s: failover errors=%d builds=%d identical=%v dead_detect=%.0fms; joiner builds=%d streamed=%d identical=%v",
+			*out, rep.Failover.Errors, rep.Failover.StageBuilds, rep.Failover.Identical,
+			rep.Membership.DeadDetectMs, rep.Joiner.StageBuilds,
+			rep.Membership.RebalanceFetched, rep.Joiner.Identical)
+		if fails := membershipGates(rep); len(fails) > 0 {
+			for _, f := range fails {
+				log.Printf("GATE FAILED: %s", f)
+			}
+			os.Exit(1)
+		}
+		log.Printf("all membership gates passed")
 		return
 	}
 
@@ -684,10 +711,12 @@ func validateAnyReport(path string) (string, error) {
 		return ClusterSchema + " (" + ClusterKind + ")", validateClusterReport(data)
 	case FleetObsSchema:
 		return FleetObsSchema + " (" + FleetObsKind + ")", validateFleetObsReport(data)
+	case MembershipSchema:
+		return MembershipSchema + " (" + MembershipKind + ")", validateMembershipReport(data)
 	case Schema:
 		return Schema + " (" + Kind + ")", validateReport(data)
 	default:
-		return "", fmt.Errorf("schema %q: loadgen validates %q, %q, %q, %q, and %q", head.Schema, Schema, ChaosSchema, FleetSchema, ClusterSchema, FleetObsSchema)
+		return "", fmt.Errorf("schema %q: loadgen validates %q, %q, %q, %q, %q, and %q", head.Schema, Schema, ChaosSchema, FleetSchema, ClusterSchema, FleetObsSchema, MembershipSchema)
 	}
 }
 

@@ -1,0 +1,462 @@
+// Membership preset: the obdrel-bench/v9 report (BENCH_pr10.json).
+// One run spins up a three-node dynamic cluster — every node joins via
+// gossip seeds rather than a static -peers list — and proves the
+// lease/replication/rebalance machinery end to end:
+//
+//  1. cold leg — node A answers a lifetime sweep cold: every pipeline
+//     stage builds on A, and each sealed artifact is pushed
+//     asynchronously to the other members of its k=2 replica set. The
+//     run then waits until B∪C's inventories cover everything A holds
+//     (replication settle).
+//  2. failover leg — node A is killed without warning (listener torn
+//     down, loops stopped: kill −9 semantics, no graceful leave), and
+//     the same sweep runs against B immediately, while A is still in
+//     B's ring. Gates: zero client-visible errors and ZERO pipeline
+//     stage builds anywhere — every key either sits in a warm replica
+//     or cache-fills from the surviving owner. Afterwards the run
+//     waits for the lease to expire and records how long B took to
+//     declare A dead.
+//  3. joiner leg — a fresh node D joins via B, converges to the
+//     3-member view, and its rebalance sweep streams the artifacts the
+//     new ring assigns it. Gates: D answers the sweep with zero stage
+//     builds and byte-identical bodies — its range is served entirely
+//     from streamed artifacts.
+//
+// All counters are scraped from each node's /metrics, so the run also
+// gates the dynamic obdreld_artifact_replica_* / obdreld_cluster_*
+// exposition itself.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"obdrel/internal/pipeline"
+	"obdrel/internal/server"
+)
+
+// MembershipSchema is the dynamic-cluster report format;
+// MembershipKind separates it from the other loadgen kinds.
+const (
+	MembershipSchema = "obdrel-bench/v9"
+	MembershipKind   = "membership"
+)
+
+// MembershipReport is the top-level BENCH_pr10.json document.
+type MembershipReport struct {
+	Schema      string             `json:"schema"`
+	Kind        string             `json:"kind"`
+	GeneratedAt string             `json:"generated_at"`
+	Quick       bool               `json:"quick"`
+	GoMaxProcs  int                `json:"go_max_procs"`
+	Designs     []string           `json:"designs"`
+	Queries     int                `json:"queries"`
+	LeaseMs     float64            `json:"lease_ms"`
+	Replicas    int                `json:"replicas"`
+	Cold        MembershipLeg      `json:"cold"`
+	Failover    MembershipLeg      `json:"failover"`
+	Joiner      MembershipLeg      `json:"joiner"`
+	Membership  MembershipSection  `json:"membership"`
+	Replication ReplicationSection `json:"replication"`
+}
+
+// MembershipLeg is one node's pass over the query sweep, with the
+// stage counters scraped from /metrics after the pass. StageBuilds on
+// the failover leg sums the delta across every surviving node — "zero
+// rebuilds" must hold fleet-wide, not just on the queried node.
+type MembershipLeg struct {
+	Node        string  `json:"node"`
+	Queries     int     `json:"queries"`
+	Errors      int     `json:"errors"`
+	WallUs      float64 `json:"wall_us"`
+	StageBuilds int64   `json:"stage_builds"`
+	PeerHits    int64   `json:"peer_hits"`
+	Identical   bool    `json:"answers_identical"`
+}
+
+// MembershipSection records the lease/gossip observables: how the
+// fleet's view moved through the kill and the join.
+type MembershipSection struct {
+	MembersAfterKill int     `json:"members_after_kill"`
+	DeadDetectMs     float64 `json:"dead_detect_ms"`
+	MembersAfterJoin int     `json:"members_after_join"`
+	EpochCold        uint64  `json:"epoch_cold"`
+	EpochAfterJoin   uint64  `json:"epoch_after_join"`
+	RebalanceSweeps  int64   `json:"rebalance_sweeps"`
+	RebalanceFetched int64   `json:"rebalance_fetched"`
+}
+
+// ReplicationSection aggregates replication health across the run; any
+// drop, push error, or validation reject fails validation.
+type ReplicationSection struct {
+	Pushes         int64   `json:"pushes"`
+	PushErrors     int64   `json:"push_errors"`
+	Dropped        int64   `json:"dropped"`
+	Receives       int64   `json:"receives"`
+	Rejects        int64   `json:"rejects"`
+	SettleMs       float64 `json:"settle_ms"`
+	FetchHedged    int64   `json:"fetch_hedged"`
+	FetchHedgeWins int64   `json:"fetch_hedge_wins"`
+}
+
+// membershipNode is one in-process dynamic obdreld instance. kill()
+// is kill −9 semantics: the listener and the gossip loops stop at
+// once, with no graceful leave — the fleet must notice via the lease.
+type membershipNode struct {
+	url string
+	hs  *http.Server
+	svc *server.Server
+}
+
+func (n *membershipNode) kill() {
+	n.hs.Close()
+	n.svc.Close()
+}
+
+// startMemberNode binds a loopback listener and joins the cluster
+// through the seed URLs (a first node seeds with itself).
+func startMemberNode(seeds []string, lease time.Duration) (*membershipNode, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	self := "http://" + ln.Addr().String()
+	if len(seeds) == 0 {
+		seeds = []string{self}
+	}
+	svc, err := server.NewE(server.Options{
+		Stages:    pipeline.NewCache(64),
+		Self:      self,
+		JoinPeers: seeds,
+		Lease:     lease,
+		Replicas:  2,
+		// Workers pinned so every node derives bit-identical artifacts
+		// regardless of the host's GOMAXPROCS.
+		Workers:        2,
+		DisableTracing: true,
+	})
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	hs := &http.Server{Handler: svc.Handler()}
+	go hs.Serve(ln)
+	return &membershipNode{url: self, hs: hs, svc: svc}, nil
+}
+
+// inventory is one node's /v1/cluster/keys response.
+type inventory struct {
+	Node  string `json:"node"`
+	Epoch uint64 `json:"epoch"`
+	Keys  []struct {
+		Stage string `json:"stage"`
+		Key   string `json:"key"`
+	} `json:"keys"`
+}
+
+func fetchInventory(client *http.Client, target string) (*inventory, error) {
+	code, body, err := hit(client, target+"/v1/cluster/keys")
+	if err != nil || code != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/cluster/keys: code=%d err=%v", code, err)
+	}
+	var inv inventory
+	if err := json.Unmarshal(body, &inv); err != nil {
+		return nil, err
+	}
+	return &inv, nil
+}
+
+// waitCondition polls cond until it holds or patience runs out.
+func waitCondition(what string, patience time.Duration, cond func() (bool, error)) error {
+	deadline := time.Now().Add(patience)
+	for {
+		ok, err := cond()
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s: not reached after %v (last error: %v)", what, patience, err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// waitMembers waits until the node's /metrics reports the wanted
+// active-member count.
+func waitMembers(client *http.Client, target string, active int, patience time.Duration) error {
+	return waitCondition(fmt.Sprintf("%s sees %d active members", target, active), patience,
+		func() (bool, error) {
+			sc, err := scrapeArtifacts(client, target)
+			if err != nil {
+				return false, err
+			}
+			return sc.membersActive == int64(active), nil
+		})
+}
+
+// waitReplicated waits until the union of the followers' inventories
+// covers every artifact the leader holds — replication settle.
+func waitReplicated(client *http.Client, leader string, followers []string, patience time.Duration) error {
+	return waitCondition("replicas cover the leader's inventory", patience, func() (bool, error) {
+		lead, err := fetchInventory(client, leader)
+		if err != nil {
+			return false, err
+		}
+		if len(lead.Keys) == 0 {
+			return false, fmt.Errorf("leader inventory empty")
+		}
+		covered := map[string]bool{}
+		for _, f := range followers {
+			inv, err := fetchInventory(client, f)
+			if err != nil {
+				return false, err
+			}
+			for _, k := range inv.Keys {
+				covered[k.Stage+"/"+k.Key] = true
+			}
+		}
+		for _, k := range lead.Keys {
+			if !covered[k.Stage+"/"+k.Key] {
+				return false, fmt.Errorf("%s/%s not yet replicated", k.Stage, k.Key)
+			}
+		}
+		return true, nil
+	})
+}
+
+// runMembership drives the three legs and assembles the v9 report.
+// The nodes are always in-process: the run needs a kill −9 and a
+// mid-flight join, which no single -addr target can provide.
+func runMembership(gridN, mcSamples int, quick bool) (*MembershipReport, error) {
+	designs, perDesign := clusterDesigns(quick)
+	const lease = 750 * time.Millisecond
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	nodeA, err := startMemberNode(nil, lease)
+	if err != nil {
+		return nil, fmt.Errorf("node A: %w", err)
+	}
+	defer nodeA.kill()
+	nodeB, err := startMemberNode([]string{nodeA.url}, lease)
+	if err != nil {
+		return nil, fmt.Errorf("node B: %w", err)
+	}
+	defer nodeB.kill()
+	nodeC, err := startMemberNode([]string{nodeA.url}, lease)
+	if err != nil {
+		return nil, fmt.Errorf("node C: %w", err)
+	}
+	defer nodeC.kill()
+	for _, n := range []*membershipNode{nodeA, nodeB, nodeC} {
+		if err := waitHealthy(client, n.url, 15*time.Second); err != nil {
+			return nil, err
+		}
+	}
+	for _, n := range []*membershipNode{nodeA, nodeB, nodeC} {
+		if err := waitMembers(client, n.url, 3, 10*time.Second); err != nil {
+			return nil, err
+		}
+	}
+
+	// Cold leg: A builds everything and the replicator fans the sealed
+	// artifacts out to the other replica-set members.
+	queriesA := clusterQueries(nodeA.url, designs, perDesign, gridN, mcSamples)
+	log.Printf("membership: cold leg — %d queries against node A (3-node fleet, k=2)", len(queriesA))
+	bodiesA, errsA, wallA := sweep(client, queriesA)
+	settleStart := time.Now()
+	if err := waitReplicated(client, nodeA.url, []string{nodeB.url, nodeC.url}, 30*time.Second); err != nil {
+		return nil, err
+	}
+	settle := time.Since(settleStart)
+	scrapeA, err := scrapeArtifacts(client, nodeA.url)
+	if err != nil {
+		return nil, fmt.Errorf("scrape A: %w", err)
+	}
+	scrapeB1, err := scrapeArtifacts(client, nodeB.url)
+	if err != nil {
+		return nil, fmt.Errorf("scrape B: %w", err)
+	}
+	scrapeC1, err := scrapeArtifacts(client, nodeC.url)
+	if err != nil {
+		return nil, fmt.Errorf("scrape C: %w", err)
+	}
+
+	// Failover leg: kill A and query B immediately — A is still in
+	// B's ring, so this exercises warm replicas plus the hedged owner
+	// walk past a dead candidate, not a conveniently shrunken fleet.
+	log.Printf("membership: failover leg — kill −9 node A, same queries against node B")
+	killAt := time.Now()
+	nodeA.kill()
+	queriesB := clusterQueries(nodeB.url, designs, perDesign, gridN, mcSamples)
+	bodiesB, errsB, wallB := sweep(client, queriesB)
+	if err := waitCondition("node B declares A dead", 15*time.Second, func() (bool, error) {
+		sc, err := scrapeArtifacts(client, nodeB.url)
+		if err != nil {
+			return false, err
+		}
+		return sc.membersActive == 2 && sc.membersDead >= 1, nil
+	}); err != nil {
+		return nil, err
+	}
+	deadDetect := time.Since(killAt)
+	scrapeB2, err := scrapeArtifacts(client, nodeB.url)
+	if err != nil {
+		return nil, fmt.Errorf("re-scrape B: %w", err)
+	}
+	scrapeC2, err := scrapeArtifacts(client, nodeC.url)
+	if err != nil {
+		return nil, fmt.Errorf("re-scrape C: %w", err)
+	}
+
+	// Joiner leg: D joins through B, learns the 3-member view, and its
+	// rebalance sweep streams in the artifacts the new ring assigns it.
+	log.Printf("membership: joiner leg — node D joins via B, rebalance streams its range")
+	nodeD, err := startMemberNode([]string{nodeB.url}, lease)
+	if err != nil {
+		return nil, fmt.Errorf("node D: %w", err)
+	}
+	defer nodeD.kill()
+	if err := waitReady(client, nodeD.url, 15*time.Second); err != nil {
+		return nil, err
+	}
+	if err := waitMembers(client, nodeD.url, 3, 10*time.Second); err != nil {
+		return nil, err
+	}
+	if err := waitCondition("node D rebalance settles", 30*time.Second, func() (bool, error) {
+		sc, err := scrapeArtifacts(client, nodeD.url)
+		if err != nil {
+			return false, err
+		}
+		return sc.rebalSweeps >= 1 && sc.rebalancing == 0 && sc.rebalFetched > 0, nil
+	}); err != nil {
+		return nil, err
+	}
+	queriesD := clusterQueries(nodeD.url, designs, perDesign, gridN, mcSamples)
+	bodiesD, errsD, wallD := sweep(client, queriesD)
+	scrapeD, err := scrapeArtifacts(client, nodeD.url)
+	if err != nil {
+		return nil, fmt.Errorf("scrape D: %w", err)
+	}
+	scrapeB3, err := scrapeArtifacts(client, nodeB.url)
+	if err != nil {
+		return nil, fmt.Errorf("final scrape B: %w", err)
+	}
+	scrapeC3, err := scrapeArtifacts(client, nodeC.url)
+	if err != nil {
+		return nil, fmt.Errorf("final scrape C: %w", err)
+	}
+
+	rep := &MembershipReport{
+		Schema:      MembershipSchema,
+		Kind:        MembershipKind,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Quick:       quick,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Designs:     designs,
+		Queries:     len(queriesA),
+		LeaseMs:     float64(lease.Nanoseconds()) / 1e6,
+		Replicas:    2,
+		Cold: MembershipLeg{
+			Node: "A", Queries: len(queriesA), Errors: errsA,
+			WallUs:      float64(wallA.Nanoseconds()) / 1e3,
+			StageBuilds: scrapeA.buildsTotal(),
+			PeerHits:    scrapeA.peerHits,
+			Identical:   true,
+		},
+		Failover: MembershipLeg{
+			Node: "B", Queries: len(queriesB), Errors: errsB,
+			WallUs: float64(wallB.Nanoseconds()) / 1e3,
+			StageBuilds: (scrapeB2.buildsTotal() - scrapeB1.buildsTotal()) +
+				(scrapeC2.buildsTotal() - scrapeC1.buildsTotal()),
+			PeerHits:  scrapeB2.peerHits - scrapeB1.peerHits,
+			Identical: identicalBodies(bodiesA, bodiesB),
+		},
+		Joiner: MembershipLeg{
+			Node: "D", Queries: len(queriesD), Errors: errsD,
+			WallUs:      float64(wallD.Nanoseconds()) / 1e3,
+			StageBuilds: scrapeD.buildsTotal(),
+			PeerHits:    scrapeD.peerHits,
+			Identical:   identicalBodies(bodiesA, bodiesD),
+		},
+		Membership: MembershipSection{
+			MembersAfterKill: int(scrapeB2.membersActive),
+			DeadDetectMs:     float64(deadDetect.Nanoseconds()) / 1e6,
+			MembersAfterJoin: int(scrapeD.membersActive),
+			EpochCold:        scrapeB1.epoch,
+			EpochAfterJoin:   scrapeB3.epoch,
+			RebalanceSweeps:  scrapeD.rebalSweeps + scrapeB3.rebalSweeps + scrapeC3.rebalSweeps,
+			RebalanceFetched: scrapeD.rebalFetched,
+		},
+		Replication: ReplicationSection{
+			Pushes:         scrapeA.replicaPushes + scrapeB3.replicaPushes + scrapeC3.replicaPushes,
+			PushErrors:     scrapeA.replicaPushErrs,
+			Dropped:        scrapeA.replicaDropped + scrapeB3.replicaDropped + scrapeC3.replicaDropped,
+			Receives:       scrapeB3.replicaReceives + scrapeC3.replicaReceives,
+			Rejects:        scrapeB3.replicaRejects + scrapeC3.replicaRejects,
+			SettleMs:       float64(settle.Nanoseconds()) / 1e6,
+			FetchHedged:    scrapeB3.fetchHedged + scrapeC3.fetchHedged + scrapeD.fetchHedged,
+			FetchHedgeWins: scrapeB3.fetchHedgeWins + scrapeC3.fetchHedgeWins + scrapeD.fetchHedgeWins,
+		},
+	}
+	return rep, nil
+}
+
+// membershipGates are the pass/fail checks enforced after a run.
+func membershipGates(rep *MembershipReport) []string {
+	var fails []string
+	gate := func(ok bool, format string, a ...any) {
+		if !ok {
+			fails = append(fails, fmt.Sprintf(format, a...))
+		}
+	}
+	gate(rep.Replicas >= 2, "replica factor %d, want >= 2", rep.Replicas)
+	gate(rep.Cold.Errors == 0, "cold leg errors = %d, want 0", rep.Cold.Errors)
+	gate(rep.Cold.StageBuilds > 0, "cold node built %d stages, want > 0", rep.Cold.StageBuilds)
+	gate(rep.Failover.Errors == 0, "failover leg errors = %d, want 0 (kill must be client-invisible)", rep.Failover.Errors)
+	gate(rep.Failover.StageBuilds == 0, "failover rebuilt %d stages, want 0 (replicas must be warm)", rep.Failover.StageBuilds)
+	gate(rep.Failover.Identical, "failover answers differ from the cold leg")
+	gate(rep.Joiner.Errors == 0, "joiner leg errors = %d, want 0", rep.Joiner.Errors)
+	gate(rep.Joiner.StageBuilds == 0, "joiner built %d stages, want 0 (range must be streamed)", rep.Joiner.StageBuilds)
+	gate(rep.Joiner.Identical, "joiner answers differ from the cold leg")
+	gate(rep.Membership.MembersAfterKill == 2, "members after kill = %d, want 2", rep.Membership.MembersAfterKill)
+	gate(rep.Membership.MembersAfterJoin == 3, "members after join = %d, want 3", rep.Membership.MembersAfterJoin)
+	gate(rep.Membership.DeadDetectMs > 0, "dead-detect time missing")
+	gate(rep.Membership.EpochAfterJoin > rep.Membership.EpochCold,
+		"epoch did not advance across kill+join (%d -> %d)", rep.Membership.EpochCold, rep.Membership.EpochAfterJoin)
+	gate(rep.Membership.RebalanceFetched > 0, "joiner streamed %d artifacts, want > 0", rep.Membership.RebalanceFetched)
+	gate(rep.Replication.Pushes > 0, "replica pushes = %d, want > 0", rep.Replication.Pushes)
+	gate(rep.Replication.PushErrors == 0, "replica push errors = %d, want 0", rep.Replication.PushErrors)
+	gate(rep.Replication.Dropped == 0, "replica queue drops = %d, want 0", rep.Replication.Dropped)
+	gate(rep.Replication.Receives > 0, "replica receives = %d, want > 0", rep.Replication.Receives)
+	gate(rep.Replication.Rejects == 0, "replica rejects = %d, want 0", rep.Replication.Rejects)
+	return fails
+}
+
+// validateMembershipReport checks an existing v9 report — the CI
+// schema gate for the committed BENCH_pr10.json.
+func validateMembershipReport(data []byte) error {
+	var rep MembershipReport
+	if err := strictDecode(data, &rep); err != nil {
+		return err
+	}
+	switch {
+	case rep.Schema != MembershipSchema:
+		return fmt.Errorf("schema %q, want %q", rep.Schema, MembershipSchema)
+	case rep.Kind != MembershipKind:
+		return fmt.Errorf("kind %q, want %q", rep.Kind, MembershipKind)
+	case rep.Queries <= 0 || len(rep.Designs) == 0:
+		return fmt.Errorf("no queries recorded")
+	case rep.LeaseMs <= 0:
+		return fmt.Errorf("lease missing")
+	}
+	if fails := membershipGates(&rep); len(fails) > 0 {
+		return fmt.Errorf("%s", strings.Join(fails, "; "))
+	}
+	return nil
+}

@@ -112,10 +112,14 @@ func main() {
 		wideSample = flag.Int("wide-sample", 1, "head-sample 1-in-N requests for -wide-events (5xx are always emitted)")
 
 		artifactDir = flag.String("artifact-dir", "", "spill serializable stage artifacts to this directory and serve them back across restarts (empty disables the disk tier)")
-		peers       = flag.String("peers", "", "comma-separated base URLs of every cluster node, this one included; enables peer cache-fill (requires -self)")
-		self        = flag.String("self", "", "this node's base URL as it appears in -peers")
+		peers       = flag.String("peers", "", "comma-separated base URLs of every cluster node, this one included; enables static-ring peer cache-fill (requires -self; mutually exclusive with -join)")
+		self        = flag.String("self", "", "this node's base URL as seen by peers")
 		peerTimeout = flag.Duration("peer-timeout", 2*time.Second, "deadline for one peer artifact fetch")
 		warmLimit   = flag.Int("warm-limit", 1024, "max artifacts the startup anti-entropy sweep loads from -artifact-dir (negative disables; /readyz reports progress)")
+
+		join     = flag.String("join", "", "comma-separated seed URLs of an existing cluster; enables dynamic lease-based membership (requires -self; a first node seeds with its own -self URL)")
+		lease    = flag.Duration("lease", 10*time.Second, "membership lease: a node silent for lease/2 is suspect, for the full lease dead")
+		replicas = flag.Int("replicas", 2, "artifact replica factor in dynamic cluster mode (k distinct ring owners per key)")
 	)
 	flag.Parse()
 
@@ -187,7 +191,13 @@ func main() {
 	var peerList []string
 	if *peers != "" {
 		peerList = strings.Split(*peers, ",")
-		log.Printf("cluster mode: self=%s peers=%s", *self, *peers)
+		log.Printf("cluster mode (static): self=%s peers=%s", *self, *peers)
+	}
+	var joinList []string
+	if *join != "" {
+		joinList = strings.Split(*join, ",")
+		log.Printf("cluster mode (dynamic): self=%s join=%s lease=%v replicas=%d",
+			*self, *join, *lease, *replicas)
 	}
 	if *artifactDir != "" {
 		if err := os.MkdirAll(*artifactDir, 0o755); err != nil {
@@ -224,6 +234,9 @@ func main() {
 		Self:        *self,
 		PeerTimeout: *peerTimeout,
 		WarmLimit:   *warmLimit,
+		JoinPeers:   joinList,
+		Lease:       *lease,
+		Replicas:    *replicas,
 
 		SLOs:            sloObjs,
 		WideEvents:      wideSink,
@@ -288,6 +301,7 @@ func main() {
 	if debugSrv != nil {
 		debugSrv.Shutdown(shutdownCtx)
 	}
+	svc.Close() // stop membership/replication loops (no-op outside dynamic mode)
 	m := svc.Metrics()
 	fmt.Fprintf(os.Stderr,
 		"obdreld: served %v; cache hits=%d misses=%d coalesced=%d; builds=%d (%.2fs); throttled=%d timed_out=%d; traces=%d\n",
@@ -315,11 +329,18 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, line)
 	}
-	if *artifactDir != "" || len(peerList) > 0 {
+	if *artifactDir != "" || len(peerList) > 0 || len(joinList) > 0 {
 		as := svc.ArtifactStats()
 		fmt.Fprintf(os.Stderr,
-			"obdreld: artifacts fetch_attempts=%d fetch_fills=%d fetch_errors=%d peer_serves=%d warm_loaded=%d\n",
-			as.FetchAttempts, as.FetchFills, as.FetchErrors, as.PeerServes, as.WarmLoaded)
+			"obdreld: artifacts fetch_attempts=%d fetch_fills=%d fetch_errors=%d hedged=%d hedge_wins=%d peer_serves=%d warm_loaded=%d\n",
+			as.FetchAttempts, as.FetchFills, as.FetchErrors, as.FetchHedged, as.FetchHedgeWins, as.PeerServes, as.WarmLoaded)
+		if as.Dynamic {
+			fmt.Fprintf(os.Stderr,
+				"obdreld: membership epoch=%d members active=%d suspect=%d dead=%d replica_pushes=%d push_errors=%d dropped=%d receives=%d rebalance_sweeps=%d rebalance_fetched=%d heartbeat_errors=%d\n",
+				as.Epoch, as.MembersActive, as.MembersSuspect, as.MembersDead,
+				as.ReplicaPushes, as.ReplicaPushErrors, as.ReplicaDropped, as.ReplicaReceives,
+				as.RebalanceSweeps, as.RebalanceFetched, as.HeartbeatErrors)
+		}
 	}
 	for _, st := range obdrel.Stages().Snapshot() {
 		fmt.Fprintf(os.Stderr,

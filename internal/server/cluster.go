@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -10,17 +11,20 @@ import (
 	"net/url"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"obdrel/internal/obs"
 )
 
-// cluster is obdreld's static-membership sharding layer. Every node
-// knows the full peer list (-peers) and its own identity (-self);
-// stage fingerprints map onto peers with a consistent-hash ring, and
-// a node that misses an artifact cache-fills it from the cluster via
-// GET /v1/artifact/{stage}/{key} instead of recomputing physics.
+// cluster is obdreld's sharding layer. In static mode (-peers) every
+// node knows the full peer list and the ring never changes; in
+// dynamic mode (-join) the member directory swaps a new ring in on
+// every membership epoch. Stage fingerprints map onto peers with a
+// consistent-hash ring, and a node that misses an artifact
+// cache-fills it from the cluster via GET /v1/artifact/{stage}/{key}
+// instead of recomputing physics.
 //
 // Ownership orders preference, it does not gate serving: the owner of
 // a key is the node the ring designates as its canonical holder, so a
@@ -29,12 +33,24 @@ import (
 // and a non-owner that built a key serves it happily. Every failure
 // mode short of "nobody has it and the local build fails" degrades to
 // a local build, never to a client-visible error.
+//
+// In dynamic mode ownership is k-way: the first `replicas` distinct
+// nodes clockwise from a key's point form its replica set, every
+// build pushes the sealed artifact to the other members of that set,
+// and owns() (which filters the warm sweep and the rebalance stream)
+// means "self is in the replica set", so a kill −9 of the primary
+// leaves warm replicas and zero cold rebuilds.
 type cluster struct {
 	self    string
-	peers   []string // normalized, self included
-	ring    *hashRing
 	client  *http.Client
 	timeout time.Duration
+	dynamic bool
+
+	mu       sync.RWMutex
+	peers    []string // normalized, sorted, self included (current alive set)
+	ring     *hashRing
+	epoch    uint64
+	replicas int // k-way placement factor; 1 = owner-only (static mode)
 
 	// fetchAttempts counts cluster fetches started; fetchFills those
 	// satisfied by some peer; fetchErrors per-peer request failures
@@ -42,6 +58,17 @@ type cluster struct {
 	fetchAttempts atomic.Int64
 	fetchFills    atomic.Int64
 	fetchErrors   atomic.Int64
+	// fetchHedged counts fetches that launched a second candidate
+	// because the first was slow (a fraction of -peer-timeout);
+	// fetchHedgeWins those where a hedge-launched request delivered
+	// the winning fill.
+	fetchHedged    atomic.Int64
+	fetchHedgeWins atomic.Int64
+	// Replication counters: pushes attempted, push failures (transport
+	// or rejection), pushes dropped on a full queue.
+	replicaPushes   atomic.Int64
+	replicaPushErrs atomic.Int64
+	replicaDropped  atomic.Int64
 }
 
 // maxFetchCandidates bounds how many peers one fetch consults (owner
@@ -87,12 +114,111 @@ func newCluster(self string, peers []string, timeout time.Duration) (*cluster, e
 		timeout = 2 * time.Second
 	}
 	return &cluster{
-		self:    normalizePeer(self),
-		peers:   norm,
-		ring:    newHashRing(norm, 64),
-		client:  &http.Client{Timeout: timeout},
-		timeout: timeout,
+		self:     normalizePeer(self),
+		peers:    norm,
+		ring:     newHashRing(norm, 64),
+		client:   &http.Client{Timeout: timeout},
+		timeout:  timeout,
+		replicas: 1,
 	}, nil
+}
+
+// newDynamicCluster builds a cluster whose membership starts as just
+// self; the member directory grows it via setMembers as gossip
+// converges. replicas is clamped to ≥1.
+func newDynamicCluster(self string, replicas int, timeout time.Duration) (*cluster, error) {
+	self = normalizePeer(self)
+	if self == "" {
+		return nil, fmt.Errorf("cluster: -join requires -self")
+	}
+	if u, err := url.Parse(self); err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("cluster: self %q is not a base URL", self)
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	return &cluster{
+		self:     self,
+		dynamic:  true,
+		peers:    []string{self},
+		ring:     newHashRing([]string{self}, 64),
+		epoch:    1,
+		client:   &http.Client{Timeout: timeout},
+		timeout:  timeout,
+		replicas: replicas,
+	}, nil
+}
+
+// setMembers installs a new alive set at the given epoch and returns
+// the previous ring (for the rebalance diff) plus whether the ring
+// actually changed. The alive list must already contain self.
+func (cl *cluster) setMembers(alive []string, epoch uint64) (prev *hashRing, changed bool) {
+	norm := make([]string, 0, len(alive))
+	seen := map[string]bool{}
+	for _, p := range alive {
+		p = normalizePeer(p)
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		norm = append(norm, p)
+	}
+	if !seen[cl.self] {
+		norm = append(norm, cl.self)
+	}
+	sort.Strings(norm)
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	prev = cl.ring
+	cl.epoch = epoch
+	if slicesEqual(norm, cl.peers) {
+		return prev, false
+	}
+	cl.peers = norm
+	cl.ring = newHashRing(norm, 64)
+	return prev, true
+}
+
+func slicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ringView returns the current ring; peersView the current alive set.
+func (cl *cluster) ringView() *hashRing {
+	cl.mu.RLock()
+	defer cl.mu.RUnlock()
+	return cl.ring
+}
+
+func (cl *cluster) peersView() []string {
+	cl.mu.RLock()
+	defer cl.mu.RUnlock()
+	out := make([]string, len(cl.peers))
+	copy(out, cl.peers)
+	return out
+}
+
+func (cl *cluster) epochView() uint64 {
+	cl.mu.RLock()
+	defer cl.mu.RUnlock()
+	return cl.epoch
+}
+
+func (cl *cluster) replicaFactor() int {
+	cl.mu.RLock()
+	defer cl.mu.RUnlock()
+	return cl.replicas
 }
 
 func normalizePeer(p string) string {
@@ -101,27 +227,63 @@ func normalizePeer(p string) string {
 
 // owner returns the node the ring designates for an artifact key.
 func (cl *cluster) owner(stage, key string) string {
-	return cl.ring.owner(stage + "/" + key)
+	return cl.ringView().owner(stage + "/" + key)
 }
 
-// owns reports whether this node is the canonical holder of a key —
-// the anti-entropy sweep warms exactly these from disk at startup.
+// owns reports whether this node is a canonical holder of a key — the
+// anti-entropy sweep and the rebalance stream warm exactly these. In
+// static mode that means sole ownership; with k-way replication it
+// means membership in the key's replica set.
 func (cl *cluster) owns(stage, key string) bool {
-	return cl.owner(stage, key) == cl.self
+	return cl.ownsOn(cl.ringView(), stage, key)
+}
+
+// ownsOn evaluates owns against an explicit ring (the rebalance diff
+// compares the previous and current rings for the same key).
+func (cl *cluster) ownsOn(r *hashRing, stage, key string) bool {
+	k := cl.replicaFactor()
+	if k <= 1 {
+		return r.owner(stage+"/"+key) == cl.self
+	}
+	for _, n := range r.replicaSet(stage+"/"+key, k) {
+		if n == cl.self {
+			return true
+		}
+	}
+	return false
+}
+
+// replicaSet lists the key's canonical holders on the current ring:
+// the first k distinct nodes clockwise, owner first. With fewer than
+// k members the whole membership is the set.
+func (cl *cluster) replicaSet(stage, key string) []string {
+	cl.mu.RLock()
+	r, k := cl.ring, cl.replicas
+	cl.mu.RUnlock()
+	return r.replicaSet(stage+"/"+key, k)
 }
 
 // candidates lists the peers a fetch should try, in preference order:
 // the key's owner first, then its ring successors, self excluded,
-// capped at maxFetchCandidates.
+// capped at maxFetchCandidates (or the replica factor plus one slack
+// candidate, whichever is larger — a fetch must be able to walk past
+// one dead replica holder).
 func (cl *cluster) candidates(stage, key string) []string {
-	seq := cl.ring.successors(stage + "/" + key)
-	out := make([]string, 0, maxFetchCandidates)
+	cl.mu.RLock()
+	r, k := cl.ring, cl.replicas
+	cl.mu.RUnlock()
+	limit := maxFetchCandidates
+	if k+1 > limit {
+		limit = k + 1
+	}
+	seq := r.successors(stage + "/" + key)
+	out := make([]string, 0, limit)
 	for _, p := range seq {
 		if p == cl.self {
 			continue
 		}
 		out = append(out, p)
-		if len(out) == maxFetchCandidates {
+		if len(out) == limit {
 			break
 		}
 	}
@@ -129,34 +291,118 @@ func (cl *cluster) candidates(stage, key string) []string {
 }
 
 // fetch is the pipeline's peer tier (pipeline.Tiers.Fetch): it asks
-// each candidate for the sealed artifact. 200 fills; 404 means that
-// peer does not have it; transport errors and non-200s are counted
-// and skipped. Exhausting the candidates returns (nil, false, err)
-// with the last transport error, or a clean miss when every peer
+// the candidates for the sealed artifact, owner first. 200 fills; 404
+// means that peer does not have it; transport errors and non-200s are
+// counted and skipped. Exhausting the candidates returns (nil, false,
+// err) with the last transport error, or a clean miss when every peer
 // simply answered 404 — either way the pipeline builds locally.
+//
+// The walk is hedged: if the first candidate has not answered within
+// a fraction of -peer-timeout, the next candidate is raced against it
+// and the first success wins. A candidate that fails outright (or
+// answers 404) advances the walk immediately, so a dead primary costs
+// the hedge delay at most once, not a full timeout.
 func (cl *cluster) fetch(ctx context.Context, stage, key string) ([]byte, bool, error) {
 	cands := cl.candidates(stage, key)
 	if len(cands) == 0 {
 		return nil, false, nil
 	}
 	cl.fetchAttempts.Add(1)
+
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		sealed []byte
+		err    error
+		hedged bool // launched by the hedge timer, not the ordered walk
+	}
+	ch := make(chan result, len(cands))
+	launched := 0
+	launch := func(hedged bool) {
+		peer := cands[launched]
+		launched++
+		go func() {
+			sealed, err := cl.fetchFrom(fctx, peer, stage, key)
+			ch <- result{sealed, err, hedged}
+		}()
+	}
+	launch(false)
+
+	hedge := time.NewTimer(cl.hedgeDelay())
+	defer hedge.Stop()
 	var lastErr error
-	for _, peer := range cands {
-		sealed, err := cl.fetchFrom(ctx, peer, stage, key)
-		if err != nil {
-			cl.fetchErrors.Add(1)
-			lastErr = err
-			if ctx.Err() != nil {
-				break
+	for pending := 1; pending > 0; {
+		select {
+		case r := <-ch:
+			pending--
+			if r.err != nil {
+				if fctx.Err() == nil { // cancelled losers are not peer failures
+					cl.fetchErrors.Add(1)
+					lastErr = r.err
+				}
+				if ctx.Err() != nil {
+					return nil, false, lastErr
+				}
+			} else if r.sealed != nil {
+				cl.fetchFills.Add(1)
+				if r.hedged {
+					cl.fetchHedgeWins.Add(1)
+				}
+				return r.sealed, true, nil
 			}
-			continue
-		}
-		if sealed != nil {
-			cl.fetchFills.Add(1)
-			return sealed, true, nil
+			// Error or clean 404: advance the walk.
+			if launched < len(cands) && ctx.Err() == nil {
+				launch(false)
+				pending++
+			}
+		case <-hedge.C:
+			if launched < len(cands) && ctx.Err() == nil {
+				cl.fetchHedged.Add(1)
+				launch(true)
+				pending++
+			}
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
 		}
 	}
 	return nil, false, lastErr
+}
+
+// hedgeDelay is the slow-candidate threshold: a quarter of the peer
+// timeout, floored so sub-millisecond test timeouts don't hedge on
+// scheduler noise.
+func (cl *cluster) hedgeDelay() time.Duration {
+	d := cl.timeout / 4
+	if d < 5*time.Millisecond {
+		d = 5 * time.Millisecond
+	}
+	return d
+}
+
+// pushReplica writes one sealed artifact to a peer's replica-receive
+// surface (PUT /v1/artifact/{stage}/{key}). The receiver re-verifies
+// the container checksum before installing, so a garbled push can
+// reject but never corrupt.
+func (cl *cluster) pushReplica(ctx context.Context, peer, stage, key string, sealed []byte) error {
+	rctx, cancel := context.WithTimeout(ctx, cl.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPut,
+		peer+"/v1/artifact/"+url.PathEscape(stage)+"/"+url.PathEscape(key),
+		bytes.NewReader(sealed))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := cl.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("peer %s: replica %s/%s: status %d", peer, stage, key, resp.StatusCode)
+	}
+	return nil
 }
 
 // spanSubtreeHeader carries the owner's finished `peer.serve` span
@@ -267,6 +513,21 @@ func (r *hashRing) successors(key string) []string {
 		}
 	}
 	return out
+}
+
+// replicaSet returns the first k distinct nodes clockwise from the
+// key's point — the key's canonical holders under k-way placement.
+// With fewer than k distinct nodes the whole membership is returned,
+// so the set always contains min(k, n) distinct nodes.
+func (r *hashRing) replicaSet(key string, k int) []string {
+	if k < 1 {
+		k = 1
+	}
+	seq := r.successors(key)
+	if len(seq) > k {
+		seq = seq[:k]
+	}
+	return seq
 }
 
 // shares reports each node's exact share of the key space: the total

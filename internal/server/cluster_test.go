@@ -291,3 +291,100 @@ func TestWarmSweepReadyz(t *testing.T) {
 		t.Fatalf("diskHits=%d builds=%d, want 1/0", st.DiskHits, st.Builds)
 	}
 }
+
+// TestRingRebalanceMinimalChurn is the consistent-hashing property
+// gate: adding or removing one of n nodes moves only the keys the
+// ring must move. Exactness first — on a removal, only keys owned by
+// the removed node change owner; on an addition, a key either keeps
+// its owner or moves to the new node — then the churn bound: the
+// moved fraction stays within vnode variance of the ideal K/n.
+func TestRingRebalanceMinimalChurn(t *testing.T) {
+	const K = 1000
+	keys := make([]string, K)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("stage/%032x", i)
+	}
+	for n := 2; n <= 6; n++ {
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("http://node-%c", 'a'+i)
+		}
+		full := newHashRing(nodes, 64)
+
+		// Removal: drop each node in turn.
+		for drop := 0; drop < n; drop++ {
+			rest := append(append([]string{}, nodes[:drop]...), nodes[drop+1:]...)
+			smaller := newHashRing(rest, 64)
+			moved := 0
+			for _, k := range keys {
+				before, after := full.owner(k), smaller.owner(k)
+				if before == nodes[drop] {
+					moved++
+					if after == nodes[drop] {
+						t.Fatalf("n=%d: removed node still owns %s", n, k)
+					}
+				} else if after != before {
+					t.Fatalf("n=%d: key %s moved %s->%s though %s stayed in the ring",
+						n, k, before, after, before)
+				}
+			}
+			// moved == keys the dropped node owned ≈ K/n; 64 vnodes keep
+			// the share within ~2× of ideal.
+			if bound := 2 * K / n; moved > bound {
+				t.Errorf("n=%d drop=%d: removal moved %d keys, bound %d", n, drop, moved, bound)
+			}
+		}
+
+		// Addition: grow to n+1.
+		grown := newHashRing(append(append([]string{}, nodes...), "http://node-new"), 64)
+		moved := 0
+		for _, k := range keys {
+			before, after := full.owner(k), grown.owner(k)
+			if after != before {
+				if after != "http://node-new" {
+					t.Fatalf("n=%d: key %s moved %s->%s instead of to the new node",
+						n, k, before, after)
+				}
+				moved++
+			}
+		}
+		if bound := 2 * K / (n + 1); moved > bound {
+			t.Errorf("n=%d: addition moved %d keys, bound %d", n, moved, bound)
+		}
+	}
+}
+
+// TestReplicaSetDistinct: replica sets always contain min(k, n)
+// distinct nodes, owner first, for every k including k > n.
+func TestReplicaSetDistinct(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("http://node-%c", 'a'+i)
+		}
+		r := newHashRing(nodes, 64)
+		for k := 1; k <= 5; k++ {
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("stage/%032x", i)
+				set := r.replicaSet(key, k)
+				want := k
+				if n < k {
+					want = n
+				}
+				if len(set) != want {
+					t.Fatalf("n=%d k=%d: replicaSet has %d nodes, want %d", n, k, len(set), want)
+				}
+				if set[0] != r.owner(key) {
+					t.Fatalf("n=%d k=%d: replicaSet[0] = %s, owner = %s", n, k, set[0], r.owner(key))
+				}
+				seen := map[string]bool{}
+				for _, node := range set {
+					if seen[node] {
+						t.Fatalf("n=%d k=%d: duplicate node %s in replica set", n, k, node)
+					}
+					seen[node] = true
+				}
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"obdrel/internal/member"
 	"obdrel/internal/obs"
 )
 
@@ -38,7 +39,9 @@ type routeStats struct {
 }
 
 // nodeStats is the compact per-node document served on
-// GET /v1/cluster/stats.
+// GET /v1/cluster/stats. The membership fields are zero outside
+// dynamic mode, and a mixed-version or mixed-epoch fleet decodes
+// whatever subset each node reports — per-node data always survives.
 type nodeStats struct {
 	Node            string                `json:"node"`
 	Healthy         bool                  `json:"healthy"`
@@ -49,6 +52,14 @@ type nodeStats struct {
 	InFlight        int64                 `json:"in_flight"`
 	Tiers           tierCounters          `json:"tiers"`
 	Routes          map[string]routeStats `json:"routes"`
+
+	// Dynamic-membership view (omitted in static/solo mode): this
+	// node's epoch, replica factor, rebalance state, and its own
+	// member directory with per-member states.
+	Epoch       uint64        `json:"epoch,omitempty"`
+	Replicas    int           `json:"replicas,omitempty"`
+	Rebalancing bool          `json:"rebalancing,omitempty"`
+	Members     []member.Info `json:"members,omitempty"`
 }
 
 // localNodeStats snapshots this node.
@@ -63,7 +74,7 @@ func (s *Server) localNodeStats() nodeStats {
 		node = s.cluster.self
 	}
 	a := s.artifactStats()
-	return nodeStats{
+	ns := nodeStats{
 		Node:            node,
 		Healthy:         true,
 		Draining:        s.draining.Load(),
@@ -80,6 +91,13 @@ func (s *Server) localNodeStats() nodeStats {
 		},
 		Routes: routes,
 	}
+	if m := s.member; m != nil {
+		ns.Epoch = s.cluster.epochView()
+		ns.Replicas = s.cluster.replicaFactor()
+		ns.Rebalancing = m.rebalancing.Load()
+		ns.Members = m.dir.Members()
+	}
+	return ns
 }
 
 // handleClusterStats serves this node's stats document to peers.
@@ -163,8 +181,19 @@ type clusterStatusOut struct {
 		Routes  map[string]fleetQuantiles `json:"routes"`
 	} `json:"fleet"`
 	// Ring is each node's exact share of the key space (empty outside
-	// cluster mode).
+	// cluster mode), evaluated on THIS node's current ring — in
+	// dynamic mode the shares are per-epoch, stamped with RingEpoch.
 	Ring map[string]float64 `json:"ring,omitempty"`
+	// Dynamic-membership fleet view: RingEpoch/Replicas are this
+	// node's; Membership its directory with per-member states;
+	// MixedEpochs is true when healthy nodes report different epochs —
+	// the fleet is mid-convergence, so cross-node aggregates should be
+	// read per-node rather than as one consistent ring. Mixed epochs
+	// degrade reporting, never error.
+	RingEpoch   uint64        `json:"ring_epoch,omitempty"`
+	Replicas    int           `json:"replicas,omitempty"`
+	Membership  []member.Info `json:"membership,omitempty"`
+	MixedEpochs bool          `json:"mixed_epochs,omitempty"`
 }
 
 // clusterStatus assembles the fleet view: local stats directly, every
@@ -178,10 +207,20 @@ func (s *Server) clusterStatus(ctx context.Context) clusterStatusOut {
 		out.Nodes = []nodeEntry{{nodeStats: s.localNodeStats()}}
 	} else {
 		out.Self = cl.self
-		out.Ring = cl.ring.shares()
-		entries := make([]nodeEntry, len(cl.peers))
+		out.Ring = cl.ringView().shares()
+		if s.member != nil {
+			out.RingEpoch = cl.epochView()
+			out.Replicas = cl.replicaFactor()
+			out.Membership = s.member.dir.Members()
+		}
+		// The fan-out targets the CURRENT alive set: in dynamic mode
+		// dead members are reported in Membership (with state "dead")
+		// rather than probed, so a shrunken fleet does not pay a
+		// timeout per tombstone on every status call.
+		peers := cl.peersView()
+		entries := make([]nodeEntry, len(peers))
 		var wg sync.WaitGroup
-		for i, peer := range cl.peers {
+		for i, peer := range peers {
 			if peer == cl.self {
 				entries[i] = nodeEntry{nodeStats: s.localNodeStats()}
 				continue
@@ -230,6 +269,19 @@ func (s *Server) clusterStatus(ctx context.Context) clusterStatusOut {
 		}
 	}
 	out.Degraded = out.NodesDead > 0
+	// Mixed-epoch detection: healthy dynamic nodes disagreeing on the
+	// view epoch. Static nodes (epoch 0) never trip it.
+	var seenEpoch uint64
+	for _, n := range out.Nodes {
+		if n.Err != "" || n.Epoch == 0 {
+			continue
+		}
+		if seenEpoch == 0 {
+			seenEpoch = n.Epoch
+		} else if n.Epoch != seenEpoch {
+			out.MixedEpochs = true
+		}
+	}
 	out.Fleet.Overall = quantilesOf(overall, overallReqs)
 	out.Fleet.Routes = make(map[string]fleetQuantiles, len(merged))
 	for route, h := range merged {

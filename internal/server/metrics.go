@@ -141,6 +141,31 @@ type ArtifactStats struct {
 	// memory; Warming is true while the sweep is still running.
 	WarmLoaded int64
 	Warming    bool
+
+	// FetchHedged counts fetches that raced a second candidate after
+	// the hedge delay; FetchHedgeWins those where the hedge-launched
+	// request delivered the winning fill.
+	FetchHedged, FetchHedgeWins int64
+
+	// Replication counters (dynamic mode): pushes attempted to replica
+	// peers, push failures, enqueue drops under pressure, containers
+	// received (installed) from peer pushes, receives rejected by
+	// checksum/schema validation.
+	ReplicaPushes, ReplicaPushErrors, ReplicaDropped int64
+	ReplicaReceives, ReplicaRejects                  int64
+
+	// Membership and rebalance state (dynamic mode). Epoch is this
+	// node's membership view version; Replicas the k-way placement
+	// factor; Members* the directory's per-state counts including
+	// self. RebalanceFetched counts artifacts streamed in by sweeps;
+	// KeysLost artifacts held but no longer owned on the current ring.
+	Dynamic                                     bool
+	Epoch                                       uint64
+	Replicas                                    int
+	MembersActive, MembersSuspect, MembersDead  int
+	Rebalancing                                 bool
+	RebalanceSweeps, RebalanceFetched, KeysLost int64
+	HeartbeatErrors                             int64
 }
 
 // RegisterRoute admits a route as a metrics label value. Call once per
@@ -367,11 +392,39 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	counter("obdreld_artifact_fetch_errors_total", "Per-peer artifact request failures.", a.FetchErrors)
 	counter("obdreld_artifact_peer_serves_total", "Sealed artifacts served to peers on /v1/artifact.", a.PeerServes)
 	counter("obdreld_artifact_warm_loaded_total", "Artifacts loaded into memory by the startup warm sweep.", a.WarmLoaded)
+	counter("obdreld_artifact_fetch_hedged_total", "Peer fetches that raced a second candidate after the hedge delay.", a.FetchHedged)
+	counter("obdreld_artifact_fetch_hedge_wins_total", "Peer fetches won by the hedge-launched candidate.", a.FetchHedgeWins)
 	warmGauge := 0.0
 	if a.Warming {
 		warmGauge = 1
 	}
 	gauge("obdreld_artifact_warming", "1 while the startup anti-entropy sweep is still running.", warmGauge)
+
+	// Dynamic-membership families: emitted only in -join mode so the
+	// exposition stays byte-stable for static and single-node nodes.
+	if a.Dynamic {
+		counter("obdreld_artifact_replica_pushes_total", "Replication pushes attempted to replica-set peers.", a.ReplicaPushes)
+		counter("obdreld_artifact_replica_push_errors_total", "Replication pushes that failed (transport or peer rejection).", a.ReplicaPushErrors)
+		counter("obdreld_artifact_replica_dropped_total", "Replication enqueues dropped on a full queue.", a.ReplicaDropped)
+		counter("obdreld_artifact_replica_receives_total", "Sealed containers received and installed from peer pushes.", a.ReplicaReceives)
+		counter("obdreld_artifact_replica_rejects_total", "Peer pushes rejected by container validation.", a.ReplicaRejects)
+		counter("obdreld_artifact_rebalance_fetched_total", "Artifacts streamed in by rebalance sweeps.", a.RebalanceFetched)
+		counter("obdreld_cluster_rebalance_sweeps_total", "Rebalance sweeps run after membership epoch changes.", a.RebalanceSweeps)
+		counter("obdreld_cluster_heartbeat_errors_total", "Failed gossip exchanges with peers.", a.HeartbeatErrors)
+		gauge("obdreld_cluster_epoch", "This node's membership view epoch.", float64(a.Epoch))
+		gauge("obdreld_cluster_replicas", "Configured k-way replica placement factor.", float64(a.Replicas))
+		rebalGauge := 0.0
+		if a.Rebalancing {
+			rebalGauge = 1
+		}
+		gauge("obdreld_cluster_rebalancing", "1 while a rebalance sweep is streaming newly-owned artifacts.", rebalGauge)
+		gauge("obdreld_cluster_keys_lost", "Artifacts held locally that the current ring no longer assigns here.", float64(a.KeysLost))
+		fmt.Fprintf(cw, "# HELP obdreld_cluster_members Membership directory size by state, self included.\n")
+		fmt.Fprintf(cw, "# TYPE obdreld_cluster_members gauge\n")
+		fmt.Fprintf(cw, "obdreld_cluster_members{state=\"active\"} %d\n", a.MembersActive)
+		fmt.Fprintf(cw, "obdreld_cluster_members{state=\"suspect\"} %d\n", a.MembersSuspect)
+		fmt.Fprintf(cw, "obdreld_cluster_members{state=\"dead\"} %d\n", a.MembersDead)
+	}
 
 	// SLO burn-rate families (absent entirely when no objectives are
 	// configured, so the exposition stays byte-stable for non-SLO

@@ -46,7 +46,17 @@ func (a *reqAnnot) staleness() (time.Duration, bool) {
 // so load balancers stop routing here, and new /v1 requests are
 // rejected 503 with Retry-After while in-flight ones finish. Call it
 // BEFORE closing the listener so the readiness flip is observable.
-func (s *Server) BeginDrain() { s.draining.Store(true) }
+// In dynamic cluster mode it also gossips this node's obituary (best
+// effort, in the background) so the fleet drops it by epoch bump
+// instead of waiting out the lease.
+func (s *Server) BeginDrain() {
+	if s.draining.Swap(true) {
+		return
+	}
+	if s.member != nil {
+		go s.leaveCluster()
+	}
+}
 
 // Draining reports whether BeginDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }

@@ -133,6 +133,18 @@ type Options struct {
 	Self string
 	// PeerTimeout bounds one peer artifact fetch (default 2s).
 	PeerTimeout time.Duration
+	// JoinPeers enables dynamic membership: seed URLs this node
+	// gossips with to discover the fleet (-join). Mutually exclusive
+	// with Peers; requires Self. A first node may list only itself.
+	JoinPeers []string
+	// Lease is the dynamic-membership lease: a peer silent for half of
+	// it turns suspect, for all of it dead (default 10s).
+	Lease time.Duration
+	// Replicas is the k-way placement factor in dynamic mode: every
+	// artifact's replica set is the first k distinct ring successors,
+	// builds push to the other members asynchronously, and owns() (the
+	// warm/rebalance filter) means replica-set membership (default 2).
+	Replicas int
 	// WarmLimit bounds the anti-entropy startup sweep that loads this
 	// node's owned artifacts from ArtifactDir into memory (default
 	// 1024; negative disables the sweep). /readyz answers 503
@@ -218,6 +230,12 @@ func (o *Options) withDefaults() Options {
 	if out.PeerTimeout <= 0 {
 		out.PeerTimeout = 2 * time.Second
 	}
+	if out.Lease <= 0 {
+		out.Lease = 10 * time.Second
+	}
+	if out.Replicas <= 0 {
+		out.Replicas = 2
+	}
 	if out.WarmLimit == 0 {
 		out.WarmLimit = 1024
 	}
@@ -236,9 +254,11 @@ type Server struct {
 	tracer  *obs.Tracer
 
 	// stages is the node's stage-artifact cache (tiered when
-	// ArtifactDir/Peers are set); cluster is nil outside cluster mode.
+	// ArtifactDir/Peers are set); cluster is nil outside cluster mode;
+	// member is nil outside dynamic (-join) mode.
 	stages  *pipeline.Cache
 	cluster *cluster
+	member  *membership
 
 	// slo is the burn-rate engine (nil without objectives); wide is
 	// the wide-event log (nil when disabled) — both nil-safe.
@@ -317,9 +337,19 @@ func NewE(opts Options) (*Server, error) {
 	}
 
 	// Artifact tiers: the disk spill dir and, with a peer list, the
-	// cluster cache-fill tier over it.
+	// cluster cache-fill tier over it. -peers is the static seed mode;
+	// -join the dynamic one — never both.
+	if len(o.Peers) > 0 && len(o.JoinPeers) > 0 {
+		return nil, fmt.Errorf("cluster: -peers (static) and -join (dynamic) are mutually exclusive")
+	}
 	if len(o.Peers) > 0 {
 		cl, err := newCluster(o.Self, o.Peers, o.PeerTimeout)
+		if err != nil {
+			return nil, err
+		}
+		s.cluster = cl
+	} else if len(o.JoinPeers) > 0 {
+		cl, err := newDynamicCluster(o.Self, o.Replicas, o.PeerTimeout)
 		if err != nil {
 			return nil, err
 		}
@@ -330,9 +360,22 @@ func NewE(opts Options) (*Server, error) {
 		if s.cluster != nil {
 			t.Fetch = s.cluster.fetch
 		}
+		if s.cluster != nil && s.cluster.dynamic && o.Replicas > 1 {
+			// The hook reads s.member at call time because the
+			// replicator is constructed by startMembership, after the
+			// tier configuration is installed.
+			t.Replicate = func(stage, key string, sealed []byte) {
+				if m := s.member; m != nil {
+					m.repl.enqueue(stage, key, sealed)
+				}
+			}
+		}
 		s.stages.SetTiers(t)
 	}
 	s.startWarm()
+	if s.cluster != nil && s.cluster.dynamic {
+		s.startMembership(o.JoinPeers, o.Lease)
+	}
 	return s, nil
 }
 
@@ -388,10 +431,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/artifact/", s.handleArtifact)
 	mux.HandleFunc("/v1/cluster/stats", s.handleClusterStats)
 	mux.HandleFunc("/v1/cluster/status", s.handleClusterStatus)
+	mux.HandleFunc("/v1/cluster/keys", s.handleClusterKeys)
+	if s.member != nil {
+		mux.HandleFunc("/v1/cluster/join", s.handleClusterJoin)
+	}
 	for _, route := range []string{
 		"/healthz", "/readyz", "/metrics", "/v1/designs", "/v1/lifetime",
 		"/v1/failureprob", "/v1/maxvdd", "/v1/blocks", "/v1/batch",
 		"/v1/artifact", "/v1/cluster/stats", "/v1/cluster/status",
+		"/v1/cluster/keys", "/v1/cluster/join",
 	} {
 		s.metrics.RegisterRoute(route)
 	}
@@ -832,11 +880,25 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"status":  "ready",
 		"warming": false,
 		"warmed":  s.warmDone.Load(),
-	})
+	}
+	// Dynamic membership: report the view epoch and rebalance progress.
+	// Rebalancing never gates readiness — the node serves throughout,
+	// fetching per-query until the stream catches up.
+	if m := s.member; m != nil {
+		out["epoch"] = s.cluster.epochView()
+		out["members"] = len(m.dir.Alive())
+		if m.rebalancing.Load() {
+			out["status"] = "rebalancing"
+			out["rebalancing"] = true
+			out["rebalance_done"] = m.rebalDone.Load()
+			out["rebalance_total"] = m.rebalTotal.Load()
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -890,10 +952,10 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	if r.Method != http.MethodGet {
+	if r.Method != http.MethodGet && r.Method != http.MethodPut {
 		status = http.StatusMethodNotAllowed
 		finish(false)
-		writeJSON(w, status, map[string]any{"error": "GET only"})
+		writeJSON(w, status, map[string]any{"error": "GET or PUT only"})
 		return
 	}
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/artifact/")
@@ -909,6 +971,34 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusBadRequest
 		finish(false)
 		writeJSON(w, status, map[string]any{"error": "unknown stage or malformed key"})
+		return
+	}
+	if r.Method == http.MethodPut {
+		// Replica receive: a peer pushes the sealed container it just
+		// built (or streams one during rebalance). Install re-verifies
+		// the checksum, so a garbled push rejects without side effects.
+		body, err := io.ReadAll(io.LimitReader(r.Body, 32<<20))
+		if err != nil {
+			status = http.StatusBadRequest
+			finish(false)
+			writeJSON(w, status, map[string]any{"error": "short body"})
+			return
+		}
+		if err := s.stages.Install(stage, key, body); err != nil {
+			if m := s.member; m != nil {
+				m.replRejects.Add(1)
+			}
+			status = http.StatusBadRequest
+			finish(false)
+			writeJSON(w, status, map[string]any{"error": "invalid container: " + err.Error()})
+			return
+		}
+		if m := s.member; m != nil {
+			m.replReceives.Add(1)
+		}
+		status = http.StatusNoContent
+		finish(true)
+		w.WriteHeader(status)
 		return
 	}
 	sealed, held := s.stages.Sealed(stage, key)
@@ -942,6 +1032,24 @@ func (s *Server) artifactStats() ArtifactStats {
 		st.FetchAttempts = cl.fetchAttempts.Load()
 		st.FetchFills = cl.fetchFills.Load()
 		st.FetchErrors = cl.fetchErrors.Load()
+		st.FetchHedged = cl.fetchHedged.Load()
+		st.FetchHedgeWins = cl.fetchHedgeWins.Load()
+		st.ReplicaPushes = cl.replicaPushes.Load()
+		st.ReplicaPushErrors = cl.replicaPushErrs.Load()
+		st.ReplicaDropped = cl.replicaDropped.Load()
+		st.Epoch = cl.epochView()
+		st.Replicas = cl.replicaFactor()
+	}
+	if m := s.member; m != nil {
+		st.Dynamic = true
+		st.ReplicaReceives = m.replReceives.Load()
+		st.ReplicaRejects = m.replRejects.Load()
+		st.Rebalancing = m.rebalancing.Load()
+		st.RebalanceSweeps = m.rebalSweeps.Load()
+		st.RebalanceFetched = m.rebalFetched.Load()
+		st.KeysLost = m.keysLost.Load()
+		st.HeartbeatErrors = m.heartbeatErrs.Load()
+		st.MembersActive, st.MembersSuspect, st.MembersDead = m.dir.Counts()
 	}
 	return st
 }
